@@ -1,0 +1,109 @@
+//! Microbenchmarks of the soil Green's functions — the innermost cost of
+//! matrix generation. The uniform/two-layer ratio here explains the
+//! Table 6.1 phase blow-up; the κ sweep explains why strongly contrasting
+//! layers (Balaidos B/C) cost more than mild ones (Barberá).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use layerbem_core::integration::ElementGeom;
+use layerbem_core::kernel::SoilKernel;
+use layerbem_geometry::Point3;
+use layerbem_soil::multilayer::MultiLayerKernel;
+use layerbem_soil::uniform::UniformKernel;
+use layerbem_soil::{GreensFunction, Layer, SoilModel, TwoLayerKernels};
+
+fn point_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_kernel");
+    let (r, z, d) = (5.0, 0.5, 0.8);
+
+    let uni = UniformKernel::new(0.016);
+    g.bench_function("uniform", |b| {
+        b.iter(|| black_box(uni.potential(black_box(r), z, d)))
+    });
+
+    // κ sweep: conductivity contrast drives series length.
+    for (label, g1, g2) in [
+        ("two_layer_kappa_0.34", 0.005, 0.016 * 0.63), // |κ| ≈ 0.34
+        ("two_layer_kappa_0.52", 0.005, 0.016),        // Barberá
+        ("two_layer_kappa_0.78", 0.0025, 0.020),       // Balaidos
+    ] {
+        let tl = TwoLayerKernels::new(&SoilModel::two_layer(g1, g2, 1.0));
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(tl.potential(black_box(r), z, d)))
+        });
+    }
+
+    let ml = MultiLayerKernel::new(&SoilModel::multi_layer(vec![
+        Layer {
+            conductivity: 0.005,
+            thickness: 1.0,
+        },
+        Layer {
+            conductivity: 0.010,
+            thickness: 2.0,
+        },
+        Layer {
+            conductivity: 0.016,
+            thickness: f64::INFINITY,
+        },
+    ]));
+    g.sample_size(20);
+    g.bench_function("three_layer_hankel", |b| {
+        b.iter(|| black_box(ml.potential(black_box(r), z, d)))
+    });
+    g.finish();
+}
+
+fn element_integrals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("element_potential");
+    let src = ElementGeom::new(
+        Point3::new(0.0, 0.0, 0.8),
+        Point3::new(5.0, 0.0, 0.8),
+        0.006,
+    );
+    let x = Point3::new(2.5, 7.0, 0.0);
+    for (label, soil) in [
+        ("uniform", SoilModel::uniform(0.016)),
+        ("two_layer_barbera", SoilModel::two_layer(0.005, 0.016, 1.0)),
+        ("two_layer_balaidos", SoilModel::two_layer(0.0025, 0.020, 1.0)),
+    ] {
+        let k = SoilKernel::new(&soil);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &k, |b, k| {
+            b.iter(|| black_box(k.element_potential(black_box(x), &src)))
+        });
+    }
+    g.finish();
+}
+
+fn series_acceleration(c: &mut Criterion) {
+    // Ablation of the DESIGN.md §8 extension: Aitken Δ² extrapolation of
+    // the image series vs plain tolerance-controlled summation, at the
+    // geometric ratios |κ| of the evaluated soil models and at a
+    // near-degenerate contrast where acceleration matters most.
+    use layerbem_numeric::series::{sum_accelerated, sum_until, SeriesOptions};
+    let mut g = c.benchmark_group("series");
+    let opts = SeriesOptions::default();
+    for (label, kappa) in [
+        ("plain_kappa_0.52", 0.52f64),
+        ("plain_kappa_0.78", 0.78),
+        ("plain_kappa_0.95", 0.95),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(sum_until(|l| kappa.powi(l as i32), opts)))
+        });
+    }
+    for (label, kappa) in [
+        ("aitken_kappa_0.52", 0.52f64),
+        ("aitken_kappa_0.78", 0.78),
+        ("aitken_kappa_0.95", 0.95),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(sum_accelerated(|l| kappa.powi(l as i32), 6, opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, point_kernels, element_integrals, series_acceleration);
+criterion_main!(benches);

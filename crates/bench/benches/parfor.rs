@@ -1,0 +1,72 @@
+//! Parallel-runtime benchmarks: dispatch overhead per schedule (the
+//! "cost of managing the parallel execution" the paper weighs against
+//! granularity) and the discrete-event simulator's own throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use layerbem_parfor::sim::{simulate, SimOverheads};
+use layerbem_parfor::{Schedule, ThreadPool};
+
+fn dispatch_overhead(c: &mut Criterion) {
+    // Tiny loop bodies expose pure dispatch cost per schedule.
+    let pool = ThreadPool::with_available_parallelism();
+    let n = 10_000usize;
+    let mut g = c.benchmark_group("parallel_for_dispatch");
+    for schedule in [
+        Schedule::static_blocked(),
+        Schedule::static_chunk(16),
+        Schedule::dynamic(1),
+        Schedule::dynamic(16),
+        Schedule::guided(1),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(schedule.label()),
+            &schedule,
+            |b, s| {
+                b.iter(|| {
+                    let acc = AtomicU64::new(0);
+                    pool.parallel_for(n, *s, |i| {
+                        acc.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                    black_box(acc.into_inner())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    // The simulator replays 408-column profiles thousands of times in
+    // the table generators; it must stay trivially cheap.
+    let costs: Vec<f64> = (0..408).map(|j| (408 - j) as f64 * 1e-5).collect();
+    let mut g = c.benchmark_group("simulator");
+    for p in [8usize, 64] {
+        g.bench_with_input(BenchmarkId::new("dynamic1", p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(simulate(
+                    &costs,
+                    p,
+                    Schedule::dynamic(1),
+                    SimOverheads::default(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("guided1", p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(simulate(
+                    &costs,
+                    p,
+                    Schedule::guided(1),
+                    SimOverheads::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dispatch_overhead, simulator_throughput);
+criterion_main!(benches);

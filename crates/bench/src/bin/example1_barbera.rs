@@ -1,0 +1,63 @@
+//! Paper §5.1 (Example 1): the Barberá grounding system.
+//!
+//! Regenerates the published scalars — equivalent resistance and total
+//! surge current at GPR = 10 kV for the uniform (γ = 0.016) and two-layer
+//! (γ1 = 0.005, γ2 = 0.016, H = 1 m) soil models — and writes the Fig 5.1
+//! grid plan as CSV.
+
+use layerbem_bench::{paper, pct_dev, plan_csv, render_table, solve_case, soils, write_artifact};
+use layerbem_geometry::grids;
+
+fn main() {
+    let gpr = 10_000.0;
+    let mesh = layerbem_bench::barbera_mesh();
+    println!(
+        "Barberá grounding system: {} elements, {} dof (paper: 408 / 238)\n",
+        mesh.element_count(),
+        mesh.dof()
+    );
+
+    let mut rows = Vec::new();
+    for (label, soil, (req_p, i_p)) in [
+        ("uniform", soils::barbera_uniform(), paper::BARBERA_UNIFORM),
+        (
+            "two-layer",
+            soils::barbera_two_layer(),
+            paper::BARBERA_TWO_LAYER,
+        ),
+    ] {
+        let (_sys, _rep, sol) = solve_case(mesh.clone(), &soil, gpr);
+        let i_ka = sol.total_current / 1000.0;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", sol.equivalent_resistance),
+            format!("{req_p:.4}"),
+            pct_dev(sol.equivalent_resistance, req_p),
+            format!("{i_ka:.2}"),
+            format!("{i_p:.2}"),
+            pct_dev(i_ka, i_p),
+        ]);
+    }
+    let table = render_table(
+        &[
+            "Soil model",
+            "Req (Ω)",
+            "paper",
+            "dev",
+            "IΓ (kA)",
+            "paper",
+            "dev",
+        ],
+        &rows,
+    );
+    println!("{table}");
+    write_artifact("example1_barbera.txt", &table);
+    write_artifact("fig5_1_barbera_plan.csv", &plan_csv(&grids::barbera()));
+    write_artifact(
+        "fig5_1_barbera_plan.svg",
+        &layerbem_geometry::svg::plan_svg(
+            &grids::barbera(),
+            layerbem_geometry::svg::SvgOptions::default(),
+        ),
+    );
+}

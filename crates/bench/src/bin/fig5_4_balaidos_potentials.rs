@@ -1,0 +1,61 @@
+//! Paper Fig 5.4: Balaidos surface-potential distributions (×10 kV) for
+//! soil models A, B and C over the window [−10, 90] × [−10, 70] m.
+//! Writes one CSV per model and prints the summary statistics whose
+//! ordering the figure displays (the more resistive the effective soil
+//! around the electrodes, the higher the surface potentials relative to
+//! GPR).
+
+use layerbem_bench::{render_table, solve_case, soils, write_artifact};
+use layerbem_core::post::{voltage_extrema, MapSpec, PotentialMap};
+use layerbem_parfor::{Schedule, ThreadPool};
+
+fn main() {
+    let gpr = 10_000.0;
+    let mesh = layerbem_bench::balaidos_mesh();
+    let spec = MapSpec {
+        x_range: (-10.0, 90.0),
+        y_range: (-10.0, 70.0),
+        nx: 51,
+        ny: 41,
+    };
+    let pool = ThreadPool::with_available_parallelism();
+    let mut rows = Vec::new();
+    for (label, soil) in [
+        ("A", soils::balaidos_a()),
+        ("B", soils::balaidos_b()),
+        ("C", soils::balaidos_c()),
+    ] {
+        let (sys, _rep, sol) = solve_case(mesh.clone(), &soil, gpr);
+        let map = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &spec,
+            &pool,
+            Schedule::dynamic(8),
+        );
+        let ve = voltage_extrema(&map, gpr);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", map.max()),
+            format!("{:.3}", map.max() / gpr),
+            format!("{:.0}", ve.touch),
+            format!("{:.0}", ve.step),
+        ]);
+        write_artifact(
+            &format!("fig5_4_balaidos_potential_{label}.csv"),
+            &map.to_csv(),
+        );
+    }
+    let table = render_table(
+        &["Model", "peak V", "peak/GPR", "worst touch V", "worst step V"],
+        &rows,
+    );
+    println!("{table}");
+    println!(
+        "Fig 5.4 qualitative checks: \"results noticeably vary when different\n\
+         soil models are used\" — the peak surface potential fraction and the\n\
+         touch/step voltages must differ visibly between A, B and C."
+    );
+    write_artifact("fig5_4_summary.txt", &table);
+}

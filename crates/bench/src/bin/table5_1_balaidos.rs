@@ -1,0 +1,60 @@
+//! Paper Table 5.1: the Balaidos grounding system under soil models
+//! A (uniform), B (two-layer, H = 0.7 m) and C (two-layer, H = 1.0 m),
+//! at GPR = 10 kV. Also writes the Fig 5.3 grid plan as CSV.
+
+use layerbem_bench::{paper, pct_dev, plan_csv, render_table, solve_case, soils, write_artifact};
+use layerbem_geometry::grids;
+
+fn main() {
+    let gpr = 10_000.0;
+    let mesh = layerbem_bench::balaidos_mesh();
+    println!(
+        "Balaidos grounding system: {} elements (paper: 241), {} dof\n",
+        mesh.element_count(),
+        mesh.dof()
+    );
+
+    let models = [
+        ("A", soils::balaidos_a()),
+        ("B", soils::balaidos_b()),
+        ("C", soils::balaidos_c()),
+    ];
+    let mut rows = Vec::new();
+    for ((label, soil), (plabel, req_p, i_p)) in models.into_iter().zip(paper::TABLE_5_1) {
+        assert_eq!(label, plabel);
+        let (_sys, _rep, sol) = solve_case(mesh.clone(), &soil, gpr);
+        let i_ka = sol.total_current / 1000.0;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", sol.equivalent_resistance),
+            format!("{req_p:.4}"),
+            pct_dev(sol.equivalent_resistance, req_p),
+            format!("{i_ka:.2}"),
+            format!("{i_p:.2}"),
+            pct_dev(i_ka, i_p),
+        ]);
+    }
+    let table = render_table(
+        &[
+            "Soil Model",
+            "Req (Ω)",
+            "paper",
+            "dev",
+            "Total Current (kA)",
+            "paper",
+            "dev",
+        ],
+        &rows,
+    );
+    println!("{table}");
+    println!("Orderings to check against the paper: Req(C) > Req(B) > Req(A); I(C) < I(B) < I(A).");
+    write_artifact("table5_1_balaidos.txt", &table);
+    write_artifact("fig5_3_balaidos_plan.csv", &plan_csv(&grids::balaidos()));
+    write_artifact(
+        "fig5_3_balaidos_plan.svg",
+        &layerbem_geometry::svg::plan_svg(
+            &grids::balaidos(),
+            layerbem_geometry::svg::SvgOptions::default(),
+        ),
+    );
+}

@@ -1,0 +1,201 @@
+//! # layerbem-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of
+//! the paper's evaluation. One binary per artifact:
+//!
+//! | target | paper artifact |
+//! |--------|----------------|
+//! | `example1_barbera` | §5.1 scalars (Req, IΓ, uniform vs two-layer) + Fig 5.1 plan CSV |
+//! | `fig5_2_barbera_potentials` | Fig 5.2 surface-potential maps |
+//! | `table5_1_balaidos` | Table 5.1 (models A/B/C) + Fig 5.3 plan CSV |
+//! | `fig5_4_balaidos_potentials` | Fig 5.4 surface-potential maps |
+//! | `table6_1_phase_times` | Table 6.1 per-phase CPU time |
+//! | `fig6_1_outer_vs_inner` | Fig 6.1 outer- vs inner-loop speed-up |
+//! | `table6_2_schedules` | Table 6.2 schedule × chunk × processors |
+//! | `table6_3_balaidos_scaling` | Table 6.3 per-model scaling |
+//!
+//! Each binary prints the regenerated rows next to the paper's published
+//! values and writes machine-readable output under `results/`.
+//!
+//! The Criterion benches (`benches/`) cover the supporting
+//! microbenchmarks: kernel evaluation, element integration, assembly,
+//! solvers and the parallel-for dispatch overhead.
+
+use std::path::{Path, PathBuf};
+
+use layerbem_core::assembly::{AssemblyMode, AssemblyReport};
+use layerbem_core::formulation::SolveOptions;
+use layerbem_core::system::{GroundingSolution, GroundingSystem};
+use layerbem_geometry::grids;
+use layerbem_geometry::{Mesh, Mesher};
+use layerbem_soil::SoilModel;
+
+pub use layerbem_cad::report::render_table;
+
+/// The soil models of the paper's evaluation.
+pub mod soils {
+    use layerbem_soil::SoilModel;
+
+    /// Barberá uniform model: γ = 0.016 (Ω·m)⁻¹.
+    pub fn barbera_uniform() -> SoilModel {
+        SoilModel::uniform(0.016)
+    }
+
+    /// Barberá two-layer model: γ1 = 0.005, γ2 = 0.016, H = 1.0 m.
+    pub fn barbera_two_layer() -> SoilModel {
+        SoilModel::two_layer(0.005, 0.016, 1.0)
+    }
+
+    /// Balaidos model A: uniform γ = 0.020.
+    pub fn balaidos_a() -> SoilModel {
+        SoilModel::uniform(0.020)
+    }
+
+    /// Balaidos model B: γ1 = 0.0025, γ2 = 0.020, H = 0.7 m (all
+    /// electrodes below the interface).
+    pub fn balaidos_b() -> SoilModel {
+        SoilModel::two_layer(0.0025, 0.020, 0.7)
+    }
+
+    /// Balaidos model C: γ1 = 0.0025, γ2 = 0.020, H = 1.0 m (electrodes
+    /// straddle the interface).
+    pub fn balaidos_c() -> SoilModel {
+        SoilModel::two_layer(0.0025, 0.020, 1.0)
+    }
+}
+
+/// Paper-published reference values, for side-by-side output.
+pub mod paper {
+    /// §5.1: (Req Ω, IΓ kA) for the uniform Barberá model.
+    pub const BARBERA_UNIFORM: (f64, f64) = (0.3128, 31.97);
+    /// §5.1: (Req Ω, IΓ kA) for the two-layer Barberá model.
+    pub const BARBERA_TWO_LAYER: (f64, f64) = (0.3704, 26.99);
+    /// Table 5.1 rows: (model, Req Ω, IΓ kA).
+    pub const TABLE_5_1: [(&str, f64, f64); 3] = [
+        ("A", 0.3366, 29.71),
+        ("B", 0.3522, 28.39),
+        ("C", 0.4860, 20.58),
+    ];
+    /// Table 6.1 rows: (phase, seconds) on the Origin 2000.
+    pub const TABLE_6_1: [(&str, f64); 5] = [
+        ("Data Input", 0.737),
+        ("Data Preprocessing", 0.045),
+        ("Matrix Generation", 1723.207),
+        ("Linear System Solving", 0.211),
+        ("Resuts Storage", 0.015),
+    ];
+    /// Table 6.2: speed-ups for (schedule label, [P=1, 2, 4, 8]).
+    pub const TABLE_6_2: [(&str, [f64; 4]); 13] = [
+        ("Static", [1.01, 1.32, 2.32, 4.38]),
+        ("Static,64", [1.02, 1.76, 1.86, 3.55]),
+        ("Static,16", [1.02, 1.94, 3.59, 6.23]),
+        ("Static,4", [1.01, 2.01, 3.96, 7.36]),
+        ("Static,1", [1.02, 2.03, 4.03, 7.99]),
+        ("Dynamic,64", [1.02, 2.02, 3.56, 3.55]),
+        ("Dynamic,16", [1.02, 2.02, 4.08, 7.87]),
+        ("Dynamic,4", [1.01, 2.04, 3.99, 7.90]),
+        ("Dynamic,1", [1.02, 2.03, 4.09, 8.05]),
+        ("Guided,64", [1.02, 1.97, 3.56, 3.56]),
+        ("Guided,16", [1.02, 1.99, 3.96, 8.03]),
+        ("Guided,4", [1.02, 2.01, 4.11, 7.93]),
+        ("Guided,1", [1.02, 2.07, 3.95, 8.38]),
+    ];
+    /// Table 6.3: (model, [CPU s at P=1, 2, 4, 8]) — speed-ups in the
+    /// paper were 1 / 1.98–2.03 / 3.98 / 8.05–8.28.
+    pub const TABLE_6_3: [(&str, [f64; 4]); 3] = [
+        ("A", [2.44, f64::NAN, f64::NAN, f64::NAN]),
+        ("B", [81.26, 40.85, 20.41, 10.09]),
+        ("C", [443.28, 218.10, 111.38, 53.53]),
+    ];
+}
+
+/// Discretized Barberá grid (408 elements, 238 dof).
+pub fn barbera_mesh() -> Mesh {
+    Mesher::default().mesh(&grids::barbera())
+}
+
+/// Discretized Balaidos grid (241 elements).
+pub fn balaidos_mesh() -> Mesh {
+    Mesher::default().mesh(&grids::balaidos())
+}
+
+/// Assembles and solves a case sequentially; returns the system, the
+/// assembly report (with the column cost profile) and the solution.
+pub fn solve_case(
+    mesh: Mesh,
+    soil: &SoilModel,
+    gpr: f64,
+) -> (GroundingSystem, AssemblyReport, GroundingSolution) {
+    let system = GroundingSystem::new(mesh, soil, SolveOptions::default());
+    let report = system.assemble(&AssemblyMode::Sequential);
+    let solution = system.solve_assembled(&report, gpr);
+    (system, report, solution)
+}
+
+/// The results directory (`results/` under the workspace root), created
+/// on demand.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes an artifact file under `results/` and reports the path.
+pub fn write_artifact(name: &str, content: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write artifact");
+    println!("[wrote {}]", path.display());
+    path
+}
+
+/// Formats a relative deviation as a percentage string.
+pub fn pct_dev(ours: f64, paper: f64) -> String {
+    format!("{:+.1}%", 100.0 * (ours - paper) / paper)
+}
+
+/// Writes a grid-plan CSV (`x0,y0,x1,y1` per conductor) for plotting the
+/// Fig 5.1 / Fig 5.3 layouts.
+pub fn plan_csv(net: &layerbem_geometry::ConductorNetwork) -> String {
+    let mut s = String::from("x0,y0,x1,y1,is_rod\n");
+    for c in net.conductors() {
+        s.push_str(&format!(
+            "{},{},{},{},{}\n",
+            c.axis.a.x,
+            c.axis.a.y,
+            c.axis.b.x,
+            c.axis.b.y,
+            u8::from(c.is_vertical())
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meshes_match_paper_counts() {
+        assert_eq!(barbera_mesh().element_count(), 408);
+        assert_eq!(barbera_mesh().dof(), 238);
+        assert_eq!(balaidos_mesh().element_count(), 241);
+    }
+
+    #[test]
+    fn pct_dev_formats() {
+        assert_eq!(pct_dev(1.1, 1.0), "+10.0%");
+        assert_eq!(pct_dev(0.95, 1.0), "-5.0%");
+    }
+
+    #[test]
+    fn plan_csv_has_one_row_per_conductor() {
+        let net = grids::balaidos();
+        let csv = plan_csv(&net);
+        assert_eq!(csv.trim().lines().count(), 1 + net.len());
+        assert!(csv.contains(",1\n")); // rods flagged
+    }
+}

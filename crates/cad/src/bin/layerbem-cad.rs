@@ -1,0 +1,152 @@
+//! Command-line grounding analysis: the CAD front-end of the paper's §5,
+//! "developed for running in sequential mode (in conventional computers)
+//! or in parallel mode (in parallel computers)".
+//!
+//! ```text
+//! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
+//!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use layerbem_cad::input::parse_case;
+use layerbem_cad::pipeline::run_pipeline;
+use layerbem_core::assembly::AssemblyMode;
+use layerbem_core::formulation::SolveOptions;
+use layerbem_core::post::{MapSpec, PotentialMap};
+use layerbem_core::system::GroundingSystem;
+use layerbem_parfor::{Schedule, ThreadPool};
+
+struct Args {
+    deck: String,
+    threads: usize,
+    schedule: Schedule,
+    map: Option<(MapSpec, String)>,
+    timing: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
+         \u{20}                [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let mut deck = None;
+    let mut threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let mut schedule = Schedule::dynamic(1);
+    let mut map = None;
+    let mut timing = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--schedule" => {
+                schedule = argv
+                    .next()
+                    .as_deref()
+                    .and_then(Schedule::parse)
+                    .unwrap_or_else(|| usage());
+            }
+            "--map" => {
+                let nums: Vec<String> = (0..6).filter_map(|_| argv.next()).collect();
+                let out = argv.next().unwrap_or_else(|| usage());
+                if nums.len() != 6 {
+                    usage();
+                }
+                let v: Vec<f64> = nums
+                    .iter()
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                map = Some((
+                    MapSpec {
+                        x_range: (v[0], v[1]),
+                        y_range: (v[2], v[3]),
+                        nx: v[4] as usize,
+                        ny: v[5] as usize,
+                    },
+                    out,
+                ));
+            }
+            "--timing" => timing = true,
+            "--help" | "-h" => usage(),
+            other if deck.is_none() && !other.starts_with('-') => deck = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    Args {
+        deck: deck.unwrap_or_else(|| usage()),
+        threads: threads.max(1),
+        schedule,
+        map,
+        timing,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let text = match std::fs::read_to_string(&args.deck) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.deck);
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let case = match parse_case(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.deck);
+            return ExitCode::FAILURE;
+        }
+    };
+    let input_seconds = t0.elapsed().as_secs_f64();
+
+    let mode = if args.threads == 1 {
+        AssemblyMode::Sequential
+    } else {
+        AssemblyMode::ParallelOuter(ThreadPool::new(args.threads), args.schedule)
+    };
+    let opts = SolveOptions::default();
+    let result = run_pipeline(&case, opts, &mode, input_seconds);
+    print!("{}", result.report);
+    if args.timing {
+        println!();
+        print!("{}", result.times.table());
+        println!(
+            "matrix-generation share: {:.2}%  (threads: {}, schedule: {})",
+            100.0 * result.times.matrix_generation_share(),
+            args.threads,
+            args.schedule.label()
+        );
+    }
+
+    if let Some((spec, out)) = args.map {
+        let system = GroundingSystem::new(result.mesh.clone(), &case.soil, opts);
+        let pool = ThreadPool::new(args.threads);
+        let map = PotentialMap::compute(
+            &result.mesh,
+            system.kernel(),
+            &result.solution,
+            &spec,
+            &pool,
+            args.schedule,
+        );
+        if let Err(e) = std::fs::write(&out, map.to_csv()) {
+            eprintln!("error: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("surface potential map ({}×{}) written to {out}", spec.nx, spec.ny);
+    }
+    ExitCode::SUCCESS
+}

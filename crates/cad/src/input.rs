@@ -1,0 +1,428 @@
+//! Case-deck parser.
+//!
+//! A grounding case is described by a line-oriented text deck, in the
+//! spirit of the era's CAD input files (the paper's system TOTBEM used
+//! fixed-format decks; we use a keyword format):
+//!
+//! ```text
+//! # Balaidos-like case
+//! title Balaidos substation
+//! soil two-layer 0.0025 0.020 1.0      # γ1 γ2 H
+//! gpr 10000                            # volts
+//! grid rect 0 0 80 60 8 6 0.8 0.00564  # x0 y0 w h nx ny depth radius
+//! rod 10 10 0.8 1.5 0.007              # x y ztop length radius
+//! conductor 0 0 0.8 10 0 0.8 0.006     # x0 y0 z0 x1 y1 z1 radius
+//! max-element-length 5.0
+//! ```
+//!
+//! Keywords may appear in any order; later `soil`/`gpr` lines override
+//! earlier ones; geometry lines accumulate.
+
+use layerbem_core::formulation::{Formulation, SolverChoice};
+use layerbem_geometry::conductor::ground_rod;
+use layerbem_geometry::grids::{rectangular_grid, triangle_grid, RectGridSpec, TriangleGridSpec};
+use layerbem_geometry::{Conductor, ConductorNetwork, MeshOptions, Point3};
+use layerbem_soil::{Layer, SoilModel};
+
+/// A parsed grounding case.
+#[derive(Clone, Debug)]
+pub struct CadCase {
+    /// Case title (defaults to "untitled").
+    pub title: String,
+    /// Electrode network.
+    pub network: ConductorNetwork,
+    /// Soil model (defaults to uniform 0.01 (Ω·m)⁻¹ if absent).
+    pub soil: SoilModel,
+    /// Ground potential rise in volts (defaults to 1).
+    pub gpr: f64,
+    /// Discretization controls.
+    pub mesh_options: MeshOptions,
+    /// BEM weighting scheme (default Galerkin).
+    pub formulation: Formulation,
+    /// Linear solver (default preconditioned CG).
+    pub solver: SolverChoice,
+}
+
+/// Parse failure with location and cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_floats(line: usize, parts: &[&str], n: usize, what: &str) -> Result<Vec<f64>, ParseError> {
+    if parts.len() != n {
+        return Err(err(
+            line,
+            format!("{what} expects {n} numeric fields, got {}", parts.len()),
+        ));
+    }
+    parts
+        .iter()
+        .map(|p| {
+            p.parse::<f64>()
+                .map_err(|_| err(line, format!("invalid number '{p}' in {what}")))
+        })
+        .collect()
+}
+
+/// Parses a case deck from text.
+pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
+    let mut title = "untitled".to_string();
+    let mut network = ConductorNetwork::new();
+    let mut soil: Option<SoilModel> = None;
+    let mut gpr = 1.0;
+    let mut mesh_options = MeshOptions::default();
+    let mut formulation = Formulation::Galerkin;
+    let mut solver = SolverChoice::ConjugateGradient;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments and whitespace.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "title" => {
+                if rest.is_empty() {
+                    return Err(err(line_no, "title expects a name"));
+                }
+                title = rest.join(" ");
+            }
+            "soil" => {
+                let kind = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "soil expects a model kind"))?;
+                let nums = &rest[1..];
+                soil = Some(match kind {
+                    "uniform" => {
+                        let v = parse_floats(line_no, nums, 1, "soil uniform")?;
+                        if v[0] <= 0.0 {
+                            return Err(err(line_no, "conductivity must be positive"));
+                        }
+                        SoilModel::uniform(v[0])
+                    }
+                    "two-layer" => {
+                        let v = parse_floats(line_no, nums, 3, "soil two-layer")?;
+                        if v[0] <= 0.0 || v[1] <= 0.0 || v[2] <= 0.0 {
+                            return Err(err(line_no, "two-layer parameters must be positive"));
+                        }
+                        SoilModel::two_layer(v[0], v[1], v[2])
+                    }
+                    "multi-layer" => {
+                        // Pairs γ h, last layer given with h = inf.
+                        if nums.len() < 4 || !nums.len().is_multiple_of(2) {
+                            return Err(err(
+                                line_no,
+                                "soil multi-layer expects pairs 'γ h' ending with 'γ inf'",
+                            ));
+                        }
+                        let mut layers = Vec::new();
+                        for pair in nums.chunks(2) {
+                            let g: f64 = pair[0]
+                                .parse()
+                                .map_err(|_| err(line_no, "invalid conductivity"))?;
+                            let h: f64 = if pair[1] == "inf" {
+                                f64::INFINITY
+                            } else {
+                                pair[1]
+                                    .parse()
+                                    .map_err(|_| err(line_no, "invalid thickness"))?
+                            };
+                            layers.push(Layer {
+                                conductivity: g,
+                                thickness: h,
+                            });
+                        }
+                        if !layers
+                            .last()
+                            .map(|l| l.thickness.is_infinite())
+                            .unwrap_or(false)
+                        {
+                            return Err(err(line_no, "last layer thickness must be 'inf'"));
+                        }
+                        SoilModel::multi_layer(layers)
+                    }
+                    other => return Err(err(line_no, format!("unknown soil model '{other}'"))),
+                });
+            }
+            "gpr" => {
+                let v = parse_floats(line_no, &rest, 1, "gpr")?;
+                if v[0] <= 0.0 {
+                    return Err(err(line_no, "gpr must be positive"));
+                }
+                gpr = v[0];
+            }
+            "conductor" => {
+                let v = parse_floats(line_no, &rest, 7, "conductor")?;
+                if v[6] <= 0.0 {
+                    return Err(err(line_no, "conductor radius must be positive"));
+                }
+                if v[2] < 0.0 || v[5] < 0.0 {
+                    return Err(err(line_no, "conductors must be buried (z >= 0)"));
+                }
+                network.add(Conductor::new(
+                    Point3::new(v[0], v[1], v[2]),
+                    Point3::new(v[3], v[4], v[5]),
+                    v[6],
+                ));
+            }
+            "rod" => {
+                let v = parse_floats(line_no, &rest, 5, "rod")?;
+                if v[3] <= 0.0 || v[4] <= 0.0 {
+                    return Err(err(line_no, "rod length and radius must be positive"));
+                }
+                network.add(ground_rod(Point3::new(v[0], v[1], v[2]), v[3], v[4]));
+            }
+            "grid" => {
+                let kind = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "grid expects a kind"))?;
+                match kind {
+                    "rect" => {
+                        let v = parse_floats(line_no, &rest[1..], 8, "grid rect")?;
+                        let (nx, ny) = (v[4] as usize, v[5] as usize);
+                        if nx == 0 || ny == 0 || v[4].fract() != 0.0 || v[5].fract() != 0.0 {
+                            return Err(err(
+                                line_no,
+                                "grid cell counts must be positive integers",
+                            ));
+                        }
+                        network.extend(
+                            rectangular_grid(RectGridSpec {
+                                origin: (v[0], v[1]),
+                                width: v[2],
+                                height: v[3],
+                                nx,
+                                ny,
+                                depth: v[6],
+                                radius: v[7],
+                            })
+                            .conductors()
+                            .iter()
+                            .copied(),
+                        );
+                    }
+                    "triangle" => {
+                        // leg_x leg_y nx ny depth radius
+                        let v = parse_floats(line_no, &rest[1..], 6, "grid triangle")?;
+                        let (nx, ny) = (v[2] as usize, v[3] as usize);
+                        if nx == 0 || ny == 0 || v[2].fract() != 0.0 || v[3].fract() != 0.0 {
+                            return Err(err(
+                                line_no,
+                                "grid cell counts must be positive integers",
+                            ));
+                        }
+                        network.extend(
+                            triangle_grid(TriangleGridSpec {
+                                leg_x: v[0],
+                                leg_y: v[1],
+                                nx,
+                                ny,
+                                depth: v[4],
+                                radius: v[5],
+                                min_stub: 1.0,
+                                hypotenuse_chain: true,
+                            })
+                            .conductors()
+                            .iter()
+                            .copied(),
+                        );
+                    }
+                    other => {
+                        return Err(err(line_no, format!("unknown grid kind '{other}'")))
+                    }
+                }
+            }
+            "formulation" => {
+                formulation = match rest.first().copied() {
+                    Some("galerkin") => Formulation::Galerkin,
+                    Some("collocation") => Formulation::Collocation,
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("formulation expects galerkin|collocation, got {other:?}"),
+                        ))
+                    }
+                };
+            }
+            "solver" => {
+                solver = match rest.first().copied() {
+                    Some("cg") => SolverChoice::ConjugateGradient,
+                    Some("cholesky") => SolverChoice::Cholesky,
+                    Some("lu") => SolverChoice::Lu,
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("solver expects cg|cholesky|lu, got {other:?}"),
+                        ))
+                    }
+                };
+            }
+            "max-element-length" => {
+                let v = parse_floats(line_no, &rest, 1, "max-element-length")?;
+                if v[0] <= 0.0 {
+                    return Err(err(line_no, "max-element-length must be positive"));
+                }
+                mesh_options.max_element_length = v[0];
+            }
+            other => return Err(err(line_no, format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    if network.is_empty() {
+        return Err(err(0, "case contains no electrodes"));
+    }
+    Ok(CadCase {
+        title,
+        network,
+        soil: soil.unwrap_or_else(|| SoilModel::uniform(0.01)),
+        gpr,
+        mesh_options,
+        formulation,
+        solver,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo case
+title Demo yard
+soil two-layer 0.005 0.016 1.0
+gpr 10000
+grid rect 0 0 20 20 2 2 0.8 0.006
+rod 0 0 0.8 1.5 0.007
+conductor 0 0 0.8 -5 0 0.8 0.006
+max-element-length 5
+";
+
+    #[test]
+    fn parses_full_case() {
+        let case = parse_case(SAMPLE).unwrap();
+        assert_eq!(case.title, "Demo yard");
+        assert_eq!(case.gpr, 10_000.0);
+        assert_eq!(case.mesh_options.max_element_length, 5.0);
+        // 12 grid segments + rod + conductor.
+        assert_eq!(case.network.len(), 14);
+        match case.soil {
+            SoilModel::TwoLayer {
+                upper,
+                lower,
+                thickness,
+            } => {
+                assert_eq!((upper, lower, thickness), (0.005, 0.016, 1.0));
+            }
+            _ => panic!("wrong soil model"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let case = parse_case("conductor 0 0 1 5 0 1 0.01 # inline\n\n# full line\n").unwrap();
+        assert_eq!(case.network.len(), 1);
+        assert_eq!(case.title, "untitled");
+        assert_eq!(case.gpr, 1.0);
+    }
+
+    #[test]
+    fn multi_layer_soil_parses() {
+        let case =
+            parse_case("soil multi-layer 0.005 1.0 0.01 2.0 0.016 inf\nrod 0 0 0.5 2 0.01\n")
+                .unwrap();
+        assert_eq!(case.soil.layer_count(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_case("title ok\nbogus 1 2 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let e = parse_case("conductor 0 0 1 5 0 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expects 7"));
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let e = parse_case("gpr ten\n").unwrap_err();
+        assert!(e.message.contains("invalid number"));
+    }
+
+    #[test]
+    fn negative_parameters_rejected() {
+        assert!(parse_case("gpr -5\nrod 0 0 0 1 0.01\n").is_err());
+        assert!(parse_case("soil uniform -0.1\nrod 0 0 0 1 0.01\n").is_err());
+        assert!(parse_case("rod 0 0 0 -1 0.01\n").is_err());
+    }
+
+    #[test]
+    fn empty_case_rejected() {
+        let e = parse_case("title nothing\n").unwrap_err();
+        assert!(e.message.contains("no electrodes"));
+    }
+
+    #[test]
+    fn multilayer_requires_infinite_bottom() {
+        let e = parse_case("soil multi-layer 0.01 1.0 0.02 2.0\nrod 0 0 0 1 0.01\n").unwrap_err();
+        assert!(e.message.contains("inf"));
+    }
+
+    #[test]
+    fn triangle_grid_keyword() {
+        let case =
+            parse_case("grid triangle 89 143 9 11 0.8 0.006\n").unwrap();
+        assert!(case.network.len() > 100);
+        // All conductors inside the triangle.
+        for c in case.network.conductors() {
+            assert!(c.axis.a.x / 89.0 + c.axis.a.y / 143.0 <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn solver_and_formulation_keywords() {
+        let case = parse_case(
+            "solver cholesky\nformulation collocation\nrod 0 0 0.5 1 0.01\n",
+        )
+        .unwrap();
+        assert_eq!(case.solver, SolverChoice::Cholesky);
+        assert_eq!(case.formulation, Formulation::Collocation);
+        // Defaults when absent.
+        let d = parse_case("rod 0 0 0.5 1 0.01\n").unwrap();
+        assert_eq!(d.solver, SolverChoice::ConjugateGradient);
+        assert_eq!(d.formulation, Formulation::Galerkin);
+    }
+
+    #[test]
+    fn bad_solver_rejected() {
+        assert!(parse_case("solver gmres\nrod 0 0 0.5 1 0.01\n").is_err());
+        assert!(parse_case("formulation fem\nrod 0 0 0.5 1 0.01\n").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # layerbem-cad
+//!
+//! The CAD-system layer around the BEM solver: the paper's numerical
+//! approach "has been integrated in a Computer Aided Design system for
+//! grounding analysis" (§5) whose five pipeline phases — Data Input, Data
+//! Preprocessing, Matrix Generation, Linear System Solving, Results
+//! Storage — are timed individually in Table 6.1. This crate provides:
+//!
+//! * [`input`] — a plain-text case-deck format (conductors, rods,
+//!   parametric grids, soil model, GPR, discretization controls) with a
+//!   line-numbered parser.
+//! * [`pipeline`] — the staged analysis driver with per-phase wall-clock
+//!   timing ([`pipeline::PhaseTimes`] regenerates Table 6.1).
+//! * [`report`] — human-readable result reports and CSV emitters for
+//!   potential maps.
+
+pub mod input;
+pub mod pipeline;
+pub mod report;
+
+pub use input::{parse_case, CadCase, ParseError};
+pub use pipeline::{run_pipeline, Phase, PhaseTimes, PipelineResult};

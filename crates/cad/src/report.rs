@@ -1,0 +1,148 @@
+//! Result reports.
+
+use layerbem_core::system::GroundingSolution;
+use layerbem_geometry::Mesh;
+use layerbem_soil::SoilModel;
+
+/// Formats a human-readable analysis report (the "Results Storage" phase
+/// artifact).
+pub fn text_report(
+    title: &str,
+    soil: &SoilModel,
+    mesh: &Mesh,
+    solution: &GroundingSolution,
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("Grounding analysis report — {title}\n"));
+    s.push_str(&format!("{}\n", "=".repeat(40 + title.len())));
+    s.push_str(&format!("Soil model: {}\n", soil_description(soil)));
+    s.push_str(&format!(
+        "Discretization: {} elements, {} degrees of freedom\n",
+        mesh.element_count(),
+        mesh.dof()
+    ));
+    s.push_str(&format!("GPR: {:.1} V\n", solution.gpr));
+    s.push_str(&format!(
+        "Equivalent resistance: {:.4} Ω\n",
+        solution.equivalent_resistance
+    ));
+    s.push_str(&format!(
+        "Total current to ground: {:.2} kA\n",
+        solution.total_current / 1000.0
+    ));
+    if solution.solver_iterations > 0 {
+        s.push_str(&format!(
+            "Solver: PCG, {} iterations\n",
+            solution.solver_iterations
+        ));
+    } else {
+        s.push_str("Solver: direct\n");
+    }
+    let (qmin, qmax) = solution
+        .leakage
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), q| {
+            (lo.min(*q), hi.max(*q))
+        });
+    s.push_str(&format!(
+        "Leakage density range: {qmin:.2} – {qmax:.2} A/m\n"
+    ));
+    s
+}
+
+/// One-line soil description.
+pub fn soil_description(soil: &SoilModel) -> String {
+    match soil {
+        SoilModel::Uniform { conductivity } => {
+            format!("uniform, γ = {conductivity} (Ω·m)⁻¹")
+        }
+        SoilModel::TwoLayer {
+            upper,
+            lower,
+            thickness,
+        } => format!(
+            "two-layer, γ1 = {upper}, γ2 = {lower} (Ω·m)⁻¹, H = {thickness} m"
+        ),
+        SoilModel::MultiLayer { layers } => {
+            format!("{} layers", layers.len())
+        }
+    }
+}
+
+/// Renders an aligned text table from a header and rows — the shared
+/// formatter of all bench-harness table generators.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    // Widths in characters (headers may contain multi-byte symbols like Ω).
+    let char_len = |s: &str| s.chars().count();
+    let mut widths: Vec<usize> = header.iter().map(|h| char_len(h)).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(char_len(cell));
+        }
+    }
+    let mut s = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            for _ in 0..w.saturating_sub(char_len(cell)) {
+                line.push(' ');
+            }
+            line.push_str(cell);
+        }
+        line.push('\n');
+        line
+    };
+    s.push_str(&fmt_row(
+        header.iter().map(|h| h.to_string()).collect(),
+        &widths,
+    ));
+    s.push_str(&fmt_row(
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+        &widths,
+    ));
+    for row in rows {
+        s.push_str(&fmt_row(row.clone(), &widths));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soil_descriptions() {
+        assert!(soil_description(&SoilModel::uniform(0.016)).contains("uniform"));
+        assert!(soil_description(&SoilModel::two_layer(0.005, 0.016, 1.0)).contains("H = 1 m"));
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Model", "Req (Ω)"],
+            &[
+                vec!["A".into(), "0.3366".into()],
+                vec!["B".into(), "0.3522".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally long in characters (aligned columns).
+        assert!(lines
+            .windows(2)
+            .all(|w| w[0].chars().count() == w[1].chars().count()));
+        assert!(lines[0].contains("Model"));
+        assert!(lines[3].contains("0.3522"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,520 @@
+//! Galerkin matrix generation — the computation the paper parallelizes.
+//!
+//! "In the sequential program, the matrix generation process is performed
+//! by means of a double loop that couples every element with all the
+//! other" (paper §6.2): a triangle of `M(M+1)/2` element pairs, column `β`
+//! holding pairs `(β, α ≤ β)`. For every pair a 2×2 **elemental matrix**
+//! is computed (outer Gauss integration over the field element of the
+//! analytically integrated source potentials) and assembled into the
+//! packed symmetric global matrix.
+//!
+//! Parallel variants reproduce the paper's scheme exactly: "the assembly
+//! of the elemental matrices causes a dependency between the actions of
+//! the threads. This drawback can be avoided by taking the assembly
+//! process out of that loop, which implies first the computation and the
+//! storage of all the elemental matrices and, after this step, the
+//! assembly in a sequential mode. This scheme requires approximately twice
+//! the memory space" — we store per-column block vectors, computed in
+//! parallel under any OpenMP-style schedule over either the **outer**
+//! loop (columns) or the **inner** loop (rows of each column), then
+//! assemble sequentially.
+
+use std::time::Instant;
+
+use layerbem_geometry::Mesh;
+use layerbem_numeric::{DenseMatrix, SymMatrix};
+use layerbem_parfor::{ExecutionStats, Schedule, ThreadPool};
+
+use crate::formulation::SolveOptions;
+use crate::integration::ElementGeom;
+use crate::kernel::SoilKernel;
+
+/// How to run matrix generation.
+#[derive(Clone, Copy, Debug)]
+pub enum AssemblyMode {
+    /// Single-threaded double loop (the baseline all speed-ups reference).
+    Sequential,
+    /// Parallelize the outer loop: columns of the pair triangle are
+    /// distributed among threads (the paper's preferred variant).
+    ParallelOuter(ThreadPool, Schedule),
+    /// Parallelize the inner loop: the outer loop runs sequentially and
+    /// each column's rows are distributed (the paper's granularity-losing
+    /// comparison variant, Fig 6.1 dashed line).
+    ParallelInner(ThreadPool, Schedule),
+}
+
+/// Output of matrix generation.
+#[derive(Clone, Debug)]
+pub struct AssemblyReport {
+    /// Packed symmetric Galerkin matrix over mesh nodes.
+    pub matrix: SymMatrix,
+    /// Galerkin right-hand side `ν_j = ∫ w_j dΓ` for unit GPR.
+    pub rhs: Vec<f64>,
+    /// Wall-clock seconds spent computing each outer column (meaningful
+    /// for `Sequential`; these feed the schedule simulator as the
+    /// authentic task-cost profile of the triangular loop).
+    pub column_seconds: Vec<f64>,
+    /// Series terms consumed per outer column — a deterministic,
+    /// machine-independent cost proxy for the same profile.
+    pub column_terms: Vec<u64>,
+    /// Wall-clock seconds of the whole generation (blocks + assembly).
+    pub generation_seconds: f64,
+    /// Per-thread runtime stats for the parallel modes.
+    pub stats: Option<ExecutionStats>,
+}
+
+impl AssemblyReport {
+    /// Total series terms over all pairs.
+    pub fn total_terms(&self) -> u64 {
+        self.column_terms.iter().sum()
+    }
+}
+
+/// One 2×2 elemental matrix: `block[j][i] = ∫_β w_j ∫_α G N_i`.
+type Block = [[f64; 2]; 2];
+
+/// Precomputes element geometries from a mesh.
+pub fn element_geoms(mesh: &Mesh) -> Vec<ElementGeom> {
+    (0..mesh.element_count())
+        .map(|e| {
+            let s = mesh.element_segment(e);
+            ElementGeom::new(s.a, s.b, mesh.element_radius[e])
+        })
+        .collect()
+}
+
+/// Outer quadrature rules: a base rule for well-separated pairs and a
+/// refined rule for near pairs, whose inner-integral factor varies
+/// logarithmically and would otherwise leave `O(1e-4)` quadrature error
+/// (visible as a broken grid symmetry, since the transposed pair of a
+/// mirror image is integrated with the roles of the elements exchanged).
+#[derive(Debug)]
+pub struct OuterQuadrature {
+    base: layerbem_numeric::GaussLegendre,
+    near: layerbem_numeric::GaussLegendre,
+}
+
+impl OuterQuadrature {
+    /// Builds from the base order of [`SolveOptions::outer_quadrature`];
+    /// the near rule uses 4× the points.
+    pub fn new(base_order: usize) -> Self {
+        OuterQuadrature {
+            base: layerbem_numeric::GaussLegendre::new(base_order),
+            near: layerbem_numeric::GaussLegendre::new(4 * base_order.max(2)),
+        }
+    }
+
+    /// Chooses the rule for a pair by separation: near when the closest
+    /// endpoints are within two element lengths.
+    fn select(&self, beta: &ElementGeom, alpha: &ElementGeom) -> &layerbem_numeric::GaussLegendre {
+        let scale = beta.length.max(alpha.length);
+        let d = endpoint_separation(beta, alpha);
+        if d < 2.0 * scale {
+            &self.near
+        } else {
+            &self.base
+        }
+    }
+}
+
+/// Cheap separation estimate: minimum distance between the endpoints of
+/// one element and the axis of the other (grids only meet at nodes, so
+/// this catches every near configuration).
+fn endpoint_separation(a: &ElementGeom, b: &ElementGeom) -> f64 {
+    use layerbem_geometry::Segment;
+    let sa = Segment::new(a.a, a.b);
+    let sb = Segment::new(b.a, b.b);
+    sa.distance_to_point(b.a)
+        .min(sa.distance_to_point(b.b))
+        .min(sb.distance_to_point(a.a))
+        .min(sb.distance_to_point(a.b))
+}
+
+/// Computes the elemental matrix for field element `beta` against source
+/// element `alpha`, returning the block and the series terms consumed.
+fn pair_block(
+    beta: &ElementGeom,
+    alpha: &ElementGeom,
+    kernel: &SoilKernel,
+    quad: &OuterQuadrature,
+) -> (Block, usize) {
+    let mut b: Block = [[0.0; 2]; 2];
+    let mut terms = 0usize;
+    let len = beta.length;
+    let rule = quad.select(beta, alpha);
+    for (s, w) in rule.mapped(0.0, len) {
+        // Field points on the conductor surface: the thin-wire
+        // regularization that keeps the self-interaction finite. The two
+        // antipodal azimuths are averaged (symmetry-preserving
+        // circumferential average; see `ElementGeom::surface_pair`).
+        let (xp, xm) = beta.surface_pair(s);
+        let (vp, tp) = kernel.element_potential(xp, alpha);
+        let (vm, tm) = kernel.element_potential(xm, alpha);
+        let v = [0.5 * (vp[0] + vm[0]), 0.5 * (vp[1] + vm[1])];
+        let n1 = s / len;
+        let n0 = 1.0 - n1;
+        b[0][0] += w * n0 * v[0];
+        b[0][1] += w * n0 * v[1];
+        b[1][0] += w * n1 * v[0];
+        b[1][1] += w * n1 * v[1];
+        terms += tp + tm;
+    }
+    (b, terms)
+}
+
+/// One computed column of the pair triangle.
+///
+/// Column `β` couples element `β` with every `α ≥ β`, so "the first one
+/// has M rows and the last one has 1 row" (paper §6.2) — the linearly
+/// decreasing task sizes whose distribution the schedule study probes.
+#[derive(Clone, Debug, Default)]
+struct Column {
+    /// Blocks for `α = β..M`; `blocks[k]` is the pair `(β, β + k)`.
+    blocks: Vec<Block>,
+    /// Series terms consumed.
+    terms: u64,
+    /// Wall-clock seconds.
+    seconds: f64,
+}
+
+fn compute_column(
+    beta: usize,
+    geoms: &[ElementGeom],
+    kernel: &SoilKernel,
+    quad: &OuterQuadrature,
+) -> Column {
+    let t0 = Instant::now();
+    let m = geoms.len();
+    let mut blocks = Vec::with_capacity(m - beta);
+    let mut terms = 0u64;
+    for alpha in beta..m {
+        let (b, t) = pair_block(&geoms[beta], &geoms[alpha], kernel, quad);
+        blocks.push(b);
+        terms += t as u64;
+    }
+    Column {
+        blocks,
+        terms,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Assembles stored columns into the packed global matrix (the paper's
+/// sequential assembly step).
+fn assemble_columns(mesh: &Mesh, columns: &[Column]) -> SymMatrix {
+    let mut m = SymMatrix::zeros(mesh.dof());
+    for (beta, col) in columns.iter().enumerate() {
+        let nb = mesh.elements[beta].nodes;
+        for (k, b) in col.blocks.iter().enumerate() {
+            let alpha = beta + k;
+            let na = mesh.elements[alpha].nodes;
+            if alpha == beta {
+                // Diagonal pair: one ordered contribution (α, α). The
+                // off-diagonal entry is symmetrized against quadrature
+                // asymmetry.
+                m.add(nb[0], nb[0], b[0][0]);
+                m.add(nb[1], nb[1], b[1][1]);
+                m.add(nb[0], nb[1], 0.5 * (b[0][1] + b[1][0]));
+            } else {
+                // Off-diagonal pair {β, α}: the packed slot (p, q), p ≠ q,
+                // receives the single ordered contribution; a shared node
+                // (p == q) receives both ordered contributions (β, α) and
+                // (α, β), which are equal by the symmetry of G.
+                for j in 0..2 {
+                    for i in 0..2 {
+                        let p = nb[j];
+                        let q = na[i];
+                        let v = b[j][i];
+                        m.add(p, q, v);
+                        if p == q {
+                            m.add(p, q, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Galerkin right-hand side for unit GPR: `ν_p = Σ_{e ∋ p} L_e / 2`.
+pub fn galerkin_rhs(mesh: &Mesh) -> Vec<f64> {
+    let mut rhs = vec![0.0; mesh.dof()];
+    for (e, el) in mesh.elements.iter().enumerate() {
+        let half = 0.5 * mesh.element_length(e);
+        rhs[el.nodes[0]] += half;
+        rhs[el.nodes[1]] += half;
+    }
+    rhs
+}
+
+/// Runs Galerkin matrix generation.
+pub fn assemble_galerkin(
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    opts: &SolveOptions,
+    mode: &AssemblyMode,
+) -> AssemblyReport {
+    let geoms = element_geoms(mesh);
+    let quad = OuterQuadrature::new(opts.outer_quadrature);
+    let m = geoms.len();
+    let t0 = Instant::now();
+
+    let (columns, stats): (Vec<Column>, Option<ExecutionStats>) = match mode {
+        AssemblyMode::Sequential => {
+            let cols = (0..m)
+                .map(|beta| compute_column(beta, &geoms, kernel, &quad))
+                .collect();
+            (cols, None)
+        }
+        AssemblyMode::ParallelOuter(pool, schedule) => {
+            let mut cols = vec![Column::default(); m];
+            let geoms_ref = &geoms;
+            let quad_ref = &quad;
+            let stats = pool.parallel_fill_with_stats(&mut cols, *schedule, |beta| {
+                compute_column(beta, geoms_ref, kernel, quad_ref)
+            });
+            (cols, Some(stats))
+        }
+        AssemblyMode::ParallelInner(pool, schedule) => {
+            // Outer loop sequential; each column's rows distributed.
+            let mut cols = Vec::with_capacity(m);
+            for beta in 0..m {
+                let t_col = Instant::now();
+                let mut blocks = vec![Block::default(); m - beta];
+                let terms = std::sync::atomic::AtomicU64::new(0);
+                let geoms_ref = &geoms;
+                let quad_ref = &quad;
+                pool.parallel_fill(&mut blocks, *schedule, |k| {
+                    let (b, t) =
+                        pair_block(&geoms_ref[beta], &geoms_ref[beta + k], kernel, quad_ref);
+                    terms.fetch_add(t as u64, std::sync::atomic::Ordering::Relaxed);
+                    b
+                });
+                cols.push(Column {
+                    blocks,
+                    terms: terms.into_inner(),
+                    seconds: t_col.elapsed().as_secs_f64(),
+                });
+            }
+            (cols, None)
+        }
+    };
+
+    let matrix = assemble_columns(mesh, &columns);
+    let rhs = galerkin_rhs(mesh);
+    AssemblyReport {
+        matrix,
+        rhs,
+        column_seconds: columns.iter().map(|c| c.seconds).collect(),
+        column_terms: columns.iter().map(|c| c.terms).collect(),
+        generation_seconds: t0.elapsed().as_secs_f64(),
+        stats,
+    }
+}
+
+/// Collocation matrix: row `p` states `V(x_p) = 1` at a surface point
+/// near node `p`. Nonsymmetric; solved by LU. Provided as the paper's
+/// "different formulations" alternative (§4.2) for cross-checks.
+pub fn assemble_collocation(mesh: &Mesh, kernel: &SoilKernel) -> (DenseMatrix, Vec<f64>) {
+    let geoms = element_geoms(mesh);
+    let n = mesh.dof();
+    let adj = mesh.node_elements();
+    let mut c = DenseMatrix::zeros(n, n);
+    for (p, incident) in adj.iter().enumerate() {
+        // Collocation point: on the surface of the first incident element,
+        // a quarter length in from the node (avoids junction end effects).
+        let e = incident[0];
+        let g = &geoms[e];
+        let s = if mesh.elements[e].nodes[0] == p {
+            0.25 * g.length
+        } else {
+            0.75 * g.length
+        };
+        let (xp, xm) = g.surface_pair(s);
+        for (alpha, ga) in geoms.iter().enumerate() {
+            let (vp, _) = kernel.element_potential(xp, ga);
+            let (vm, _) = kernel.element_potential(xm, ga);
+            let na = mesh.elements[alpha].nodes;
+            c.add(p, na[0], 0.5 * (vp[0] + vm[0]));
+            c.add(p, na[1], 0.5 * (vp[1] + vm[1]));
+        }
+    }
+    (c, vec![1.0; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
+    use layerbem_geometry::{ConductorNetwork, Conductor, Mesher, Point3};
+    use layerbem_numeric::cholesky::CholeskyFactor;
+    use layerbem_soil::SoilModel;
+
+    fn small_mesh() -> Mesh {
+        let net = rectangular_grid(RectGridSpec {
+            origin: (0.0, 0.0),
+            width: 20.0,
+            height: 10.0,
+            nx: 2,
+            ny: 1,
+            depth: 0.8,
+            radius: 0.006,
+        });
+        Mesher::default().mesh(&net)
+    }
+
+    fn uniform_kernel() -> SoilKernel {
+        SoilKernel::new(&SoilModel::uniform(0.016))
+    }
+
+    #[test]
+    fn galerkin_matrix_is_spd() {
+        let mesh = small_mesh();
+        let rep = assemble_galerkin(
+            &mesh,
+            &uniform_kernel(),
+            &SolveOptions::default(),
+            &AssemblyMode::Sequential,
+        );
+        assert_eq!(rep.matrix.order(), mesh.dof());
+        // Positive definiteness certified by a successful Cholesky.
+        assert!(CholeskyFactor::factor(&rep.matrix).is_ok());
+        // Diagonal dominance of the self terms: all diagonal entries
+        // positive and the largest entries of the matrix.
+        let diag = rep.matrix.diagonal();
+        assert!(diag.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn parallel_modes_reproduce_sequential_matrix() {
+        let mesh = small_mesh();
+        let k = uniform_kernel();
+        let opts = SolveOptions::default();
+        let seq = assemble_galerkin(&mesh, &k, &opts, &AssemblyMode::Sequential);
+        let pool = ThreadPool::new(3);
+        for schedule in [
+            Schedule::static_blocked(),
+            Schedule::dynamic(1),
+            Schedule::guided(1),
+        ] {
+            for mode in [
+                AssemblyMode::ParallelOuter(pool, schedule),
+                AssemblyMode::ParallelInner(pool, schedule),
+            ] {
+                let par = assemble_galerkin(&mesh, &k, &opts, &mode);
+                // Bit-identical: same blocks, same sequential assembly
+                // order.
+                assert_eq!(
+                    seq.matrix.packed(),
+                    par.matrix.packed(),
+                    "schedule {}",
+                    schedule.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_sums_to_total_length() {
+        let mesh = small_mesh();
+        let rhs = galerkin_rhs(&mesh);
+        let total: f64 = rhs.iter().sum();
+        assert!((total - mesh.total_length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_profile_is_triangular() {
+        // Column β couples with β+1 sources: terms grow with β.
+        let mesh = small_mesh();
+        let rep = assemble_galerkin(
+            &mesh,
+            &uniform_kernel(),
+            &SolveOptions::default(),
+            &AssemblyMode::Sequential,
+        );
+        let m = mesh.element_count();
+        assert_eq!(rep.column_terms.len(), m);
+        assert_eq!(rep.column_seconds.len(), m);
+        // Column β holds M−β pairs: costs decrease with β — "the first
+        // one has M rows and the last one has 1 row" (paper §6.2).
+        for w in rep.column_terms.windows(2) {
+            assert!(w[1] < w[0], "{:?}", rep.column_terms);
+        }
+        // Uniform soil: 2 image terms per evaluation, 2 azimuths, at
+        // least `outer_quadrature` points per pair.
+        let q = SolveOptions::default().outer_quadrature as u64;
+        for (beta, t) in rep.column_terms.iter().enumerate() {
+            assert!(*t >= 2 * 2 * q * (m as u64 - beta as u64), "column {beta}");
+        }
+    }
+
+    #[test]
+    fn two_conductor_symmetry() {
+        // Two identical parallel bars: by symmetry the solution must give
+        // them equal leakage, which requires the matrix to treat them
+        // symmetrically.
+        let mut net = ConductorNetwork::new();
+        net.add(Conductor::new(
+            Point3::new(0.0, 0.0, 0.8),
+            Point3::new(10.0, 0.0, 0.8),
+            0.006,
+        ));
+        net.add(Conductor::new(
+            Point3::new(0.0, 5.0, 0.8),
+            Point3::new(10.0, 5.0, 0.8),
+            0.006,
+        ));
+        let mesh = Mesher::default().mesh(&net);
+        let rep = assemble_galerkin(
+            &mesh,
+            &uniform_kernel(),
+            &SolveOptions::default(),
+            &AssemblyMode::Sequential,
+        );
+        // Node pairs (0,1) on bar 1 and (2,3) on bar 2: diagonal entries
+        // must match across bars.
+        let m = &rep.matrix;
+        assert!((m.get(0, 0) - m.get(2, 2)).abs() < 1e-10 * m.get(0, 0));
+        assert!((m.get(1, 1) - m.get(3, 3)).abs() < 1e-10 * m.get(1, 1));
+    }
+
+    #[test]
+    fn collocation_matrix_has_dominant_self_terms() {
+        let mesh = small_mesh();
+        let (c, rhs) = assemble_collocation(&mesh, &uniform_kernel());
+        assert_eq!(c.rows(), mesh.dof());
+        assert!(rhs.iter().all(|&v| v == 1.0));
+        // Rows should be strictly positive (potentials of positive
+        // sources) with large near-diagonal entries.
+        for p in 0..c.rows() {
+            for q in 0..c.cols() {
+                assert!(c.get(p, q) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn two_layer_assembly_costs_more_terms_than_uniform() {
+        let mesh = small_mesh();
+        let opts = SolveOptions::default();
+        let uni = assemble_galerkin(
+            &mesh,
+            &uniform_kernel(),
+            &opts,
+            &AssemblyMode::Sequential,
+        );
+        let two = assemble_galerkin(
+            &mesh,
+            &SoilKernel::new(&SoilModel::two_layer(0.0025, 0.020, 1.0)),
+            &opts,
+            &AssemblyMode::Sequential,
+        );
+        assert!(
+            two.total_terms() > 10 * uni.total_terms(),
+            "two-layer {} vs uniform {}",
+            two.total_terms(),
+            uni.total_terms()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Formulation and solver options.
+
+/// Which BEM weighting scheme states the linear system.
+///
+/// "The selection of different sets of trial and test functions in the
+/// numerical scheme allows to derive different formulations. Further
+/// discussion in this paper is restricted to the case of a Galerkin type
+/// approach, since the matrix of coefficients is symmetric and positive
+/// definite" (paper §4.2). The point-collocation alternative is provided
+/// for cross-checking and ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Formulation {
+    /// Galerkin weighting (test = trial): symmetric positive-definite
+    /// matrix, solvable by Cholesky or preconditioned CG.
+    #[default]
+    Galerkin,
+    /// Point collocation at the nodes (on the conductor surface):
+    /// nonsymmetric matrix, solved by LU.
+    Collocation,
+}
+
+/// Linear solver choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// Diagonally preconditioned conjugate gradient — the paper's
+    /// production solver (§4.3). Galerkin only.
+    #[default]
+    ConjugateGradient,
+    /// Direct Cholesky factorization (Galerkin only).
+    Cholesky,
+    /// Direct LU (works for both formulations; required for collocation).
+    Lu,
+}
+
+/// Options for a grounding solve.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Weighting scheme.
+    pub formulation: Formulation,
+    /// Linear solver.
+    pub solver: SolverChoice,
+    /// Gauss points for the outer (field-element) integration.
+    pub outer_quadrature: usize,
+    /// Relative tolerance of the iterative solver.
+    pub cg_rel_tol: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            formulation: Formulation::Galerkin,
+            solver: SolverChoice::ConjugateGradient,
+            outer_quadrature: 4,
+            cg_rel_tol: 1e-10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_production_setup() {
+        let o = SolveOptions::default();
+        assert_eq!(o.formulation, Formulation::Galerkin);
+        assert_eq!(o.solver, SolverChoice::ConjugateGradient);
+        assert!(o.outer_quadrature >= 2);
+    }
+}

@@ -1,0 +1,522 @@
+//! Element-level soil kernels: `∫ N_i(ξ) G(x, ξ) dξ` per boundary element.
+//!
+//! [`SoilKernel`] is the object the assembler and post-processor talk to.
+//! It picks the right evaluation strategy per soil model:
+//!
+//! * **Uniform / two-layer** — fully analytic inner integration over the
+//!   *image segments* of the source element ([`crate::images`] +
+//!   [`crate::integration`]), with the image-group series summed under
+//!   tolerance control. Elements crossing the layer interface are split at
+//!   the crossing, each part integrated with its own kernel family.
+//! * **N-layer** — the singular part (direct + primary surface image) is
+//!   integrated analytically with the same machinery; the smooth secondary
+//!   part (`MultiLayerKernel::secondary_potential`) by Gauss quadrature.
+//!
+//! Every evaluation also reports the number of series terms / kernel
+//! evaluations consumed, which is the cost signal the parallel-schedule
+//! study tracks.
+
+use layerbem_geometry::Point3;
+use layerbem_numeric::series::SeriesOptions;
+use layerbem_numeric::GaussLegendre;
+use layerbem_soil::multilayer::MultiLayerKernel;
+use layerbem_soil::{SoilModel, TwoLayerKernels};
+
+use crate::images::{Family, Image, ImageExpansion};
+use crate::integration::ElementGeom;
+
+const PI4: f64 = 4.0 * std::f64::consts::PI;
+
+/// Strategy-selecting kernel for elemental potentials.
+#[derive(Clone, Debug)]
+pub struct SoilKernel {
+    model: SoilModel,
+    opts: SeriesOptions,
+    strategy: Strategy,
+}
+
+#[derive(Clone, Debug)]
+enum Strategy {
+    /// Uniform soil: one image group, closed form.
+    Uniform { gamma: f64 },
+    /// Two-layer: image-series per kernel family.
+    TwoLayer {
+        gamma1: f64,
+        gamma2: f64,
+        h: f64,
+        kappa: f64,
+    },
+    /// N-layer: analytic singular part + quadrature of the smooth
+    /// secondary kernel.
+    Numeric { kernel: MultiLayerKernel, quad: GaussLegendre },
+}
+
+impl SoilKernel {
+    /// Builds the kernel for a soil model with default series options.
+    pub fn new(model: &SoilModel) -> Self {
+        Self::with_options(model, layerbem_soil::default_series_options())
+    }
+
+    /// Builds with explicit series controls.
+    pub fn with_options(model: &SoilModel, opts: SeriesOptions) -> Self {
+        let strategy = match model {
+            SoilModel::Uniform { conductivity } => Strategy::Uniform {
+                gamma: *conductivity,
+            },
+            SoilModel::TwoLayer {
+                upper,
+                lower,
+                thickness,
+            } => Strategy::TwoLayer {
+                gamma1: *upper,
+                gamma2: *lower,
+                h: *thickness,
+                kappa: (upper - lower) / (upper + lower),
+            },
+            SoilModel::MultiLayer { .. } => Strategy::Numeric {
+                kernel: MultiLayerKernel::new(model),
+                quad: GaussLegendre::new(8),
+            },
+        };
+        SoilKernel {
+            model: model.clone(),
+            opts,
+            strategy,
+        }
+    }
+
+    /// The soil model this kernel evaluates.
+    pub fn model(&self) -> &SoilModel {
+        &self.model
+    }
+
+    /// Integrates `N_i(ξ)·G(x, ξ)` over the source element's axis,
+    /// returning the two nodal values and the number of series terms /
+    /// kernel evaluations consumed.
+    ///
+    /// `x` must not lie on the open source axis (surface evaluation keeps
+    /// a radius away — the thin-wire regularization).
+    pub fn element_potential(&self, x: Point3, src: &ElementGeom) -> ([f64; 2], usize) {
+        match &self.strategy {
+            Strategy::Uniform { gamma } => {
+                let exp = ImageExpansion {
+                    kappa: 0.0,
+                    h: f64::INFINITY,
+                    prefactor: 1.0 / (PI4 * gamma),
+                    family: Family::UpperUpper,
+                };
+                integrate_sub_element(x, src, 0.0, src.length, &exp, self.opts)
+            }
+            Strategy::TwoLayer {
+                gamma1,
+                gamma2,
+                h,
+                kappa,
+            } => {
+                let mut acc = [0.0f64; 2];
+                let mut terms = 0usize;
+                // Split the source element at the interface if it crosses.
+                for (s0, s1) in split_at_depth(src, *h) {
+                    let mid_depth = src.at(0.5 * (s0 + s1)).z;
+                    let src_upper = mid_depth <= *h;
+                    let field_upper = x.z <= *h;
+                    let (gamma_b, family) = match (src_upper, field_upper) {
+                        (true, true) => (*gamma1, Family::UpperUpper),
+                        (true, false) => (*gamma1, Family::UpperLower),
+                        (false, true) => (*gamma2, Family::LowerUpper),
+                        (false, false) => (*gamma2, Family::LowerLower),
+                    };
+                    let exp = ImageExpansion {
+                        kappa: *kappa,
+                        h: *h,
+                        prefactor: 1.0 / (PI4 * gamma_b),
+                        family,
+                    };
+                    let (v, t) = integrate_sub_element(x, src, s0, s1, &exp, self.opts);
+                    acc[0] += v[0];
+                    acc[1] += v[1];
+                    terms += t;
+                }
+                (acc, terms)
+            }
+            Strategy::Numeric { kernel, quad } => {
+                let mut acc = [0.0f64; 2];
+                let mut evals = 0usize;
+                // Analytic singular part per same-layer sub-segment:
+                // direct + primary surface image, prefactor 1/(4πγ_b).
+                for (s0, s1) in split_at_layers(src, kernel) {
+                    let mid_depth = src.at(0.5 * (s0 + s1)).z;
+                    let gamma_b = kernel.gamma_of(mid_depth);
+                    let pre = 1.0 / (PI4 * gamma_b);
+                    // The analytic split of soil::multilayer: the primary
+                    // surface image always, the direct term only when the
+                    // field point is in the source sub-segment's layer.
+                    let same_layer =
+                        kernel.layer_index_of(x.z) == kernel.layer_index_of(mid_depth);
+                    let mut imgs = vec![Image {
+                        sign: -1.0,
+                        offset: 0.0,
+                        coefficient: pre,
+                    }];
+                    if same_layer {
+                        imgs.push(Image {
+                            sign: 1.0,
+                            offset: 0.0,
+                            coefficient: pre,
+                        });
+                    }
+                    let (v, t) = integrate_images(x, src, s0, s1, &imgs);
+                    acc[0] += v[0];
+                    acc[1] += v[1];
+                    evals += t;
+                }
+                // Smooth secondary part by quadrature over the whole
+                // element.
+                let len = src.length;
+                for (s, w) in quad.mapped(0.0, len) {
+                    let xi = src.at(s);
+                    let r = x.horizontal_distance(xi);
+                    let sec = kernel.secondary_potential(r, x.z, xi.z);
+                    let n1 = s / len;
+                    acc[0] += w * (1.0 - n1) * sec;
+                    acc[1] += w * n1 * sec;
+                    evals += kernel.layer_count() * 2 - 1;
+                }
+                (acc, evals)
+            }
+        }
+    }
+
+    /// Point-to-point Green's function (used by tests and the safety
+    /// post-processing for small probes).
+    pub fn point_potential(&self, x: Point3, xi: Point3) -> f64 {
+        use layerbem_soil::GreensFunction;
+        let r = x.horizontal_distance(xi);
+        match &self.strategy {
+            Strategy::Uniform { gamma } => {
+                layerbem_soil::uniform::UniformKernel::new(*gamma).potential(r, x.z, xi.z)
+            }
+            Strategy::TwoLayer { .. } => {
+                TwoLayerKernels::with_options(&self.model, self.opts).potential(r, x.z, xi.z)
+            }
+            Strategy::Numeric { kernel, .. } => kernel.potential(r, x.z, xi.z),
+        }
+    }
+
+    /// Typical series length per kernel evaluation (cost-model hook).
+    pub fn typical_terms(&self) -> usize {
+        match &self.strategy {
+            Strategy::Uniform { .. } => 2,
+            Strategy::TwoLayer { kappa, .. } => {
+                if *kappa == 0.0 {
+                    2
+                } else {
+                    (self.opts.rel_tol.ln() / kappa.abs().ln()).ceil().max(2.0) as usize
+                }
+            }
+            Strategy::Numeric { kernel, .. } => {
+                use layerbem_soil::GreensFunction;
+                kernel.typical_terms()
+            }
+        }
+    }
+}
+
+/// Splits the element's arclength range at the depth `h` crossing, if any.
+fn split_at_depth(src: &ElementGeom, h: f64) -> Vec<(f64, f64)> {
+    let (za, zb) = (src.a.z, src.b.z);
+    let len = src.length;
+    if (za - h) * (zb - h) < 0.0 {
+        // Strictly crossing: find arclength of the crossing point.
+        let t = (h - za) / (zb - za);
+        let s = t * len;
+        if s > 1e-12 && s < len - 1e-12 {
+            return vec![(0.0, s), (s, len)];
+        }
+    }
+    vec![(0.0, len)]
+}
+
+/// Splits at every interface of an N-layer model the element crosses.
+fn split_at_layers(src: &ElementGeom, kernel: &MultiLayerKernel) -> Vec<(f64, f64)> {
+    let mut cuts = vec![0.0, src.length];
+    let (za, zb) = (src.a.z, src.b.z);
+    if (za - zb).abs() > 1e-12 {
+        // Probe interfaces via gamma changes along depth; we reconstruct
+        // interface depths by bisection on gamma_of — the model only has a
+        // few layers, so scan the element in small depth steps.
+        let steps = 32;
+        let mut prev_gamma = kernel.gamma_of(za);
+        for k in 1..=steps {
+            let s = src.length * k as f64 / steps as f64;
+            let g = kernel.gamma_of(src.at(s).z);
+            if g != prev_gamma {
+                cuts.push(s);
+                prev_gamma = g;
+            }
+        }
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Integrates the image expansion of a sub-range `[s0, s1]` of the source
+/// element against both shape functions of the *whole* element.
+fn integrate_sub_element(
+    x: Point3,
+    src: &ElementGeom,
+    s0: f64,
+    s1: f64,
+    exp: &ImageExpansion,
+    opts: SeriesOptions,
+) -> ([f64; 2], usize) {
+    let len = src.length;
+    let sub_len = s1 - s0;
+    debug_assert!(sub_len > 0.0);
+    let p0 = src.at(s0);
+    let p1 = src.at(s1);
+    let mut acc = [0.0f64; 2];
+    let mut terms = 0usize;
+    let mut images: Vec<Image> = Vec::new();
+    let mut quiet = 0usize;
+    let needed = opts.consecutive.max(1);
+    for n in 0..opts.max_terms {
+        exp.group(n, &mut images);
+        if images.is_empty() {
+            if n > 0 {
+                return (acc, terms);
+            }
+            continue;
+        }
+        let group = images_quadratic_free_sum(x, p0, p1, sub_len, s0, len, &images);
+        acc[0] += group[0];
+        acc[1] += group[1];
+        terms += images.len();
+        let scale = acc[0].abs().max(acc[1].abs());
+        let gmag = group[0].abs().max(group[1].abs());
+        if gmag <= opts.rel_tol * scale + opts.abs_tol {
+            quiet += 1;
+            if quiet >= needed {
+                break;
+            }
+        } else {
+            quiet = 0;
+        }
+    }
+    (acc, terms)
+}
+
+/// Integrates a fixed image list over a sub-range (no series control).
+fn integrate_images(
+    x: Point3,
+    src: &ElementGeom,
+    s0: f64,
+    s1: f64,
+    images: &[Image],
+) -> ([f64; 2], usize) {
+    let p0 = src.at(s0);
+    let p1 = src.at(s1);
+    let v = images_quadratic_free_sum(x, p0, p1, s1 - s0, s0, src.length, images);
+    (v, images.len())
+}
+
+/// Analytic contribution of a list of images to both shape integrals of a
+/// sub-range `[s0, s0 + sub_len]` of an element of length `len`.
+#[inline]
+fn images_quadratic_free_sum(
+    x: Point3,
+    p0: Point3,
+    p1: Point3,
+    sub_len: f64,
+    s0: f64,
+    len: f64,
+    images: &[Image],
+) -> [f64; 2] {
+    let mut out = [0.0f64; 2];
+    for im in images {
+        // Image of the sub-segment: x, y kept; z mapped affinely, so the
+        // image is a straight segment of the same length parametrized
+        // identically — shape functions ride along unchanged.
+        let ia = Point3::new(p0.x, p0.y, im.depth(p0.z));
+        let ib = Point3::new(p1.x, p1.y, im.depth(p1.z));
+        let (i0, i1) = crate::integration::rod_integrals(x, ia, ib, sub_len);
+        // Shape functions of the whole element restricted to the
+        // sub-range: N0(s0 + s') = (1 − s0/L) − s'/L,
+        //            N1(s0 + s') = s0/L + s'/L.
+        let n0 = (1.0 - s0 / len) * i0 - i1 / len;
+        let n1 = (s0 / len) * i0 + i1 / len;
+        out[0] += im.coefficient * n0;
+        out[1] += im.coefficient * n1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layerbem_numeric::GaussLegendre;
+
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-30)
+    }
+
+    fn horizontal_elem() -> ElementGeom {
+        ElementGeom::new(
+            Point3::new(0.0, 0.0, 0.8),
+            Point3::new(5.0, 0.0, 0.8),
+            0.006,
+        )
+    }
+
+    /// Reference: quadrature of the point kernel against shape functions.
+    fn quad_element_potential(
+        k: &SoilKernel,
+        x: Point3,
+        src: &ElementGeom,
+        order: usize,
+    ) -> [f64; 2] {
+        let q = GaussLegendre::new(order);
+        let len = src.length;
+        let mut out = [0.0f64; 2];
+        for (s, w) in q.mapped(0.0, len) {
+            let xi = src.at(s);
+            let g = k.point_potential(x, xi);
+            out[0] += w * (1.0 - s / len) * g;
+            out[1] += w * (s / len) * g;
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_element_matches_quadrature() {
+        let k = SoilKernel::new(&SoilModel::uniform(0.016));
+        let src = horizontal_elem();
+        for x in [
+            Point3::new(2.5, 3.0, 0.0),
+            Point3::new(-2.0, 1.0, 1.5),
+            Point3::new(10.0, 0.0, 0.8),
+        ] {
+            let (got, terms) = k.element_potential(x, &src);
+            let want = quad_element_potential(&k, x, &src, 32);
+            assert!(close(got[0], want[0], 1e-8), "{got:?} vs {want:?}");
+            assert!(close(got[1], want[1], 1e-8));
+            assert_eq!(terms, 2);
+        }
+    }
+
+    #[test]
+    fn two_layer_element_matches_quadrature_same_layer() {
+        let model = SoilModel::two_layer(0.005, 0.016, 1.0);
+        let k = SoilKernel::new(&model);
+        let src = horizontal_elem(); // entirely in layer 1
+        for x in [
+            Point3::new(2.5, 4.0, 0.0),
+            Point3::new(0.0, 2.0, 0.5),
+            Point3::new(3.0, 1.0, 2.0), // field in layer 2
+        ] {
+            let (got, _) = k.element_potential(x, &src);
+            let want = quad_element_potential(&k, x, &src, 48);
+            assert!(close(got[0], want[0], 1e-6), "x={x:?}: {got:?} vs {want:?}");
+            assert!(close(got[1], want[1], 1e-6));
+        }
+    }
+
+    #[test]
+    fn straddling_rod_element_matches_quadrature() {
+        // A rod element crossing the interface (Balaidos model C): split
+        // integration must agree with brute-force quadrature of the point
+        // kernel.
+        let model = SoilModel::two_layer(0.0025, 0.020, 1.0);
+        let k = SoilKernel::new(&model);
+        let rod = ElementGeom::new(
+            Point3::new(10.0, 0.0, 0.8),
+            Point3::new(10.0, 0.0, 1.55),
+            0.007,
+        );
+        for x in [
+            Point3::new(12.0, 0.0, 0.5),
+            Point3::new(8.0, 1.0, 1.8),
+            Point3::new(10.0, 3.0, 0.0),
+        ] {
+            let (got, _) = k.element_potential(x, &rod);
+            // The reference must also respect the interface: split the
+            // quadrature at the crossing.
+            let q = GaussLegendre::new(48);
+            let len = rod.length;
+            let s_cross = (1.0 - 0.8) / (1.55 - 0.8) * len;
+            let mut want = [0.0f64; 2];
+            for (a, b) in [(0.0, s_cross), (s_cross, len)] {
+                for (s, w) in q.mapped(a, b) {
+                    let xi = rod.at(s);
+                    let g = k.point_potential(x, xi);
+                    want[0] += w * (1.0 - s / len) * g;
+                    want[1] += w * (s / len) * g;
+                }
+            }
+            assert!(close(got[0], want[0], 1e-6), "x={x:?}: {got:?} vs {want:?}");
+            assert!(close(got[1], want[1], 1e-6));
+        }
+    }
+
+    #[test]
+    fn multilayer_element_matches_two_layer_path() {
+        // Same physical model expressed as MultiLayer must agree with the
+        // image-series path.
+        let two = SoilModel::two_layer(0.005, 0.016, 1.0);
+        let multi = SoilModel::multi_layer(vec![
+            layerbem_soil::Layer {
+                conductivity: 0.005,
+                thickness: 1.0,
+            },
+            layerbem_soil::Layer {
+                conductivity: 0.016,
+                thickness: f64::INFINITY,
+            },
+        ]);
+        let k2 = SoilKernel::new(&two);
+        let km = SoilKernel::new(&multi);
+        let src = horizontal_elem();
+        for x in [Point3::new(2.5, 3.0, 0.0), Point3::new(7.0, 1.0, 1.5)] {
+            let (a, _) = k2.element_potential(x, &src);
+            let (b, _) = km.element_potential(x, &src);
+            assert!(close(a[0], b[0], 5e-3), "x={x:?}: {a:?} vs {b:?}");
+            assert!(close(a[1], b[1], 5e-3));
+        }
+    }
+
+    #[test]
+    fn self_element_potential_is_finite_and_positive() {
+        let k = SoilKernel::new(&SoilModel::uniform(0.016));
+        let src = horizontal_elem();
+        // Field point on the element's own surface.
+        let x = src.surface_at(2.5);
+        let (v, _) = k.element_potential(x, &src);
+        assert!(v[0].is_finite() && v[1].is_finite());
+        assert!(v[0] > 0.0 && v[1] > 0.0);
+        // Self potential dominates a far-field evaluation.
+        let (far, _) = k.element_potential(Point3::new(100.0, 100.0, 0.8), &src);
+        assert!(v[0] > 10.0 * far[0]);
+    }
+
+    #[test]
+    fn term_count_scales_with_contrast() {
+        let src = horizontal_elem();
+        let x = Point3::new(2.5, 5.0, 0.0);
+        let mild = SoilKernel::new(&SoilModel::two_layer(0.014, 0.016, 1.0));
+        let strong = SoilKernel::new(&SoilModel::two_layer(0.0025, 0.020, 1.0));
+        let (_, t_mild) = mild.element_potential(x, &src);
+        let (_, t_strong) = strong.element_potential(x, &src);
+        assert!(t_strong > t_mild, "{t_strong} vs {t_mild}");
+        assert!(strong.typical_terms() > mild.typical_terms());
+    }
+
+    #[test]
+    fn point_potential_reciprocity_two_layer() {
+        let k = SoilKernel::new(&SoilModel::two_layer(0.0025, 0.020, 1.0));
+        let a = Point3::new(0.0, 0.0, 0.5);
+        let b = Point3::new(4.0, 2.0, 1.9);
+        assert!(close(k.point_potential(a, b), k.point_potential(b, a), 1e-8));
+    }
+}

@@ -1,0 +1,42 @@
+//! # layerbem-core
+//!
+//! The boundary-element formulation of Colominas et al. for grounding
+//! analysis in uniform and layered soils — the paper's primary
+//! contribution, built on the workspace substrates:
+//!
+//! * [`images`] — decomposition of the uniform/two-layer Green's
+//!   functions into **image segment families**, so the weakly singular
+//!   inner integrals can be done analytically per image.
+//! * [`integration`] — the analytic thin-wire segment integrals
+//!   (`∫ N_i(ξ)/R dξ` in closed form) and the Gauss outer rule.
+//! * [`kernel`] — [`kernel::SoilKernel`], one object per soil model that
+//!   evaluates elemental potentials with whatever strategy fits the
+//!   model: closed-form images (uniform), image series (two-layer), or
+//!   quadrature over the Hankel-inverted kernel (N-layer).
+//! * [`assembly`] — Galerkin matrix generation: sequential, and the
+//!   paper's two parallel variants (outer-loop / inner-loop over the
+//!   triangular element-pair iteration) on the OpenMP-style runtime,
+//!   with per-column cost capture feeding the schedule simulator.
+//! * [`system`] — the high-level driver: mesh + soil model + GPR in,
+//!   leakage distribution, total current, equivalent resistance out.
+//! * [`post`] — surface potential maps (Figs 5.2/5.4) and touch/step/mesh
+//!   voltages.
+//! * [`safety`] — IEEE Std 80 permissible-limit checks, the design
+//!   criteria that motivate the whole computation.
+
+pub mod analysis;
+pub mod assembly;
+pub mod contours;
+pub mod formulation;
+pub mod images;
+pub mod integration;
+pub mod kernel;
+pub mod post;
+pub mod safety;
+pub mod system;
+
+pub use assembly::{AssemblyMode, AssemblyReport};
+pub use formulation::{Formulation, SolverChoice, SolveOptions};
+pub use kernel::SoilKernel;
+pub use post::PotentialMap;
+pub use system::{GroundingSolution, GroundingSystem};

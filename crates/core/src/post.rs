@@ -1,0 +1,462 @@
+//! Post-processing: surface potentials and safety voltages.
+//!
+//! "The additional cost of computing potential at any given point
+//! (normally at the earth surface) by means of (4.2) only requires O(Mp)
+//! operations … However, if it is necessary to compute potentials at a
+//! large number of points (i.e. to draw contours), computing time may be
+//! important" (paper §4.3) — which is why the point sweep is the second
+//! parallelization target. [`PotentialMap`] computes a rectangular grid of
+//! earth-surface potentials (Figs 5.2 and 5.4) in parallel, and the
+//! voltage extractors derive the IEEE-80 design quantities: touch, step
+//! and mesh voltages.
+
+use layerbem_geometry::{Mesh, Point3};
+use layerbem_parfor::{Schedule, ThreadPool};
+
+use crate::assembly::element_geoms;
+use crate::kernel::SoilKernel;
+use crate::system::GroundingSolution;
+
+/// A rectangular grid of potentials on the earth surface.
+#[derive(Clone, Debug)]
+pub struct PotentialMap {
+    /// X coordinates of the columns (m).
+    pub xs: Vec<f64>,
+    /// Y coordinates of the rows (m).
+    pub ys: Vec<f64>,
+    /// Potentials in row-major order (`v[j * xs.len() + i]`), volts.
+    pub values: Vec<f64>,
+}
+
+/// Specification of a potential sweep window.
+#[derive(Clone, Copy, Debug)]
+pub struct MapSpec {
+    /// Window `[x0, x1] × [y0, y1]` on the surface.
+    pub x_range: (f64, f64),
+    /// See `x_range`.
+    pub y_range: (f64, f64),
+    /// Number of samples along x.
+    pub nx: usize,
+    /// Number of samples along y.
+    pub ny: usize,
+}
+
+impl PotentialMap {
+    /// Computes the surface potential map for a solved grounding system,
+    /// distributing points over the pool under the given schedule.
+    pub fn compute(
+        mesh: &Mesh,
+        kernel: &SoilKernel,
+        solution: &GroundingSolution,
+        spec: &MapSpec,
+        pool: &ThreadPool,
+        schedule: Schedule,
+    ) -> PotentialMap {
+        assert!(spec.nx >= 2 && spec.ny >= 2, "map needs at least 2×2 samples");
+        let xs: Vec<f64> = (0..spec.nx)
+            .map(|i| {
+                spec.x_range.0
+                    + (spec.x_range.1 - spec.x_range.0) * i as f64 / (spec.nx - 1) as f64
+            })
+            .collect();
+        let ys: Vec<f64> = (0..spec.ny)
+            .map(|j| {
+                spec.y_range.0
+                    + (spec.y_range.1 - spec.y_range.0) * j as f64 / (spec.ny - 1) as f64
+            })
+            .collect();
+        let geoms = element_geoms(mesh);
+        let q = solution.unit_leakage();
+        let gpr = solution.gpr;
+        let mut values = vec![0.0f64; spec.nx * spec.ny];
+        let xs_ref = &xs;
+        let ys_ref = &ys;
+        let geoms_ref = &geoms;
+        let q_ref = &q;
+        pool.parallel_fill(&mut values, schedule, |idx| {
+            let i = idx % spec.nx;
+            let j = idx / spec.nx;
+            let p = Point3::new(xs_ref[i], ys_ref[j], 0.0);
+            surface_potential(p, mesh, geoms_ref, kernel, q_ref) * gpr
+        });
+        PotentialMap { xs, ys, values }
+    }
+
+    /// Potential at sample `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[j * self.xs.len() + i]
+    }
+
+    /// Maximum potential on the map.
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(f64::NEG_INFINITY, |m, v| m.max(*v))
+    }
+
+    /// Minimum potential on the map.
+    pub fn min(&self) -> f64 {
+        self.values.iter().fold(f64::INFINITY, |m, v| m.min(*v))
+    }
+
+    /// Writes the map as CSV (`x,y,v` per line) into a string — the
+    /// contour-plot exchange format of the bench harness.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.values.len() * 24);
+        s.push_str("x,y,potential\n");
+        for (j, y) in self.ys.iter().enumerate() {
+            for (i, x) in self.xs.iter().enumerate() {
+                s.push_str(&format!("{x},{y},{}\n", self.at(i, j)));
+            }
+        }
+        s
+    }
+}
+
+/// Potential at an arbitrary point for a unit-GPR solution (eq. 4.2):
+/// `V(x) = Σ_i q_i · [∫ N_i G(x, ·)]`.
+pub fn surface_potential(
+    x: Point3,
+    mesh: &Mesh,
+    geoms: &[crate::integration::ElementGeom],
+    kernel: &SoilKernel,
+    q_unit: &[f64],
+) -> f64 {
+    let mut v = 0.0;
+    for (e, g) in geoms.iter().enumerate() {
+        let (vi, _) = kernel.element_potential(x, g);
+        let n = mesh.elements[e].nodes;
+        v += q_unit[n[0]] * vi[0] + q_unit[n[1]] * vi[1];
+    }
+    v
+}
+
+/// Touch voltage at a surface point: GPR − V(x) (the potential difference
+/// a person bridging hand (grounded structure) and feet (soil) spans).
+pub fn touch_voltage(v_surface: f64, gpr: f64) -> f64 {
+    gpr - v_surface
+}
+
+/// Extracts the worst touch and step voltages from a potential map.
+///
+/// * **Touch**: `max(GPR − V)` over the map window (IEEE 80 limits apply
+///   within reach of grounded structures, i.e. over the grid area).
+/// * **Step**: maximum potential difference between samples ~1 m apart
+///   (along rows and columns; the sampling spacing is used as the stride
+///   closest to 1 m).
+#[derive(Clone, Copy, Debug)]
+pub struct VoltageExtrema {
+    /// Worst touch voltage on the window (V).
+    pub touch: f64,
+    /// Worst step voltage on the window (V).
+    pub step: f64,
+    /// Highest surface potential (V).
+    pub max_surface: f64,
+}
+
+/// Computes [`VoltageExtrema`] from a map and the GPR.
+pub fn voltage_extrema(map: &PotentialMap, gpr: f64) -> VoltageExtrema {
+    let nx = map.xs.len();
+    let ny = map.ys.len();
+    let dx = if nx > 1 { map.xs[1] - map.xs[0] } else { 1.0 };
+    let dy = if ny > 1 { map.ys[1] - map.ys[0] } else { 1.0 };
+    // Stride closest to 1 m in each direction (at least 1 sample).
+    let sx = (1.0 / dx).round().max(1.0) as usize;
+    let sy = (1.0 / dy).round().max(1.0) as usize;
+    let mut touch = f64::NEG_INFINITY;
+    let mut step = 0.0f64;
+    for j in 0..ny {
+        for i in 0..nx {
+            let v = map.at(i, j);
+            touch = touch.max(gpr - v);
+            if i + sx < nx {
+                step = step.max((v - map.at(i + sx, j)).abs());
+            }
+            if j + sy < ny {
+                step = step.max((v - map.at(i, j + sy)).abs());
+            }
+        }
+    }
+    VoltageExtrema {
+        touch,
+        step,
+        max_surface: map.max(),
+    }
+}
+
+/// Surface leakage current density σ (A/m²) at each node: the paper's
+/// eq. 2.2 design quantity, recovered from the per-unit-length nodal
+/// leakage `q` and the local conductor circumference,
+/// `σ = q / (2π·radius)`.
+pub fn surface_current_density(mesh: &Mesh, solution: &GroundingSolution) -> Vec<f64> {
+    mesh.node_radius
+        .iter()
+        .zip(&solution.leakage)
+        .map(|(r, q)| q / (2.0 * std::f64::consts::PI * r))
+        .collect()
+}
+
+/// A 1-D potential profile along a straight surface walk from `a` to `b`
+/// (both at z = 0), with `n` samples — the cross-sections used to read
+/// contour figures like Fig 5.2.
+pub fn potential_profile(
+    a: Point3,
+    b: Point3,
+    n: usize,
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    solution: &GroundingSolution,
+) -> Vec<(f64, f64)> {
+    assert!(n >= 2, "profile needs at least 2 samples");
+    let geoms = element_geoms(mesh);
+    let q = solution.unit_leakage();
+    let len = a.distance(b);
+    (0..n)
+        .map(|k| {
+            let t = k as f64 / (n - 1) as f64;
+            let p = a + (b - a) * t;
+            let v = surface_potential(p, mesh, &geoms, kernel, &q) * solution.gpr;
+            (t * len, v)
+        })
+        .collect()
+}
+
+/// Mesh voltage: the worst touch voltage at the centres of grid meshes —
+/// IEEE 80's `Em`, the design quantity for the grid interior. Takes the
+/// mesh-centre probe points explicitly (cell centres of the grid
+/// generator).
+pub fn mesh_voltage(
+    centres: &[Point3],
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    solution: &GroundingSolution,
+) -> f64 {
+    let geoms = element_geoms(mesh);
+    let q = solution.unit_leakage();
+    let mut worst = f64::NEG_INFINITY;
+    for c in centres {
+        let v = surface_potential(*c, mesh, &geoms, kernel, &q) * solution.gpr;
+        worst = worst.max(solution.gpr - v);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::AssemblyMode;
+    use crate::formulation::SolveOptions;
+    use crate::system::GroundingSystem;
+    use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
+    use layerbem_geometry::Mesher;
+    use layerbem_soil::SoilModel;
+
+    fn solved_grid() -> (GroundingSystem, GroundingSolution) {
+        let net = rectangular_grid(RectGridSpec {
+            origin: (0.0, 0.0),
+            width: 20.0,
+            height: 20.0,
+            nx: 2,
+            ny: 2,
+            depth: 0.8,
+            radius: 0.006,
+        });
+        let mesh = Mesher::default().mesh(&net);
+        let sys = GroundingSystem::new(mesh, &SoilModel::uniform(0.016), SolveOptions::default());
+        let sol = sys.solve(&AssemblyMode::Sequential, 10_000.0);
+        (sys, sol)
+    }
+
+    #[test]
+    fn potential_peaks_over_the_grid_and_decays_away() {
+        let (sys, sol) = solved_grid();
+        let pool = ThreadPool::new(2);
+        let map = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &MapSpec {
+                x_range: (-20.0, 40.0),
+                y_range: (10.0, 10.0 + 1e-9),
+                nx: 61,
+                ny: 2,
+            },
+            &pool,
+            Schedule::dynamic(4),
+        );
+        // Max over the grid centreline should be near the middle.
+        let centre = map.at(30, 0); // x = 10
+        let far = map.at(0, 0); // x = −20
+        assert!(centre > 2.0 * far, "centre {centre} far {far}");
+        // The surface potential never exceeds the GPR.
+        assert!(map.max() < sol.gpr);
+        assert!(map.min() > 0.0);
+    }
+
+    #[test]
+    fn map_is_schedule_invariant() {
+        let (sys, sol) = solved_grid();
+        let pool = ThreadPool::new(3);
+        let spec = MapSpec {
+            x_range: (-5.0, 25.0),
+            y_range: (-5.0, 25.0),
+            nx: 7,
+            ny: 7,
+        };
+        let a = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &spec,
+            &pool,
+            Schedule::static_blocked(),
+        );
+        let b = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &spec,
+            &pool,
+            Schedule::guided(1),
+        );
+        for (u, v) in a.values.iter().zip(&b.values) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn symmetry_of_the_map_matches_grid_symmetry() {
+        // The square grid is symmetric under x↔y; so must be the map.
+        let (sys, sol) = solved_grid();
+        let pool = ThreadPool::new(2);
+        let map = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &MapSpec {
+                x_range: (0.0, 20.0),
+                y_range: (0.0, 20.0),
+                nx: 9,
+                ny: 9,
+            },
+            &pool,
+            Schedule::dynamic(1),
+        );
+        for j in 0..9 {
+            for i in 0..9 {
+                let a = map.at(i, j);
+                let b = map.at(j, i);
+                assert!(
+                    (a - b).abs() < 1e-6 * a.abs().max(b.abs()),
+                    "({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn touch_voltage_is_complementary_to_surface_potential() {
+        assert_eq!(touch_voltage(9_000.0, 10_000.0), 1_000.0);
+    }
+
+    #[test]
+    fn voltage_extrema_bounds() {
+        let (sys, sol) = solved_grid();
+        let pool = ThreadPool::new(2);
+        let map = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &MapSpec {
+                x_range: (-10.0, 30.0),
+                y_range: (-10.0, 30.0),
+                nx: 41,
+                ny: 41,
+            },
+            &pool,
+            Schedule::dynamic(8),
+        );
+        let ve = voltage_extrema(&map, sol.gpr);
+        assert!(ve.touch > 0.0 && ve.touch < sol.gpr);
+        assert!(ve.step > 0.0 && ve.step < ve.touch * 2.0);
+        assert!(ve.max_surface < sol.gpr);
+        // Touch voltage worsens away from the conductors: the map corner
+        // (outside the grid) has higher touch than the centre.
+        let centre_touch = sol.gpr - map.at(20, 20);
+        let corner_touch = sol.gpr - map.at(0, 0);
+        assert!(corner_touch > centre_touch);
+    }
+
+    #[test]
+    fn mesh_voltage_probes_cell_centres() {
+        let (sys, sol) = solved_grid();
+        // Cell centres of the 2×2 grid.
+        let centres = vec![
+            Point3::new(5.0, 5.0, 0.0),
+            Point3::new(15.0, 5.0, 0.0),
+            Point3::new(5.0, 15.0, 0.0),
+            Point3::new(15.0, 15.0, 0.0),
+        ];
+        let em = mesh_voltage(&centres, sys.mesh(), sys.kernel(), &sol);
+        assert!(em > 0.0 && em < sol.gpr);
+        // By symmetry all four centres are equivalent; Em equals the
+        // touch voltage at any of them.
+        let geoms = element_geoms(sys.mesh());
+        let v = surface_potential(centres[0], sys.mesh(), &geoms, sys.kernel(), &sol.unit_leakage())
+            * sol.gpr;
+        assert!((em - (sol.gpr - v)).abs() < 1e-6 * em);
+    }
+
+    #[test]
+    fn current_density_uses_local_radius() {
+        let (sys, sol) = solved_grid();
+        let sigma = surface_current_density(sys.mesh(), &sol);
+        assert_eq!(sigma.len(), sys.mesh().dof());
+        for (s, q) in sigma.iter().zip(&sol.leakage) {
+            assert!((s * 2.0 * std::f64::consts::PI * 0.006 - q).abs() < 1e-9 * q.abs());
+        }
+    }
+
+    #[test]
+    fn profile_is_symmetric_across_the_grid() {
+        let (sys, sol) = solved_grid();
+        let prof = potential_profile(
+            Point3::new(-10.0, 10.0, 0.0),
+            Point3::new(30.0, 10.0, 0.0),
+            21,
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+        );
+        assert_eq!(prof.len(), 21);
+        // Walk is symmetric about the grid centre (x = 10).
+        for k in 0..10 {
+            let (_, v1) = prof[k];
+            let (_, v2) = prof[20 - k];
+            assert!((v1 - v2).abs() < 1e-6 * v1.abs().max(v2.abs()), "{k}");
+        }
+        // Distances are monotone arclength.
+        assert!((prof[20].0 - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let (sys, sol) = solved_grid();
+        let pool = ThreadPool::new(1);
+        let map = PotentialMap::compute(
+            sys.mesh(),
+            sys.kernel(),
+            &sol,
+            &MapSpec {
+                x_range: (0.0, 10.0),
+                y_range: (0.0, 10.0),
+                nx: 3,
+                ny: 2,
+            },
+            &pool,
+            Schedule::static_blocked(),
+        );
+        let csv = map.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 6);
+        assert_eq!(lines[0], "x,y,potential");
+    }
+}

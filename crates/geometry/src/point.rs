@@ -1,0 +1,252 @@
+//! 3-D points and segments.
+//!
+//! Coordinate convention (used across the whole workspace): `x`, `y` span
+//! the horizontal plane, the earth surface is `z = 0`, and **`z` grows
+//! downward into the soil** — burial depths are positive `z`. This matches
+//! the layered-soil kernels, which are written in terms of depths.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or vector) in 3-D space.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point3 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Horizontal coordinate.
+    pub y: f64,
+    /// Depth below the earth surface (positive downward).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// The origin.
+    pub const fn origin() -> Self {
+        Point3::new(0.0, 0.0, 0.0)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Point3) -> Point3 {
+        Point3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Point3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Horizontal (x–y plane) distance to another point — the `r` entering
+    /// the layered-soil kernels.
+    pub fn horizontal_distance(self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Point3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    fn add(self, o: Point3) -> Point3 {
+        Point3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    fn sub(self, o: Point3) -> Point3 {
+        Point3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    fn mul(self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Point3 {
+    type Output = Point3;
+    fn div(self, s: f64) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A directed straight segment between two points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point3,
+    /// End point.
+    pub b: Point3,
+}
+
+impl Segment {
+    /// Constructs a segment.
+    pub const fn new(a: Point3, b: Point3) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Unit tangent from `a` to `b`.
+    ///
+    /// # Panics
+    /// Panics on a degenerate (zero-length) segment.
+    pub fn tangent(&self) -> Point3 {
+        (self.b - self.a).normalized()
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn point_at(&self, t: f64) -> Point3 {
+        self.a + (self.b - self.a) * t
+    }
+
+    /// Midpoint.
+    pub fn midpoint(&self) -> Point3 {
+        self.point_at(0.5)
+    }
+
+    /// Minimum distance from a point to this segment.
+    pub fn distance_to_point(&self, p: Point3) -> f64 {
+        let ab = self.b - self.a;
+        let len2 = ab.dot(ab);
+        if len2 == 0.0 {
+            return self.a.distance(p);
+        }
+        let t = ((p - self.a).dot(ab) / len2).clamp(0.0, 1.0);
+        self.point_at(t).distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Point3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Point3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Point3::new(-1.0, -2.0, -3.0));
+        assert!(close(a.dot(b), -1.0 + 1.0 + 6.0));
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Point3::new(1.0, 0.0, 0.0);
+        let b = Point3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Point3::new(0.0, 0.0, 1.0));
+        let u = Point3::new(1.3, -0.2, 2.2);
+        let v = Point3::new(0.3, 4.0, -1.0);
+        let w = u.cross(v);
+        assert!(close(w.dot(u), 0.0));
+        assert!(close(w.dot(v), 0.0));
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let p = Point3::new(3.0, 4.0, 0.0);
+        assert!(close(p.norm(), 5.0));
+        assert!(close(p.distance(Point3::origin()), 5.0));
+        let q = Point3::new(3.0, 4.0, 12.0);
+        assert!(close(q.horizontal_distance(Point3::origin()), 5.0));
+        assert!(close(q.norm(), 13.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let p = Point3::new(0.0, 0.0, -7.0).normalized();
+        assert!(close(p.norm(), 1.0));
+        assert_eq!(p, Point3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        Point3::origin().normalized();
+    }
+
+    #[test]
+    fn segment_parametrization() {
+        let s = Segment::new(Point3::new(0.0, 0.0, 1.0), Point3::new(10.0, 0.0, 1.0));
+        assert!(close(s.length(), 10.0));
+        assert_eq!(s.midpoint(), Point3::new(5.0, 0.0, 1.0));
+        assert_eq!(s.point_at(0.25), Point3::new(2.5, 0.0, 1.0));
+        assert_eq!(s.tangent(), Point3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        let s = Segment::new(Point3::origin(), Point3::new(10.0, 0.0, 0.0));
+        // Projection inside the segment.
+        assert!(close(s.distance_to_point(Point3::new(5.0, 3.0, 0.0)), 3.0));
+        // Beyond the end: distance to endpoint.
+        assert!(close(s.distance_to_point(Point3::new(13.0, 4.0, 0.0)), 5.0));
+        // Degenerate segment.
+        let d = Segment::new(Point3::origin(), Point3::origin());
+        assert!(close(d.distance_to_point(Point3::new(0.0, 2.0, 0.0)), 2.0));
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(2.0, 3.0, 0.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 3.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(2.0, 5.0, 0.0));
+    }
+}

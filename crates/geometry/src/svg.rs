@@ -1,0 +1,136 @@
+//! SVG plan rendering of grounding grids.
+//!
+//! Produces the plan-view figures of the paper (Fig 5.1, Fig 5.3):
+//! horizontal conductors as line segments, vertical rods as filled dots
+//! ("vertical rods are marked with black points"), with axes implied by
+//! a light coordinate frame.
+
+use crate::network::ConductorNetwork;
+
+/// Options for plan rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Pixels per meter.
+    pub scale: f64,
+    /// Margin around the grid, in meters.
+    pub margin: f64,
+    /// Stroke width in pixels.
+    pub stroke: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            scale: 5.0,
+            margin: 5.0,
+            stroke: 1.5,
+        }
+    }
+}
+
+/// Renders the plan view (x–y projection) of a network as an SVG
+/// document. The y axis is flipped so plans read like the paper's
+/// figures (y grows upward).
+///
+/// # Panics
+/// Panics on an empty network.
+pub fn plan_svg(net: &ConductorNetwork, opts: SvgOptions) -> String {
+    assert!(!net.is_empty(), "cannot render an empty network");
+    let (lo, hi) = net.bounding_box();
+    let w = (hi.x - lo.x + 2.0 * opts.margin) * opts.scale;
+    let h = (hi.y - lo.y + 2.0 * opts.margin) * opts.scale;
+    let px = |x: f64| (x - lo.x + opts.margin) * opts.scale;
+    let py = |y: f64| h - (y - lo.y + opts.margin) * opts.scale;
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.1} {h:.1}\">\n"
+    ));
+    s.push_str("  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    // Conductors first, rods (dots) on top.
+    for c in net.conductors() {
+        if c.is_vertical() {
+            continue;
+        }
+        s.push_str(&format!(
+            "  <line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" \
+             stroke=\"black\" stroke-width=\"{:.2}\"/>\n",
+            px(c.axis.a.x),
+            py(c.axis.a.y),
+            px(c.axis.b.x),
+            py(c.axis.b.y),
+            opts.stroke
+        ));
+    }
+    // Deduplicate rod positions (rods pre-split into pieces share x, y).
+    let mut rods: Vec<(f64, f64)> = net
+        .conductors()
+        .iter()
+        .filter(|c| c.is_vertical())
+        .map(|c| (c.axis.a.x, c.axis.a.y))
+        .collect();
+    rods.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+    rods.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+    for (x, y) in &rods {
+        s.push_str(&format!(
+            "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{:.2}\" fill=\"black\"/>\n",
+            px(*x),
+            py(*y),
+            2.0 * opts.stroke
+        ));
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductor::{ground_rod, Conductor};
+    use crate::point::Point3;
+
+    fn sample() -> ConductorNetwork {
+        let mut n = ConductorNetwork::new();
+        n.add(Conductor::new(
+            Point3::new(0.0, 0.0, 0.8),
+            Point3::new(10.0, 0.0, 0.8),
+            0.006,
+        ));
+        let rod = ground_rod(Point3::new(5.0, 0.0, 0.8), 1.5, 0.007);
+        for piece in rod.subdivide(2) {
+            n.add(piece);
+        }
+        n
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = plan_svg(&sample(), SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 1);
+        // Two rod pieces at the same (x, y) deduplicate into one dot.
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn balaidos_plan_shows_67_rod_dots() {
+        let svg = plan_svg(&crate::grids::balaidos(), SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 67);
+        assert_eq!(svg.matches("<line").count(), 107);
+    }
+
+    #[test]
+    fn barbera_plan_has_all_segments() {
+        let svg = plan_svg(&crate::grids::barbera(), SvgOptions::default());
+        assert_eq!(svg.matches("<line").count(), 408);
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_network_rejected() {
+        plan_svg(&ConductorNetwork::new(), SvgOptions::default());
+    }
+}

@@ -1,0 +1,224 @@
+//! General dense matrix storage (row-major).
+//!
+//! Used by the collocation BEM formulation (whose matrix is *not*
+//! symmetric) and as an expansion target for cross-checking the packed
+//! symmetric path.
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer must be rows*cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(y.len(), self.rows, "matvec: y length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vector::dot(self.row(i), x);
+        }
+    }
+
+    /// Allocating matvec.
+    pub fn matvec_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec(x, &mut y);
+        y
+    }
+
+    /// Dense product `C = A·B` (testing utility; O(n³) naive).
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, b.rows, "matmul: inner dimensions");
+        let mut c = DenseMatrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    c.add(i, j, aik * b.get(k, j));
+                }
+            }
+        }
+        c
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Maximum absolute entry-wise difference to another matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Measures departure from symmetry: `max |a_ij − a_ji|`.
+    pub fn asymmetry(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "asymmetry requires square matrix");
+        let mut m = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..i {
+                m = m.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i4 = DenseMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i4.matvec_alloc(&x), x.to_vec());
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = a.matvec_alloc(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_result() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn asymmetry_detects_nonsymmetric() {
+        let mut a = DenseMatrix::identity(3);
+        assert_eq!(a.asymmetry(), 0.0);
+        a.set(0, 2, 0.5);
+        assert!(approx_eq(a.asymmetry(), 0.5, 1e-15));
+    }
+
+    #[test]
+    fn row_views() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.row_mut(1).copy_from_slice(&[9.0, 8.0]);
+        assert_eq!(a.row(1), &[9.0, 8.0]);
+        assert_eq!(a.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_rows_validates() {
+        DenseMatrix::from_rows(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,85 @@
+//! # layerbem-numeric
+//!
+//! Dense linear-algebra, quadrature and series-summation substrate for the
+//! `layerbem` boundary-element solver.
+//!
+//! The boundary-element method of Colominas et al. produces a **dense,
+//! symmetric, positive-definite** system of moderate order (hundreds to a
+//! few thousand unknowns). The paper solves it either directly (small
+//! cases) or with a **diagonally preconditioned conjugate gradient**
+//! (§4.3: "the best results have been obtained by a diagonal preconditioned
+//! conjugate gradient algorithm with assembly of the global matrix").
+//! This crate provides exactly that substrate, built from scratch:
+//!
+//! * [`SymMatrix`] — packed lower-triangular storage for symmetric dense
+//!   matrices (halves memory; mirrors the paper's "approximately half of
+//!   them are discarded because of symmetry").
+//! * [`DenseMatrix`] + [`lu`] — general dense storage with partially
+//!   pivoted LU, used by the collocation formulation and as a cross-check.
+//! * [`cholesky`] — packed `L·Lᵀ` factorization for the Galerkin system.
+//! * [`pcg`] — Jacobi-preconditioned conjugate gradient with convergence
+//!   history, defined over a [`LinearOperator`] abstraction so that both
+//!   assembled matrices and matrix-free operators can be solved.
+//! * [`quadrature`] — Gauss–Legendre rules computed to machine precision,
+//!   used for the outer element integrals.
+//! * [`series`] — compensated (Kahan) summation and tolerance-controlled
+//!   summation of the slowly convergent image series, with optional
+//!   Aitken Δ² acceleration.
+
+pub mod bessel;
+pub mod cholesky;
+pub mod dense;
+pub mod eigen;
+pub mod lu;
+pub mod pcg;
+pub mod quadrature;
+pub mod series;
+pub mod symmetric;
+pub mod vector;
+
+pub use cholesky::CholeskyFactor;
+pub use dense::DenseMatrix;
+pub use lu::LuFactor;
+pub use pcg::{pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome};
+pub use quadrature::GaussLegendre;
+pub use series::{KahanSum, SeriesOptions, SeriesResult};
+pub use symmetric::SymMatrix;
+
+/// Numerical tolerance used by the test-suites of this workspace when
+/// comparing floating point results that should agree to round-off.
+pub const TEST_EPS: f64 = 1e-10;
+
+/// Returns `true` when `a` and `b` agree to tolerance `tol`, measured
+/// relative to `max(|a|, |b|, 1)` — i.e. relative comparison for large
+/// magnitudes, absolute comparison near zero.
+///
+/// This is the comparison primitive used throughout the workspace tests;
+/// keeping it here avoids each crate re-inventing subtly different rules.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_accepts_identical_values() {
+        assert!(approx_eq(1.0, 1.0, 1e-15));
+        assert!(approx_eq(0.0, 0.0, 1e-15));
+        assert!(approx_eq(-3.5e7, -3.5e7, 1e-15));
+    }
+
+    #[test]
+    fn approx_eq_respects_relative_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq(1.0, 1.001, 1e-6));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-11), 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_handles_tiny_magnitudes() {
+        assert!(approx_eq(1e-305, -1e-305, 1e-12));
+    }
+}

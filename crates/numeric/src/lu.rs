@@ -1,0 +1,214 @@
+//! Partially pivoted LU factorization for general dense matrices.
+//!
+//! The collocation BEM formulation (point testing instead of Galerkin
+//! weighting) produces a *nonsymmetric* dense matrix; LU with partial
+//! pivoting is the appropriate direct solver for it. It also serves as an
+//! independent cross-check of the Cholesky path in the test-suite.
+
+use crate::dense::DenseMatrix;
+
+/// Error returned when a zero (or non-finite) pivot makes the matrix
+/// numerically singular.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Elimination column at which the factorization broke down.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is numerically singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU factorization with row partial pivoting: `P·A = L·U`.
+#[derive(Clone, Debug)]
+pub struct LuFactor {
+    n: usize,
+    /// Combined storage: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: DenseMatrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 / −1.0), for determinants.
+    perm_sign: f64,
+}
+
+impl LuFactor {
+    /// Factorizes a square matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, SingularMatrix> {
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Pivot search in column k, rows k..n.
+            let mut p = k;
+            let mut pmax = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(SingularMatrix { column: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, tmp);
+                }
+            }
+            // Elimination.
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        lu.add(i, j, -m * lu.get(k, j));
+                    }
+                }
+            }
+        }
+        Ok(LuFactor {
+            n,
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "solve: rhs length");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..self.n {
+            let mut s = x[i];
+            for (k, xk) in x[..i].iter().enumerate() {
+                s -= self.lu.get(i, k) * xk;
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..self.n).rev() {
+            let mut s = x[i];
+            for (off, xk) in x[(i + 1)..self.n].iter().enumerate() {
+                s -= self.lu.get(i, i + 1 + off) * xk;
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        x
+    }
+
+    /// Determinant of `A` (product of `U` pivots times permutation sign).
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.n {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+/// One-shot convenience: factor and solve.
+pub fn lu_solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    Ok(LuFactor::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn solves_small_nonsymmetric_system() {
+        let a = DenseMatrix::from_rows(3, 3, vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0]);
+        let b = [8.0, -11.0, -3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        // Known solution of the classic example: x = (2, 3, -1).
+        assert!(approx_eq(x[0], 2.0, 1e-12));
+        assert!(approx_eq(x[1], 3.0, 1e-12));
+        assert!(approx_eq(x[2], -1.0, 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        let err = LuFactor::factor(&a).unwrap_err();
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("column 1"));
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        // Swapping rows of the identity gives det = -1.
+        let a = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let f = LuFactor::factor(&a).unwrap();
+        assert!(approx_eq(f.det(), -1.0, 1e-15));
+    }
+
+    #[test]
+    fn determinant_of_triangular_is_pivot_product() {
+        let a = DenseMatrix::from_rows(3, 3, vec![2.0, 1.0, 1.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0]);
+        let f = LuFactor::factor(&a).unwrap();
+        assert!(approx_eq(f.det(), 24.0, 1e-12));
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // Deterministic pseudo-random SPD-ish matrix; solve then verify Ax≈b.
+        let n = 20;
+        let mut vals = Vec::with_capacity(n * n);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                let diag_boost = if i == j { (n as f64) * 1.0 } else { 0.0 };
+                vals.push(next() + diag_boost);
+            }
+        }
+        let a = DenseMatrix::from_rows(n, n, vals);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let x = lu_solve(&a, &b).unwrap();
+        let r = a.matvec_alloc(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!(approx_eq(*u, *v, 1e-10));
+        }
+    }
+}

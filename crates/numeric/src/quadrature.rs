@@ -1,0 +1,210 @@
+//! Gauss–Legendre quadrature.
+//!
+//! The outer integral of each Galerkin coefficient (paper eq. 4.5) is a
+//! smooth 1-D integral along the axis of the *field* element once the inner
+//! (source) integral has been done analytically; Gauss–Legendre rules of
+//! modest order integrate it to near machine precision. Nodes and weights
+//! are computed at construction by Newton iteration on the Legendre
+//! polynomial `P_n`, so any order is available without baked-in tables.
+
+/// A Gauss–Legendre rule of order `n` on the reference interval `[-1, 1]`.
+///
+/// ```
+/// use layerbem_numeric::GaussLegendre;
+/// let q = GaussLegendre::new(5); // exact through degree 9
+/// let v = q.integrate(0.0, 1.0, |x| x * x);
+/// assert!((v - 1.0 / 3.0).abs() < 1e-14);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds the `n`-point rule. `n` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "quadrature order must be >= 1");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        // Roots come in symmetric pairs; solve for the non-negative half.
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev-based initial guess for the i-th root (descending).
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            // Newton iteration on P_n(x).
+            for _ in 0..100 {
+                let (p, dp) = legendre_and_derivative(n, x);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let (_, dp) = legendre_and_derivative(n, x);
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        GaussLegendre { nodes, weights }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the rule has no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes on `[-1, 1]`, ascending.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Weights matching [`nodes`](Self::nodes).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, a: f64, b: f64, mut f: F) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut acc = 0.0;
+        for (x, w) in self.nodes.iter().zip(&self.weights) {
+            acc += w * f(mid + half * x);
+        }
+        half * acc
+    }
+
+    /// Iterates `(node, weight)` pairs mapped onto `[a, b]`; the weights are
+    /// already scaled by the interval Jacobian.
+    pub fn mapped(&self, a: f64, b: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(move |(x, w)| (mid + half * x, half * w))
+    }
+}
+
+/// Evaluates `(P_n(x), P_n'(x))` by the three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0; // P_0
+    let mut p1 = x; // P_1
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P_n'(x) = n (x P_n − P_{n−1}) / (x² − 1)
+    let dp = (n as f64) * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in 1..=20 {
+            let q = GaussLegendre::new(n);
+            let s: f64 = q.weights().iter().sum();
+            assert!(approx_eq(s, 2.0, 1e-13), "order {n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        let q = GaussLegendre::new(7);
+        let nodes = q.nodes();
+        for w in nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..nodes.len() {
+            assert!(approx_eq(nodes[i], -nodes[nodes.len() - 1 - i], 1e-14));
+        }
+        // Odd order has a node exactly at 0.
+        assert!(nodes[3].abs() < 1e-15);
+    }
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // n-point rule is exact for degree 2n-1.
+        let q = GaussLegendre::new(5);
+        // ∫₀¹ x⁹ dx = 0.1
+        let v = q.integrate(0.0, 1.0, |x| x.powi(9));
+        assert!(approx_eq(v, 0.1, 1e-13));
+        // ∫_{-2}^{3} (x³ − 2x + 1) dx = [x⁴/4 − x² + x]_{-2}^{3}
+        //   = (81/4 − 9 + 3) − (4 − 4 − 2) = 16.25
+        let v2 = q.integrate(-2.0, 3.0, |x| x.powi(3) - 2.0 * x + 1.0);
+        assert!(approx_eq(v2, 16.25, 1e-12));
+    }
+
+    #[test]
+    fn degree_2n_is_not_exact_degree_2n_minus_1_is() {
+        let q = GaussLegendre::new(2);
+        // degree 3 = 2n-1: exact. ∫_{-1}^{1} x³+x² dx = 2/3.
+        let v = q.integrate(-1.0, 1.0, |x| x.powi(3) + x * x);
+        assert!(approx_eq(v, 2.0 / 3.0, 1e-13));
+        // degree 4: not exact. ∫ x⁴ = 2/5 = 0.4, 2-pt rule gives 2·(1/3)² = 2/9.
+        let v4 = q.integrate(-1.0, 1.0, |x| x.powi(4));
+        assert!(approx_eq(v4, 2.0 / 9.0, 1e-12));
+    }
+
+    #[test]
+    fn integrates_transcendental_accurately() {
+        let q = GaussLegendre::new(16);
+        let v = q.integrate(0.0, std::f64::consts::PI, f64::sin);
+        assert!(approx_eq(v, 2.0, 1e-12));
+        let v2 = q.integrate(1.0, 2.0, |x| 1.0 / x);
+        assert!(approx_eq(v2, 2f64.ln(), 1e-12));
+    }
+
+    #[test]
+    fn known_two_point_rule() {
+        let q = GaussLegendre::new(2);
+        let inv_sqrt3 = 1.0 / 3f64.sqrt();
+        assert!(approx_eq(q.nodes()[0], -inv_sqrt3, 1e-14));
+        assert!(approx_eq(q.nodes()[1], inv_sqrt3, 1e-14));
+        assert!(approx_eq(q.weights()[0], 1.0, 1e-14));
+    }
+
+    #[test]
+    fn mapped_iterates_scaled_pairs() {
+        let q = GaussLegendre::new(4);
+        let direct = q.integrate(2.0, 5.0, |x| x * x);
+        let via_mapped: f64 = q.mapped(2.0, 5.0).map(|(x, w)| w * x * x).sum();
+        assert!(approx_eq(direct, via_mapped, 1e-14));
+        assert!(approx_eq(direct, (125.0 - 8.0) / 3.0, 1e-13));
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be >= 1")]
+    fn zero_order_rejected() {
+        GaussLegendre::new(0);
+    }
+
+    #[test]
+    fn high_order_stays_stable() {
+        let q = GaussLegendre::new(64);
+        let v = q.integrate(-1.0, 1.0, |x| (5.0 * x).cos());
+        let exact = 2.0 * (5f64).sin() / 5.0;
+        assert!(approx_eq(v, exact, 1e-12));
+    }
+}

@@ -1,0 +1,341 @@
+//! Tolerance-controlled summation of slowly convergent series.
+//!
+//! The layered-soil kernels are "formed by infinite series of terms
+//! corresponding to the resultant images" (paper §3). Each matrix
+//! coefficient sums such a series "until a tolerance is fulfilled or an
+//! upper limit of summands is achieved" (paper §4.3). The reflection ratio
+//! `κ = (γ1−γ2)/(γ1+γ2)` controls the geometric decay; for strongly
+//! contrasting layers `|κ| → 1` and convergence degrades badly — the very
+//! effect that makes two-layer matrix generation ~700× more expensive than
+//! the uniform model (Table 6.1) and model C costlier than model B
+//! (Table 6.3).
+//!
+//! This module provides:
+//! * [`KahanSum`] — compensated accumulation, so that the many tiny tail
+//!   terms are not lost to cancellation;
+//! * [`sum_until`] — tolerance/cap-controlled summation with full
+//!   diagnostics ([`SeriesResult`]);
+//! * [`aitken_accelerate`] — Aitken Δ² extrapolation of the partial-sum
+//!   sequence, the ablation lever for the series-convergence study.
+
+/// Compensated (Kahan–Babuška) floating-point accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// New zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term with compensation (Neumaier's variant, which is also
+    /// robust when the new term is larger than the running sum).
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut k = KahanSum::new();
+        for v in iter {
+            k.add(v);
+        }
+        k
+    }
+}
+
+/// Controls for [`sum_until`].
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesOptions {
+    /// Stop when `|term| ≤ rel_tol · |partial sum|` (checked against the
+    /// compensated partial sum; an absolute floor `abs_tol` also applies).
+    pub rel_tol: f64,
+    /// Absolute stopping floor for terms (guards near-zero sums).
+    pub abs_tol: f64,
+    /// Hard cap on the number of terms ("upper limit of summands").
+    pub max_terms: usize,
+    /// Require this many *consecutive* below-tolerance terms before
+    /// declaring convergence. Image series interleave several families with
+    /// different magnitudes, so a single small term is not proof of
+    /// convergence.
+    pub consecutive: usize,
+}
+
+impl Default for SeriesOptions {
+    fn default() -> Self {
+        SeriesOptions {
+            rel_tol: 1e-9,
+            abs_tol: 1e-300,
+            max_terms: 2000,
+            consecutive: 2,
+        }
+    }
+}
+
+/// Outcome of a tolerance-controlled summation.
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesResult {
+    /// Compensated sum of the consumed terms.
+    pub value: f64,
+    /// Number of terms consumed.
+    pub terms: usize,
+    /// Whether the tolerance was met before the cap.
+    pub converged: bool,
+}
+
+/// Sums `term(l)` for `l = 0, 1, 2, …` until the stopping rule of `opts`
+/// fires or `max_terms` is reached.
+pub fn sum_until<F: FnMut(usize) -> f64>(mut term: F, opts: SeriesOptions) -> SeriesResult {
+    let mut acc = KahanSum::new();
+    let mut small_streak = 0usize;
+    let mut terms = 0usize;
+    let needed = opts.consecutive.max(1);
+    while terms < opts.max_terms {
+        let t = term(terms);
+        acc.add(t);
+        terms += 1;
+        let threshold = opts.rel_tol * acc.value().abs() + opts.abs_tol;
+        if t.abs() <= threshold {
+            small_streak += 1;
+            if small_streak >= needed {
+                return SeriesResult {
+                    value: acc.value(),
+                    terms,
+                    converged: true,
+                };
+            }
+        } else {
+            small_streak = 0;
+        }
+    }
+    SeriesResult {
+        value: acc.value(),
+        terms,
+        converged: false,
+    }
+}
+
+/// Applies one pass of Aitken's Δ² process to a sequence of partial sums,
+/// returning the accelerated sequence (two entries shorter).
+///
+/// For a linearly convergent sequence `s_n → s` with ratio `ρ`, the
+/// transformed sequence converges like `ρ²`, which roughly halves the
+/// number of image terms needed at strong layer contrasts.
+pub fn aitken_accelerate(partial_sums: &[f64]) -> Vec<f64> {
+    if partial_sums.len() < 3 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(partial_sums.len() - 2);
+    for w in partial_sums.windows(3) {
+        let (s0, s1, s2) = (w[0], w[1], w[2]);
+        let denom = (s2 - s1) - (s1 - s0);
+        if denom.abs() < 1e-300 {
+            // Differences vanished: the sequence already converged.
+            out.push(s2);
+        } else {
+            let d = s2 - s1;
+            out.push(s2 - d * d / denom);
+        }
+    }
+    out
+}
+
+/// Sums a geometric-like series via repeated Aitken extrapolation of its
+/// partial sums: generates `window` partial sums, accelerates, and returns
+/// the last accelerated value together with diagnostics.
+pub fn sum_accelerated<F: FnMut(usize) -> f64>(
+    mut term: F,
+    window: usize,
+    opts: SeriesOptions,
+) -> SeriesResult {
+    let window = window.max(3);
+    let mut partials = Vec::with_capacity(window);
+    let mut acc = KahanSum::new();
+    let mut terms = 0usize;
+    let mut prev_estimate: Option<f64> = None;
+    while terms < opts.max_terms {
+        let t = term(terms);
+        acc.add(t);
+        terms += 1;
+        partials.push(acc.value());
+        if partials.len() >= window {
+            let accel = aitken_accelerate(&partials);
+            let estimate = *accel.last().expect("window >= 3 guarantees output");
+            if let Some(prev) = prev_estimate {
+                let threshold = opts.rel_tol * estimate.abs() + opts.abs_tol;
+                if (estimate - prev).abs() <= threshold {
+                    return SeriesResult {
+                        value: estimate,
+                        terms,
+                        converged: true,
+                    };
+                }
+            }
+            prev_estimate = Some(estimate);
+            // Slide the window.
+            partials.remove(0);
+        }
+    }
+    SeriesResult {
+        value: prev_estimate.unwrap_or_else(|| acc.value()),
+        terms,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_sum() {
+        // 1 + 1e-16 added 10_000 times: naive f64 drops every increment.
+        let mut naive = 1.0f64;
+        let mut kahan = KahanSum::new();
+        kahan.add(1.0);
+        for _ in 0..10_000 {
+            naive += 1e-16;
+            kahan.add(1e-16);
+        }
+        assert_eq!(naive, 1.0); // the point: naive loses them all
+        assert!(approx_eq(kahan.value(), 1.0 + 1e-12, 1e-10));
+    }
+
+    #[test]
+    fn kahan_from_iterator() {
+        let k: KahanSum = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(k.value(), 6.0);
+    }
+
+    #[test]
+    fn geometric_series_sums_to_closed_form() {
+        for &ratio in &[0.5, 0.9, -0.7, 0.99] {
+            let r = sum_until(
+                |l| ratio_powi(ratio, l),
+                SeriesOptions {
+                    rel_tol: 1e-12,
+                    max_terms: 20_000,
+                    ..Default::default()
+                },
+            );
+            assert!(r.converged, "ratio {ratio}");
+            assert!(
+                approx_eq(r.value, 1.0 / (1.0 - ratio), 1e-9),
+                "ratio {ratio}: {} vs {}",
+                r.value,
+                1.0 / (1.0 - ratio)
+            );
+        }
+    }
+
+    fn ratio_powi(r: f64, l: usize) -> f64 {
+        r.powi(l as i32)
+    }
+
+    #[test]
+    fn term_count_grows_with_contrast() {
+        // |κ| → 1 needs more terms — the cost driver behind Table 6.3.
+        let terms_of = |kappa: f64| {
+            sum_until(|l| ratio_powi(kappa, l), SeriesOptions::default()).terms
+        };
+        assert!(terms_of(0.9) > terms_of(0.5));
+        assert!(terms_of(0.99) > terms_of(0.9));
+    }
+
+    #[test]
+    fn cap_is_enforced_and_reported() {
+        let r = sum_until(
+            |_| 1.0, // divergent
+            SeriesOptions {
+                max_terms: 17,
+                ..Default::default()
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.terms, 17);
+        assert!(approx_eq(r.value, 17.0, 1e-15));
+    }
+
+    #[test]
+    fn consecutive_guard_survives_interleaved_families() {
+        // Terms alternate big/tiny (two image families): a single tiny term
+        // must not stop the sum early.
+        let seq = [1.0, 1e-14, 0.5, 1e-14, 0.25, 1e-14, 1e-14, 1e-14];
+        let r = sum_until(
+            |l| seq.get(l).copied().unwrap_or(0.0),
+            SeriesOptions {
+                rel_tol: 1e-9,
+                consecutive: 2,
+                max_terms: 8,
+                ..Default::default()
+            },
+        );
+        // With consecutive=2 the sum must survive past the interleaved tiny
+        // terms and capture all three big ones.
+        assert!(r.value >= 1.75);
+    }
+
+    #[test]
+    fn aitken_accelerates_geometric_sequence() {
+        // Partial sums of Σ 0.9^l.
+        let mut partials = Vec::new();
+        let mut s = 0.0;
+        for l in 0..12 {
+            s += 0.9f64.powi(l);
+            partials.push(s);
+        }
+        let exact = 10.0;
+        let accel = aitken_accelerate(&partials);
+        // Aitken on a pure geometric sequence is exact (up to round-off).
+        let err_acc = (accel.last().unwrap() - exact).abs();
+        let err_raw = (partials.last().unwrap() - exact).abs();
+        assert!(err_acc < err_raw * 1e-6, "acc {err_acc} raw {err_raw}");
+    }
+
+    #[test]
+    fn aitken_handles_short_and_constant_input() {
+        assert!(aitken_accelerate(&[1.0, 2.0]).is_empty());
+        let constant = aitken_accelerate(&[5.0, 5.0, 5.0, 5.0]);
+        assert!(constant.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn accelerated_sum_uses_fewer_terms_at_high_contrast() {
+        let kappa = 0.97;
+        let plain = sum_until(|l| ratio_powi(kappa, l), SeriesOptions::default());
+        let accel = sum_accelerated(|l| ratio_powi(kappa, l), 6, SeriesOptions::default());
+        assert!(plain.converged && accel.converged);
+        assert!(approx_eq(accel.value, 1.0 / (1.0 - kappa), 1e-6));
+        assert!(
+            accel.terms < plain.terms / 2,
+            "accel {} vs plain {}",
+            accel.terms,
+            plain.terms
+        );
+    }
+
+    #[test]
+    fn accelerated_sum_matches_plain_on_easy_series() {
+        let plain = sum_until(|l| ratio_powi(0.3, l), SeriesOptions::default());
+        let accel = sum_accelerated(|l| ratio_powi(0.3, l), 5, SeriesOptions::default());
+        assert!(approx_eq(plain.value, accel.value, 1e-8));
+    }
+}

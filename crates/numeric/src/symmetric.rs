@@ -1,0 +1,278 @@
+//! Packed storage for dense **symmetric** matrices.
+//!
+//! The Galerkin BEM matrix `R` of the paper is symmetric (§4.2: "a Galerkin
+//! type approach, since the matrix of coefficients is symmetric and positive
+//! definite") and dense. We store only the lower triangle, row-major:
+//!
+//! ```text
+//! row 0: a00
+//! row 1: a10 a11
+//! row 2: a20 a21 a22   →  [a00, a10, a11, a20, a21, a22, ...]
+//! ```
+//!
+//! Entry `(i, j)` with `i ≥ j` lives at offset `i(i+1)/2 + j`. For order
+//! `N = O(10³)` the triangle holds `N(N+1)/2 = O(10⁶)` doubles — matching
+//! the paper's observation that "if N = O(10³) then the matrix size is
+//! O(10⁶) bytes" (they counted elements).
+
+use crate::vector;
+
+/// Dense symmetric matrix in packed lower-triangular storage.
+///
+/// ```
+/// use layerbem_numeric::SymMatrix;
+/// let mut a = SymMatrix::zeros(3);
+/// a.set(0, 0, 4.0);
+/// a.set(1, 1, 5.0);
+/// a.set(2, 2, 6.0);
+/// a.set(2, 0, 2.0); // also sets (0, 2) by symmetry
+/// assert_eq!(a.get(0, 2), 2.0);
+/// let y = a.matvec_alloc(&[1.0, 0.0, 1.0]);
+/// assert_eq!(y, vec![6.0, 0.0, 8.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    /// Lower triangle, row-major; length `n(n+1)/2`.
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates a zero matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix {
+            n,
+            data: vec![0.0; n * (n + 1) / 2],
+        }
+    }
+
+    /// Builds a matrix from a packed lower triangle (row-major).
+    ///
+    /// # Panics
+    /// Panics if `packed.len() != n(n+1)/2`.
+    pub fn from_packed(n: usize, packed: Vec<f64>) -> Self {
+        assert_eq!(
+            packed.len(),
+            n * (n + 1) / 2,
+            "packed length must be n(n+1)/2"
+        );
+        SymMatrix { n, data: packed }
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (triangle) entries.
+    #[inline]
+    pub fn stored_len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i >= j, "idx requires i >= j");
+        i * (i + 1) / 2 + j
+    }
+
+    /// Returns entry `(i, j)` (either triangle).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        self.data[self.idx(i, j)]
+    }
+
+    /// Sets entry `(i, j)` (and by symmetry `(j, i)`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let k = self.idx(i, j);
+        self.data[k] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)` (and by symmetry `(j, i)`).
+    ///
+    /// This is the assembly primitive: elemental matrices are accumulated
+    /// into the global triangle with it.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let k = self.idx(i, j);
+        self.data[k] += v;
+    }
+
+    /// Read-only view of the packed triangle.
+    pub fn packed(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the packed triangle (used by the parallel assembler
+    /// after partitioning rows disjointly).
+    pub fn packed_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Copies the diagonal into a fresh vector (Jacobi preconditioner).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.data[self.idx(i, i)]).collect()
+    }
+
+    /// Dense matrix–vector product `y = A·x` exploiting symmetry:
+    /// each stored entry `a_ij` (i>j) contributes to both `y_i` and `y_j`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n` or `y.len() != n`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec: x length");
+        assert_eq!(y.len(), self.n, "matvec: y length");
+        y.fill(0.0);
+        let mut k = 0;
+        for i in 0..self.n {
+            let xi = x[i];
+            let mut acc = 0.0;
+            // Off-diagonal part of row i (columns j < i).
+            for j in 0..i {
+                let a = self.data[k];
+                acc += a * x[j];
+                y[j] += a * xi;
+                k += 1;
+            }
+            // Diagonal.
+            acc += self.data[k] * xi;
+            k += 1;
+            y[i] += acc;
+        }
+    }
+
+    /// Convenience allocating matvec.
+    pub fn matvec_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec(x, &mut y);
+        y
+    }
+
+    /// Expands to full dense storage (testing / LU cross-checks).
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for j in 0..=i {
+                let v = self.get(i, j);
+                d.set(i, j, v);
+                d.set(j, i, v);
+            }
+        }
+        d
+    }
+
+    /// Frobenius norm (over the *full* matrix, counting mirrored entries).
+    pub fn frobenius_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in 0..=i {
+                let v = self.get(i, j);
+                let w = if i == j { v * v } else { 2.0 * v * v };
+                acc += w;
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Rayleigh quotient `xᵀAx / xᵀx` — used by tests to probe definiteness.
+    pub fn rayleigh(&self, x: &[f64]) -> f64 {
+        let y = self.matvec_alloc(x);
+        vector::dot(x, &y) / vector::dot(x, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn sample() -> SymMatrix {
+        // [ 4 1 2 ]
+        // [ 1 5 3 ]
+        // [ 2 3 6 ]
+        SymMatrix::from_packed(3, vec![4.0, 1.0, 5.0, 2.0, 3.0, 6.0])
+    }
+
+    #[test]
+    fn get_is_symmetric() {
+        let a = sample();
+        assert_eq!(a.get(0, 1), a.get(1, 0));
+        assert_eq!(a.get(2, 1), 3.0);
+        assert_eq!(a.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn set_and_add_mirror() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 1, 7.0);
+        assert_eq!(a.get(1, 0), 7.0);
+        a.add(1, 0, 3.0);
+        assert_eq!(a.get(0, 1), 10.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5];
+        let y = a.matvec_alloc(&x);
+        // Hand-computed: [4-2+1, 1-10+1.5, 2-6+3]
+        assert!(approx_eq(y[0], 3.0, 1e-15));
+        assert!(approx_eq(y[1], -7.5, 1e-15));
+        assert!(approx_eq(y[2], -1.0, 1e-15));
+    }
+
+    #[test]
+    fn matvec_agrees_with_to_dense() {
+        let a = sample();
+        let d = a.to_dense();
+        let x = [0.3, 1.7, -2.2];
+        let y1 = a.matvec_alloc(&x);
+        let y2 = d.matvec_alloc(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!(approx_eq(*u, *v, 1e-14));
+        }
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn frobenius_counts_both_triangles() {
+        let a = sample();
+        let d = a.to_dense();
+        let mut acc = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                acc += d.get(i, j).powi(2);
+            }
+        }
+        assert!(approx_eq(a.frobenius_norm(), acc.sqrt(), 1e-14));
+    }
+
+    #[test]
+    fn stored_len_is_triangular_number() {
+        assert_eq!(SymMatrix::zeros(238).stored_len(), 238 * 239 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n(n+1)/2")]
+    fn from_packed_validates_length() {
+        SymMatrix::from_packed(3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn rayleigh_of_identity_is_one() {
+        let mut a = SymMatrix::zeros(4);
+        for i in 0..4 {
+            a.set(i, i, 1.0);
+        }
+        assert!(approx_eq(a.rayleigh(&[0.3, -0.2, 0.9, 1.4]), 1.0, 1e-14));
+    }
+}

@@ -1,0 +1,154 @@
+//! Basic dense-vector kernels.
+//!
+//! These are the level-1 BLAS-like primitives the iterative solver is
+//! built from. They are deliberately plain, allocation-free loops: at the
+//! system sizes the BEM produces (`N ≲ 10⁴`) the compiler auto-vectorizes
+//! them well and the matrix–vector product dominates anyway.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid spurious
+/// overflow/underflow for extreme magnitudes.
+pub fn norm2(x: &[f64]) -> f64 {
+    let maxabs = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        return maxabs;
+    }
+    let mut acc = 0.0;
+    for v in x {
+        let s = v / maxabs;
+        acc += s * s;
+    }
+    maxabs * acc.sqrt()
+}
+
+/// Maximum norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// `y ← a·x + y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (the "xpby" update used by CG's direction recurrence).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// Component-wise product `z_i = x_i · y_i` (used to apply the Jacobi
+/// preconditioner, whose inverse is stored component-wise).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
+    assert_eq!(x.len(), z.len(), "hadamard: output length mismatch");
+    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi * yi;
+    }
+}
+
+/// Sum of all components (used for total leaked current `IΓ = Σᵢ σᵢ·∫Nᵢ`).
+pub fn sum(x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in x {
+        acc += v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        // Naive sum-of-squares would overflow here.
+        let x = [1e200, 1e200];
+        assert!(approx_eq(norm2(&x), 2f64.sqrt() * 1e200, 1e-14));
+        // And underflow here.
+        let y = [3e-200, 4e-200];
+        assert!(approx_eq(norm2(&y), 5e-200, 1e-14));
+    }
+
+    #[test]
+    fn norm2_zero_vector() {
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_picks_largest_magnitude() {
+        assert_eq!(norm_inf(&[1.0, -7.5, 3.0]), 7.5);
+    }
+
+    #[test]
+    fn axpy_and_xpby_update_in_place() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let mut x = [1.0, -2.0, 3.0];
+        scale(-2.0, &mut x);
+        assert_eq!(x, [-2.0, 4.0, -6.0]);
+        assert_eq!(sum(&x), -4.0);
+    }
+
+    #[test]
+    fn hadamard_componentwise() {
+        let mut z = [0.0; 3];
+        hadamard(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut z);
+        assert_eq!(z, [4.0, 10.0, 18.0]);
+    }
+}

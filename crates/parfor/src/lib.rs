@@ -1,0 +1,36 @@
+//! # layerbem-parfor
+//!
+//! An OpenMP-style `parallel for` runtime and a deterministic
+//! multiprocessor **schedule simulator**.
+//!
+//! The paper parallelizes the BEM matrix-generation loop with OpenMP
+//! compiler directives and studies the `schedule()` clause exhaustively:
+//! `static`, `dynamic` and `guided` schedules with chunk parameters 1, 4,
+//! 16 and 64 on 1–64 processors of an SGI Origin 2000 (Fig 6.1, Tables 6.2
+//! and 6.3). Rust has no OpenMP, so this crate re-implements the exact
+//! scheduling semantics from scratch:
+//!
+//! * [`Schedule`] — the three OpenMP schedule kinds with optional chunk,
+//!   with the same iteration-to-thread assignment rules as the OpenMP
+//!   specification (§2.7.1 of the OpenMP 3.0 spec, which formalized the
+//!   behaviour the 2000-era SGI compiler implemented).
+//! * [`ThreadPool`] — executes a `parallel for` over real OS threads with
+//!   any [`Schedule`], plus instrumented variants that record per-thread
+//!   busy time and task counts.
+//! * [`sim`] — a deterministic discrete-event simulator that executes the
+//!   *same* decomposition on `P` virtual processors. The paper's findings
+//!   are scheduling phenomena (granularity, load imbalance of the
+//!   triangular loop, work starvation at large chunks); given the measured
+//!   per-task costs they are reproduced exactly by simulation, which is how
+//!   this reproduction regenerates the speed-up tables on hosts with fewer
+//!   cores than an Origin 2000.
+
+pub mod pool;
+pub mod schedule;
+pub mod sim;
+pub mod stats;
+
+pub use pool::ThreadPool;
+pub use schedule::{Schedule, ScheduleKind};
+pub use sim::{simulate, SimOverheads, SimReport};
+pub use stats::{ExecutionStats, ThreadStats};

@@ -1,0 +1,547 @@
+//! The `parallel for` executor.
+//!
+//! [`ThreadPool`] runs a loop body over `n` iterations on `p` OS threads
+//! under any OpenMP-style [`Schedule`]. It uses `std::thread::scope`, so
+//! loop bodies may borrow from the caller's stack — the same programming
+//! model as an OpenMP parallel region, where the directive-annotated loop
+//! reads and writes the enclosing function's variables.
+//!
+//! Threads are spawned per parallel region. For the BEM workloads this
+//! runtime exists for, a region is seconds to minutes of matrix
+//! generation, so region-launch overhead (microseconds per thread) is
+//! irrelevant; what matters — and what the paper studies — is the
+//! *iteration dispatch* strategy, which is implemented here with lock-free
+//! atomics exactly mirroring the schedule semantics of
+//! [`Schedule`](crate::Schedule).
+
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::schedule::{Schedule, ScheduleKind};
+use crate::stats::{ExecutionStats, ThreadStats};
+
+/// A `parallel for` executor over a fixed number of worker threads.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use layerbem_parfor::{Schedule, ThreadPool};
+///
+/// let pool = ThreadPool::new(4);
+/// let acc = AtomicU64::new(0);
+/// pool.parallel_for(100, Schedule::dynamic(8), |i| {
+///     acc.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(acc.into_inner(), 4950);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates an executor with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        ThreadPool { threads }
+    }
+
+    /// An executor sized to the machine (`available_parallelism`).
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        ThreadPool::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body(i)` for every `i in 0..n` under `schedule`.
+    ///
+    /// The body must be `Sync` because several threads call it
+    /// concurrently (on disjoint iterations).
+    pub fn parallel_for<F>(&self, n: usize, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.for_each_chunk(n, schedule, |_t, range| {
+            for i in range {
+                body(i);
+            }
+        });
+    }
+
+    /// Instrumented variant of [`parallel_for`](Self::parallel_for):
+    /// returns per-thread iteration counts, chunk counts and busy times.
+    pub fn parallel_for_with_stats<F>(&self, n: usize, schedule: Schedule, body: F) -> ExecutionStats
+    where
+        F: Fn(usize) + Sync,
+    {
+        let t0 = Instant::now();
+        let per_thread = self.run_region(n, schedule, &|_t, range: Range<usize>| {
+            for i in range {
+                body(i);
+            }
+        });
+        ExecutionStats {
+            per_thread,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// Computes `out[i] = f(i)` in parallel. Each index is written exactly
+    /// once (by whichever thread's chunk claims it), so no synchronization
+    /// is needed on the output beyond the region join.
+    pub fn parallel_fill<T, F>(&self, out: &mut [T], schedule: Schedule, f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = out.len();
+        let slots = Slot::wrap_slice(out);
+        self.for_each_chunk(n, schedule, |_t, range| {
+            for i in range {
+                // SAFETY: schedules partition 0..n into disjoint chunks and
+                // each chunk is executed by exactly one thread, so slot `i`
+                // has a unique writer and no concurrent readers.
+                unsafe { *slots[i].0.get() = f(i) };
+            }
+        });
+    }
+
+    /// Map-reduce over `0..n`: computes `f(i)` for every iteration and
+    /// folds the results with `combine`, starting from `identity` in each
+    /// thread. `combine` must be associative and commutative (thread
+    /// partials merge in nondeterministic order).
+    ///
+    /// This is the pattern for parallel accumulations like the total
+    /// leaked current `IΓ = Σ q_i ν_i` or map statistics, where a shared
+    /// atomic would serialize floating-point updates.
+    pub fn parallel_reduce<T, F, C>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        f: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+        F: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        let partials = parking_lot::Mutex::new(Vec::<T>::with_capacity(self.threads));
+        self.for_each_chunk(n, schedule, |_t, range| {
+            let mut acc = identity.clone();
+            for i in range {
+                acc = combine(acc, f(i));
+            }
+            partials.lock().push(acc);
+        });
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(identity, combine)
+    }
+
+    /// Instrumented variant of [`parallel_fill`](Self::parallel_fill).
+    pub fn parallel_fill_with_stats<T, F>(
+        &self,
+        out: &mut [T],
+        schedule: Schedule,
+        f: F,
+    ) -> ExecutionStats
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = out.len();
+        let slots = Slot::wrap_slice(out);
+        let t0 = Instant::now();
+        let per_thread = self.run_region(n, schedule, &|_t, range: Range<usize>| {
+            for i in range {
+                // SAFETY: as in `parallel_fill` — disjoint chunks give
+                // each slot a unique writer.
+                unsafe { *slots[i].0.get() = f(i) };
+            }
+        });
+        ExecutionStats {
+            per_thread,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// Runs `chunk_body(thread_index, chunk_range)` for every chunk of the
+    /// schedule. This is the primitive the other entry points build on; it
+    /// is public because the BEM assembler wants chunk granularity to
+    /// amortize per-task buffers.
+    pub fn for_each_chunk<F>(&self, n: usize, schedule: Schedule, chunk_body: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        self.run_region(n, schedule, &|t, range| chunk_body(t, range));
+    }
+
+    /// Spawns the region and returns per-thread stats. All dispatch logic
+    /// lives here.
+    fn run_region<F>(&self, n: usize, schedule: Schedule, chunk_body: &F) -> Vec<ThreadStats>
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let p = self.threads;
+        if n == 0 {
+            return vec![ThreadStats::default(); p];
+        }
+        if p == 1 {
+            // Degenerate region: run inline, preserving chunk boundaries so
+            // instrumentation still reflects the schedule.
+            let stats = run_thread_share(0, 1, n, schedule, chunk_body);
+            return vec![stats];
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<ThreadStats> = Vec::with_capacity(p);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|t| {
+                    let next = &next;
+                    scope.spawn(move || match schedule.kind {
+                        ScheduleKind::Static => run_thread_share(t, p, n, schedule, chunk_body),
+                        ScheduleKind::Dynamic => {
+                            run_dynamic(t, n, schedule.chunk_or_default(), next, chunk_body)
+                        }
+                        ScheduleKind::Guided => {
+                            run_guided(t, p, n, schedule.chunk_or_default(), next, chunk_body)
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.push(h.join().expect("parallel_for worker panicked"));
+            }
+        });
+        collected
+    }
+}
+
+/// Executes the statically assigned chunks of thread `t` (also used for
+/// the single-threaded inline path, where it replays every schedule kind
+/// sequentially in chunk order).
+fn run_thread_share<F>(
+    t: usize,
+    p: usize,
+    n: usize,
+    schedule: Schedule,
+    chunk_body: &F,
+) -> ThreadStats
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let chunks: Vec<(usize, usize)> = match schedule.kind {
+        ScheduleKind::Static => schedule.static_chunks_for(n, p, t),
+        // Inline (p == 1) execution of dynamic/guided: one thread claims
+        // every chunk in order.
+        ScheduleKind::Dynamic => {
+            let c = schedule.chunk_or_default();
+            (0..n.div_ceil(c))
+                .map(|k| (k * c, ((k + 1) * c).min(n)))
+                .collect()
+        }
+        ScheduleKind::Guided => {
+            let min = schedule.chunk_or_default();
+            let mut out = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let size = Schedule::guided_next_size(n - start, p, min);
+                out.push((start, start + size));
+                start += size;
+            }
+            out
+        }
+    };
+    let mut stats = ThreadStats::default();
+    let t0 = Instant::now();
+    for (a, b) in chunks {
+        chunk_body(t, a..b);
+        stats.chunks += 1;
+        stats.iterations += b - a;
+    }
+    stats.busy = t0.elapsed();
+    stats
+}
+
+/// Dynamic dispatch: threads race on a shared counter, claiming `chunk`
+/// iterations at a time.
+fn run_dynamic<F>(
+    t: usize,
+    n: usize,
+    chunk: usize,
+    next: &AtomicUsize,
+    chunk_body: &F,
+) -> ThreadStats
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let mut stats = ThreadStats::default();
+    let mut busy = Duration::ZERO;
+    loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        let t0 = Instant::now();
+        chunk_body(t, start..end);
+        busy += t0.elapsed();
+        stats.chunks += 1;
+        stats.iterations += end - start;
+    }
+    stats.busy = busy;
+    stats
+}
+
+/// Guided dispatch: CAS loop computing the shrinking chunk size from the
+/// remaining iteration count.
+fn run_guided<F>(
+    t: usize,
+    p: usize,
+    n: usize,
+    min_chunk: usize,
+    next: &AtomicUsize,
+    chunk_body: &F,
+) -> ThreadStats
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let mut stats = ThreadStats::default();
+    let mut busy = Duration::ZERO;
+    let mut cur = next.load(Ordering::Relaxed);
+    loop {
+        if cur >= n {
+            break;
+        }
+        let size = Schedule::guided_next_size(n - cur, p, min_chunk);
+        match next.compare_exchange_weak(cur, cur + size, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                let t0 = Instant::now();
+                chunk_body(t, cur..cur + size);
+                busy += t0.elapsed();
+                stats.chunks += 1;
+                stats.iterations += size;
+                cur = next.load(Ordering::Relaxed);
+            }
+            Err(actual) => cur = actual,
+        }
+    }
+    stats.busy = busy;
+    stats
+}
+
+/// Interior-mutability wrapper that lets disjoint indices of a slice be
+/// written from different threads without locks.
+#[repr(transparent)]
+struct Slot<T>(UnsafeCell<T>);
+
+// SAFETY: `Slot` is only ever used through `parallel_fill`, which
+// guarantees each element has exactly one writing thread and no readers
+// until the region joins.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn wrap_slice(s: &mut [T]) -> &[Slot<T>] {
+        // SAFETY: `Slot<T>` is `repr(transparent)` over `UnsafeCell<T>`,
+        // which has the same layout as `T`.
+        unsafe { &*(s as *mut [T] as *const [Slot<T>]) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn all_schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::static_blocked(),
+            Schedule::static_chunk(1),
+            Schedule::static_chunk(4),
+            Schedule::static_chunk(64),
+            Schedule::dynamic(1),
+            Schedule::dynamic(4),
+            Schedule::dynamic(64),
+            Schedule::guided(1),
+            Schedule::guided(16),
+        ]
+    }
+
+    #[test]
+    fn every_schedule_visits_each_index_exactly_once() {
+        for p in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(p);
+            for s in all_schedules() {
+                for n in [0usize, 1, 7, 100, 408] {
+                    let counters: Vec<AtomicUsize> =
+                        (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    pool.parallel_for(n, s, |i| {
+                        counters[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                    for (i, c) in counters.iter().enumerate() {
+                        assert_eq!(
+                            c.load(Ordering::Relaxed),
+                            1,
+                            "p={p} n={n} {} index {i}",
+                            s.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let acc = AtomicU64::new(0);
+        pool.parallel_for(1000, Schedule::dynamic(7), |i| {
+            acc.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 499_500);
+    }
+
+    #[test]
+    fn parallel_fill_writes_every_slot() {
+        let pool = ThreadPool::new(3);
+        for s in all_schedules() {
+            let mut out = vec![0usize; 257];
+            pool.parallel_fill(&mut out, s, |i| i * i);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "{}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_empty_and_single() {
+        let pool = ThreadPool::new(2);
+        let mut empty: Vec<usize> = vec![];
+        pool.parallel_fill(&mut empty, Schedule::dynamic(1), |i| i);
+        let mut one = vec![0.0f64];
+        pool.parallel_fill(&mut one, Schedule::guided(1), |_| 42.0);
+        assert_eq!(one[0], 42.0);
+    }
+
+    #[test]
+    fn stats_account_for_all_iterations() {
+        let pool = ThreadPool::new(4);
+        for s in all_schedules() {
+            let stats = pool.parallel_for_with_stats(500, s, |_i| {
+                std::hint::black_box(3u64.pow(7));
+            });
+            assert_eq!(stats.total_iterations(), 500, "{}", s.label());
+            assert_eq!(stats.per_thread.len(), 4);
+            assert!(stats.total_chunks() >= 1);
+        }
+    }
+
+    #[test]
+    fn static_chunk_counts_match_schedule_maths() {
+        let pool = ThreadPool::new(2);
+        let stats = pool.parallel_for_with_stats(10, Schedule::static_chunk(2), |_| {});
+        // Chunks (0,2)(4,6)(8,10) on t0; (2,4)(6,8) on t1.
+        let mut chunk_counts: Vec<usize> = stats.per_thread.iter().map(|t| t.chunks).collect();
+        chunk_counts.sort_unstable();
+        assert_eq!(chunk_counts, vec![2, 3]);
+    }
+
+    #[test]
+    fn dynamic_dispatch_counts_chunks() {
+        let pool = ThreadPool::new(2);
+        let stats = pool.parallel_for_with_stats(100, Schedule::dynamic(10), |_| {});
+        assert_eq!(stats.total_chunks(), 10);
+    }
+
+    #[test]
+    fn guided_uses_fewer_dispatches_than_dynamic_1() {
+        let pool = ThreadPool::new(4);
+        let dyn1 = pool.parallel_for_with_stats(1000, Schedule::dynamic(1), |_| {});
+        let guided = pool.parallel_for_with_stats(1000, Schedule::guided(1), |_| {});
+        assert_eq!(dyn1.total_chunks(), 1000);
+        assert!(
+            guided.total_chunks() < 100,
+            "guided dispatched {} chunks",
+            guided.total_chunks()
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0usize; 10];
+        // If this ran on another thread, the borrow checker would still be
+        // fine (scoped), but the stats must show exactly one worker.
+        let stats = pool.parallel_for_with_stats(10, Schedule::guided(2), |_| {});
+        assert_eq!(stats.per_thread.len(), 1);
+        pool.parallel_fill(&mut out, Schedule::static_blocked(), |i| i + 1);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn parallel_reduce_sums_correctly() {
+        let pool = ThreadPool::new(4);
+        for s in all_schedules() {
+            let total = pool.parallel_reduce(1000, s, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(total, 499_500, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_max() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let pool = ThreadPool::new(3);
+        let max = pool.parallel_reduce(
+            data.len(),
+            Schedule::guided(1),
+            f64::NEG_INFINITY,
+            |i| data[i],
+            f64::max,
+        );
+        assert_eq!(max, data.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn parallel_reduce_empty_returns_identity() {
+        let pool = ThreadPool::new(2);
+        let v = pool.parallel_reduce(0, Schedule::dynamic(1), 42i64, |_| 0, |a, b| a + b);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn body_may_borrow_from_stack() {
+        // The scoped-thread design mirrors OpenMP: the body reads a local.
+        let data: Vec<u64> = (0..100).collect();
+        let pool = ThreadPool::new(3);
+        let acc = AtomicU64::new(0);
+        pool.parallel_for(data.len(), Schedule::static_blocked(), |i| {
+            acc.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        ThreadPool::new(0);
+    }
+
+    #[test]
+    fn with_available_parallelism_is_positive() {
+        assert!(ThreadPool::with_available_parallelism().threads() >= 1);
+    }
+}

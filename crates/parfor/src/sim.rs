@@ -1,0 +1,523 @@
+//! Deterministic discrete-event simulation of a `parallel for` on `P`
+//! virtual processors.
+//!
+//! ## Why a simulator
+//!
+//! The paper's evaluation hardware was a 64-processor SGI Origin 2000; the
+//! results of interest (Fig 6.1, Tables 6.2 and 6.3) are **speed-up
+//! factors of the matrix-generation loop under different OpenMP schedules
+//! and processor counts**. Those numbers are determined by three things
+//! only: the per-iteration cost profile (columns of the triangular
+//! element-pair loop, linearly decreasing in size), the schedule's
+//! iteration→processor assignment rule, and the per-dispatch overhead.
+//! All three are faithfully modelled here, with the cost profile
+//! *measured* from the real sequential assembly, so the simulated
+//! speed-ups reproduce the paper's scheduling phenomena on any host —
+//! including single-core CI containers where wall-clock speed-up is
+//! unobservable.
+//!
+//! The simulation is event-driven and fully deterministic: processors are
+//! kept in a time-ordered queue (ties broken by processor index), and each
+//! dispatch event claims the next chunk exactly as the lock-free runtime
+//! in [`crate::pool`] would.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use crate::schedule::{Schedule, ScheduleKind};
+
+/// Overhead model for simulated dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOverheads {
+    /// Seconds charged to a processor every time it claims a chunk
+    /// (atomic/queue traffic plus loop-control). The paper's "cost of
+    /// managing the parallel execution".
+    pub dispatch: f64,
+    /// One-off seconds charged to every processor at region start
+    /// (thread wake-up / fork).
+    pub region_start: f64,
+}
+
+impl Default for SimOverheads {
+    fn default() -> Self {
+        // Microsecond-scale dispatch matches measured OpenMP chunk-claim
+        // costs of the era (and of today's runtimes, within an order of
+        // magnitude).
+        SimOverheads {
+            dispatch: 2e-6,
+            region_start: 5e-5,
+        }
+    }
+}
+
+impl SimOverheads {
+    /// A zero-overhead model (ideal machine; useful in tests where the
+    /// algebra of the schedule should come out exactly).
+    pub fn none() -> Self {
+        SimOverheads {
+            dispatch: 0.0,
+            region_start: 0.0,
+        }
+    }
+}
+
+/// One executed chunk in a simulated timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GanttSegment {
+    /// Processor that executed the chunk.
+    pub proc: usize,
+    /// First iteration of the chunk.
+    pub start_iter: usize,
+    /// One past the last iteration.
+    pub end_iter: usize,
+    /// Simulated start time (s), including dispatch overhead.
+    pub t_start: f64,
+    /// Simulated completion time (s).
+    pub t_end: f64,
+}
+
+/// What one virtual processor did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProcReport {
+    /// Seconds spent executing iterations (excludes dispatch overhead).
+    pub busy: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Chunks claimed.
+    pub chunks: usize,
+    /// Completion time (busy + overheads + any waiting before claims).
+    pub finish: f64,
+}
+
+/// Result of simulating one parallel region.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Processor count simulated.
+    pub processors: usize,
+    /// Schedule used.
+    pub schedule: Schedule,
+    /// Wall-clock (makespan): the time the last processor finishes.
+    pub makespan: f64,
+    /// Sequential execution time of the same work (`Σ costs`, no
+    /// overheads) — the speed-up reference, as in the paper ("the speed-up
+    /// factor has been referenced to the sequential CPU time").
+    pub sequential: f64,
+    /// Per-processor accounting.
+    pub per_proc: Vec<ProcReport>,
+    /// Chronological execution trace (one entry per chunk), for Gantt
+    /// visualization of the schedule behaviour.
+    pub timeline: Vec<GanttSegment>,
+}
+
+impl SimReport {
+    /// Speed-up factor `T_seq / T_par`.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0.0 {
+            1.0
+        } else {
+            self.sequential / self.makespan
+        }
+    }
+
+    /// Parallel efficiency `speedup / P`.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.processors as f64
+    }
+
+    /// Processors that never executed an iteration (the starvation effect
+    /// at high chunk × high P).
+    pub fn idle_processors(&self) -> usize {
+        self.per_proc.iter().filter(|p| p.iterations == 0).count()
+    }
+
+    /// Total dispatch events.
+    pub fn total_chunks(&self) -> usize {
+        self.per_proc.iter().map(|p| p.chunks).sum()
+    }
+}
+
+/// Min-heap key ordering processors by (available time, index).
+#[derive(PartialEq)]
+struct ProcKey {
+    time: f64,
+    id: usize,
+}
+
+impl Eq for ProcKey {}
+
+impl PartialOrd for ProcKey {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcKey {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest time first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("simulation times are finite")
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Simulates executing tasks with the given `costs` (seconds each, task
+/// index = loop iteration) on `p` processors under `schedule`.
+///
+/// ```
+/// use layerbem_parfor::{simulate, Schedule, SimOverheads};
+/// // The paper's triangle: linearly decreasing column costs.
+/// let costs: Vec<f64> = (0..408).map(|j| (408 - j) as f64 * 1e-5).collect();
+/// let r = simulate(&costs, 8, Schedule::dynamic(1), SimOverheads::none());
+/// assert!(r.speedup() > 7.9); // near-ideal, as in the paper's Table 6.2
+/// let s = simulate(&costs, 8, Schedule::static_blocked(), SimOverheads::none());
+/// assert!(s.speedup() < 5.0); // blocked assignment is imbalanced
+/// ```
+///
+/// # Panics
+/// Panics if `p == 0` or any cost is negative/non-finite.
+pub fn simulate(costs: &[f64], p: usize, schedule: Schedule, overheads: SimOverheads) -> SimReport {
+    assert!(p > 0, "processor count must be positive");
+    assert!(
+        costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "task costs must be finite and non-negative"
+    );
+    let n = costs.len();
+    let sequential: f64 = costs.iter().sum();
+    let mut per_proc = vec![ProcReport::default(); p];
+    let mut timeline: Vec<GanttSegment> = Vec::new();
+
+    match schedule.kind {
+        ScheduleKind::Static => {
+            // Assignment is known up front; no queueing dynamics.
+            for (t, proc) in per_proc.iter_mut().enumerate() {
+                let mut time = overheads.region_start;
+                for (a, b) in schedule.static_chunks_for(n, p, t) {
+                    let work: f64 = costs[a..b].iter().sum();
+                    timeline.push(GanttSegment {
+                        proc: t,
+                        start_iter: a,
+                        end_iter: b,
+                        t_start: time,
+                        t_end: time + overheads.dispatch + work,
+                    });
+                    time += overheads.dispatch + work;
+                    proc.busy += work;
+                    proc.iterations += b - a;
+                    proc.chunks += 1;
+                }
+                proc.finish = time;
+            }
+        }
+        ScheduleKind::Dynamic | ScheduleKind::Guided => {
+            let min_chunk = schedule.chunk_or_default();
+            let mut heap: BinaryHeap<ProcKey> = (0..p)
+                .map(|id| ProcKey {
+                    time: overheads.region_start,
+                    id,
+                })
+                .collect();
+            let mut next = 0usize;
+            while next < n {
+                let ProcKey { time, id } = heap.pop().expect("heap holds p entries");
+                let size = match schedule.kind {
+                    ScheduleKind::Dynamic => min_chunk.min(n - next),
+                    ScheduleKind::Guided => Schedule::guided_next_size(n - next, p, min_chunk),
+                    ScheduleKind::Static => unreachable!(),
+                };
+                let work: f64 = costs[next..next + size].iter().sum();
+                let finish = time + overheads.dispatch + work;
+                timeline.push(GanttSegment {
+                    proc: id,
+                    start_iter: next,
+                    end_iter: next + size,
+                    t_start: time,
+                    t_end: finish,
+                });
+                let proc = &mut per_proc[id];
+                proc.busy += work;
+                proc.iterations += size;
+                proc.chunks += 1;
+                proc.finish = finish;
+                next += size;
+                heap.push(ProcKey { time: finish, id });
+            }
+            // Processors that never claimed a chunk still paid region start.
+            for proc in per_proc.iter_mut() {
+                if proc.chunks == 0 {
+                    proc.finish = overheads.region_start;
+                }
+            }
+        }
+    }
+
+    let makespan = per_proc.iter().fold(0.0f64, |m, p| m.max(p.finish));
+    SimReport {
+        processors: p,
+        schedule,
+        makespan,
+        sequential,
+        per_proc,
+        timeline,
+    }
+}
+
+/// Simulates the paper's **inner-loop** parallelization: the outer loop
+/// over columns runs sequentially, and within each column the row tasks
+/// are distributed under `schedule` ("when computations on that column are
+/// finished the program moves sequentially to the next one, where another
+/// distribution of its rows among the processors is performed").
+///
+/// `column_rows[j]` holds the per-row costs of column `j`. Returns the
+/// summed makespan and the total sequential time.
+pub fn simulate_inner_loop(
+    column_rows: &[Vec<f64>],
+    p: usize,
+    schedule: Schedule,
+    overheads: SimOverheads,
+) -> SimReport {
+    let mut makespan = 0.0;
+    let mut sequential = 0.0;
+    let mut per_proc = vec![ProcReport::default(); p];
+    for rows in column_rows {
+        let r = simulate(rows, p, schedule, overheads);
+        makespan += r.makespan;
+        sequential += r.sequential;
+        for (acc, got) in per_proc.iter_mut().zip(&r.per_proc) {
+            acc.busy += got.busy;
+            acc.iterations += got.iterations;
+            acc.chunks += got.chunks;
+            acc.finish += got.finish;
+        }
+    }
+    SimReport {
+        processors: p,
+        schedule,
+        makespan,
+        sequential,
+        per_proc,
+        // Per-column timelines are not concatenated (offsets would need
+        // rebasing); inner-loop studies read the aggregate numbers.
+        timeline: Vec::new(),
+    }
+}
+
+impl SimReport {
+    /// Exports the timeline as CSV (`proc,start_iter,end_iter,t_start,
+    /// t_end`) for external Gantt plotting.
+    pub fn timeline_csv(&self) -> String {
+        let mut s = String::from("proc,start_iter,end_iter,t_start,t_end\n");
+        for seg in &self.timeline {
+            s.push_str(&format!(
+                "{},{},{},{:.9},{:.9}\n",
+                seg.proc, seg.start_iter, seg.end_iter, seg.t_start, seg.t_end
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn uniform_costs_static_blocked_gives_linear_speedup() {
+        let costs = vec![1.0; 64];
+        for p in [1, 2, 4, 8] {
+            let r = simulate(&costs, p, Schedule::static_blocked(), SimOverheads::none());
+            assert!(close(r.speedup(), p as f64), "p={p}: {}", r.speedup());
+            assert!(close(r.efficiency(), 1.0));
+        }
+    }
+
+    #[test]
+    fn single_processor_speedup_is_one_without_overhead() {
+        let costs: Vec<f64> = (0..100).map(|i| (i % 7) as f64 + 0.5).collect();
+        for s in [
+            Schedule::static_blocked(),
+            Schedule::dynamic(4),
+            Schedule::guided(1),
+        ] {
+            let r = simulate(&costs, 1, s, SimOverheads::none());
+            assert!(close(r.speedup(), 1.0), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn triangular_costs_under_static_blocked_are_imbalanced() {
+        // Column j of an M-column triangle costs M−j: the first block is
+        // much heavier, reproducing the paper's poor plain-Static numbers
+        // (Table 6.2 row "Static": 4.38 at 8 procs instead of ~8).
+        let m = 408;
+        let costs: Vec<f64> = (0..m).map(|j| (m - j) as f64).collect();
+        let r8 = simulate(&costs, 8, Schedule::static_blocked(), SimOverheads::none());
+        assert!(r8.speedup() < 5.0, "got {}", r8.speedup());
+        // Dynamic,1 on the same profile is near-ideal.
+        let d8 = simulate(&costs, 8, Schedule::dynamic(1), SimOverheads::none());
+        assert!(d8.speedup() > 7.5, "got {}", d8.speedup());
+    }
+
+    #[test]
+    fn static_chunk_1_interleaves_and_balances_triangle() {
+        // Round-robin chunk 1 on a linearly decreasing profile balances
+        // well (paper: Static,1 ≈ 7.99 at 8 procs).
+        let costs: Vec<f64> = (0..408).map(|j| (408 - j) as f64).collect();
+        let r = simulate(&costs, 8, Schedule::static_chunk(1), SimOverheads::none());
+        assert!(r.speedup() > 7.8, "got {}", r.speedup());
+    }
+
+    #[test]
+    fn high_chunk_high_p_starves_processors() {
+        // 408 tasks, chunk 64 → 7 chunks for 8 processors: at least one
+        // idle, speedup ≤ 7 even with uniform costs; with the triangular
+        // profile it collapses toward the paper's 3.55.
+        let costs: Vec<f64> = (0..408).map(|j| (408 - j) as f64).collect();
+        let r = simulate(&costs, 8, Schedule::dynamic(64), SimOverheads::none());
+        assert!(r.idle_processors() >= 1);
+        assert!(r.speedup() < 5.0, "got {}", r.speedup());
+    }
+
+    #[test]
+    fn guided_shrinks_chunks_and_stays_efficient() {
+        let costs: Vec<f64> = (0..408).map(|j| (408 - j) as f64).collect();
+        let r = simulate(&costs, 8, Schedule::guided(1), SimOverheads::none());
+        assert!(r.speedup() > 7.5, "got {}", r.speedup());
+        let d = simulate(&costs, 8, Schedule::dynamic(1), SimOverheads::none());
+        assert!(r.total_chunks() < d.total_chunks());
+    }
+
+    #[test]
+    fn dispatch_overhead_penalizes_fine_chunks() {
+        // With a large dispatch cost, dynamic,1 pays 408 dispatches and
+        // loses to dynamic,16.
+        let costs = vec![1e-4; 408];
+        let heavy = SimOverheads {
+            dispatch: 5e-4,
+            region_start: 0.0,
+        };
+        let fine = simulate(&costs, 4, Schedule::dynamic(1), heavy);
+        let coarse = simulate(&costs, 4, Schedule::dynamic(16), heavy);
+        assert!(coarse.makespan < fine.makespan);
+    }
+
+    #[test]
+    fn accounting_is_conservative() {
+        let costs: Vec<f64> = (0..100).map(|i| 0.01 * (i as f64 + 1.0)).collect();
+        for s in [
+            Schedule::static_blocked(),
+            Schedule::static_chunk(4),
+            Schedule::dynamic(4),
+            Schedule::guided(2),
+        ] {
+            let r = simulate(&costs, 5, s, SimOverheads::default());
+            let total_iter: usize = r.per_proc.iter().map(|p| p.iterations).sum();
+            let total_busy: f64 = r.per_proc.iter().map(|p| p.busy).sum();
+            assert_eq!(total_iter, 100, "{}", s.label());
+            assert!(close(total_busy, r.sequential), "{}", s.label());
+            assert!(r.makespan >= r.sequential / 5.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let costs: Vec<f64> = (0..200).map(|i| ((i * 37) % 11) as f64 * 1e-3).collect();
+        let a = simulate(&costs, 6, Schedule::guided(1), SimOverheads::default());
+        let b = simulate(&costs, 6, Schedule::guided(1), SimOverheads::default());
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        for (x, y) in a.per_proc.iter().zip(&b.per_proc) {
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(x.chunks, y.chunks);
+        }
+    }
+
+    #[test]
+    fn inner_loop_simulation_sums_columns() {
+        // Two columns of 2 rows each, uniform unit costs, 2 procs, no
+        // overhead: each column takes 1.0, total 2.0; sequential 4.0.
+        let columns = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let r = simulate_inner_loop(&columns, 2, Schedule::dynamic(1), SimOverheads::none());
+        assert!(close(r.makespan, 2.0));
+        assert!(close(r.sequential, 4.0));
+        assert!(close(r.speedup(), 2.0));
+    }
+
+    #[test]
+    fn inner_loop_granularity_loss_vs_outer() {
+        // The paper's Fig 6.1 effect: parallelizing the inner loop leaves
+        // the tail of each column unparallelizable; the outer loop wins.
+        // Columns of the triangle: column j has 408−j unit-cost rows.
+        let m = 408;
+        let columns: Vec<Vec<f64>> = (0..m).map(|j| vec![1e-5; m - j]).collect();
+        let outer_costs: Vec<f64> = columns.iter().map(|c| c.iter().sum()).collect();
+        let p = 32;
+        let over = SimOverheads::default();
+        let outer = simulate(&outer_costs, p, Schedule::dynamic(1), over);
+        let inner = simulate_inner_loop(&columns, p, Schedule::dynamic(1), over);
+        assert!(
+            outer.speedup() > inner.speedup(),
+            "outer {} inner {}",
+            outer.speedup(),
+            inner.speedup()
+        );
+    }
+
+    #[test]
+    fn timeline_covers_all_iterations_without_overlap() {
+        let costs: Vec<f64> = (0..100).map(|i| 1e-4 * ((i % 5) as f64 + 1.0)).collect();
+        for s in [
+            Schedule::static_blocked(),
+            Schedule::static_chunk(7),
+            Schedule::dynamic(3),
+            Schedule::guided(1),
+        ] {
+            let r = simulate(&costs, 4, s, SimOverheads::default());
+            // Every iteration appears exactly once.
+            let mut seen = vec![0usize; 100];
+            for seg in &r.timeline {
+                for c in seen[seg.start_iter..seg.end_iter].iter_mut() {
+                    *c += 1;
+                }
+                assert!(seg.t_end > seg.t_start);
+                assert!(seg.t_end <= r.makespan + 1e-12);
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{}", s.label());
+            // Per-processor segments never overlap in time.
+            for p in 0..4 {
+                let mut segs: Vec<&GanttSegment> =
+                    r.timeline.iter().filter(|g| g.proc == p).collect();
+                segs.sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).expect("finite"));
+                for w in segs.windows(2) {
+                    assert!(w[1].t_start >= w[0].t_end - 1e-12, "{}", s.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_csv_has_header_and_rows() {
+        let r = simulate(&[1.0, 2.0, 3.0], 2, Schedule::dynamic(1), SimOverheads::none());
+        let csv = r.timeline_csv();
+        assert!(csv.starts_with("proc,start_iter"));
+        assert_eq!(csv.trim().lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn empty_task_list_is_benign() {
+        let r = simulate(&[], 4, Schedule::dynamic(1), SimOverheads::none());
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.speedup(), 1.0);
+        assert_eq!(r.idle_processors(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_costs_rejected() {
+        simulate(&[1.0, -2.0], 2, Schedule::dynamic(1), SimOverheads::none());
+    }
+}

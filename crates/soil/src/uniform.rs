@@ -1,0 +1,122 @@
+//! Uniform half-space kernel.
+//!
+//! For homogeneous soil the image series collapses to exactly two terms
+//! (paper §3: "in the case of uniform soil, the series are reduced to only
+//! two summands, since there is only one image of the original grid"): the
+//! source itself and its mirror image above the insulating earth surface,
+//! with equal strength because the air carries no current
+//! (`∂V/∂z = 0` at `z = 0`).
+//!
+//! ```text
+//! G(r, z; d) = (1 / 4πγ) · [ 1/R(z−d) + 1/R(z+d) ],   R(a) = √(r² + a²)
+//! ```
+
+use crate::GreensFunction;
+
+/// Green's function of a uniform half-space of conductivity γ.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformKernel {
+    gamma: f64,
+}
+
+impl UniformKernel {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    /// Panics unless `gamma` is positive and finite.
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "conductivity must be positive and finite"
+        );
+        UniformKernel { gamma }
+    }
+
+    /// Soil conductivity.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl GreensFunction for UniformKernel {
+    fn potential(&self, r: f64, z: f64, d: f64) -> f64 {
+        debug_assert!(r >= 0.0 && z >= 0.0 && d >= 0.0);
+        let direct = (r * r + (z - d) * (z - d)).sqrt();
+        let image = (r * r + (z + d) * (z + d)).sqrt();
+        (1.0 / direct + 1.0 / image) / (4.0 * std::f64::consts::PI * self.gamma)
+    }
+
+    fn typical_terms(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI4: f64 = 4.0 * std::f64::consts::PI;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-30)
+    }
+
+    #[test]
+    fn surface_potential_doubles_the_free_space_value() {
+        // On the surface (z = 0) direct and image distances coincide, so
+        // the half-space potential is exactly twice the full-space one.
+        let k = UniformKernel::new(0.02);
+        let (r, d) = (7.0f64, 3.0f64);
+        let dist = (r * r + d * d).sqrt();
+        let expected = 2.0 / (PI4 * 0.02 * dist);
+        assert!(close(k.potential(r, 0.0, d), expected, 1e-14));
+    }
+
+    #[test]
+    fn insulating_surface_boundary_condition() {
+        // ∂V/∂z = 0 at z = 0: check with a central difference.
+        let k = UniformKernel::new(0.016);
+        let h = 1e-6;
+        // Evaluate slightly below the surface on both sides of z = h.
+        let v0 = k.potential(5.0, h, 2.0);
+        let v1 = k.potential(5.0, 2.0 * h, 2.0);
+        let dvdz = (v1 - v0) / h;
+        let scale = v0 / 1.0; // potential per meter scale
+        assert!(dvdz.abs() < 1e-5 * scale, "dV/dz = {dvdz}");
+    }
+
+    #[test]
+    fn decays_with_distance() {
+        let k = UniformKernel::new(0.016);
+        let v1 = k.potential(1.0, 0.0, 0.8);
+        let v10 = k.potential(10.0, 0.0, 0.8);
+        let v100 = k.potential(100.0, 0.0, 0.8);
+        assert!(v1 > v10 && v10 > v100);
+        // Far field ~ 2/(4πγ r): check the 1/r asymptote.
+        assert!(close(v100 / v10, 0.1, 1e-2));
+    }
+
+    #[test]
+    fn reciprocity_in_depth_arguments() {
+        // G(r, z, d) = G(r, d, z) — swapping source and observation depths
+        // leaves both distances unchanged.
+        let k = UniformKernel::new(0.01);
+        assert!(close(
+            k.potential(3.0, 1.5, 0.4),
+            k.potential(3.0, 0.4, 1.5),
+            1e-15
+        ));
+    }
+
+    #[test]
+    fn scales_inversely_with_conductivity() {
+        let a = UniformKernel::new(0.01).potential(2.0, 1.0, 0.8);
+        let b = UniformKernel::new(0.02).potential(2.0, 1.0, 0.8);
+        assert!(close(a, 2.0 * b, 1e-14));
+    }
+
+    #[test]
+    fn two_terms_reported() {
+        assert_eq!(UniformKernel::new(0.02).typical_terms(), 2);
+    }
+}

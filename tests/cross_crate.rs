@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: deck → pipeline → solution → maps →
+//! safety, and equivalence of all assembly modes on real grids.
+
+use layerbem::prelude::*;
+
+const DECK: &str = "\
+title integration yard
+soil two-layer 0.005 0.016 1.0
+gpr 10000
+grid rect 0 0 30 20 3 2 0.8 0.006
+rod 0 0 0.8 1.5 0.007
+rod 30 20 0.8 1.5 0.007
+max-element-length 10
+";
+
+#[test]
+fn pipeline_end_to_end() {
+    let case = parse_case(DECK).expect("deck parses");
+    let result = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    assert!(result.solution.equivalent_resistance > 0.0);
+    assert!(result.solution.total_current > 0.0);
+    assert!(result.times.matrix_generation_share() > 0.5);
+    assert!(result.report.contains("integration yard"));
+    assert_eq!(result.column_seconds.len(), result.mesh.element_count());
+}
+
+#[test]
+fn all_assembly_modes_agree_bit_exactly() {
+    let case = parse_case(DECK).unwrap();
+    let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    let sys = GroundingSystem::new(mesh, &case.soil, SolveOptions::default());
+    let seq = sys.assemble(&AssemblyMode::Sequential);
+    let pool = ThreadPool::new(4);
+    for schedule in [
+        Schedule::static_blocked(),
+        Schedule::static_chunk(4),
+        Schedule::dynamic(1),
+        Schedule::dynamic(16),
+        Schedule::guided(1),
+    ] {
+        let outer = sys.assemble(&AssemblyMode::ParallelOuter(pool, schedule));
+        assert_eq!(
+            seq.matrix.packed(),
+            outer.matrix.packed(),
+            "outer {}",
+            schedule.label()
+        );
+        let inner = sys.assemble(&AssemblyMode::ParallelInner(pool, schedule));
+        assert_eq!(
+            seq.matrix.packed(),
+            inner.matrix.packed(),
+            "inner {}",
+            schedule.label()
+        );
+    }
+}
+
+#[test]
+fn parallel_solution_matches_sequential_physics() {
+    let case = parse_case(DECK).unwrap();
+    let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    let sys = GroundingSystem::new(mesh, &case.soil, SolveOptions::default());
+    let pool = ThreadPool::new(3);
+    let seq = sys.solve(&AssemblyMode::Sequential, case.gpr);
+    let par = sys.solve(
+        &AssemblyMode::ParallelOuter(pool, Schedule::guided(1)),
+        case.gpr,
+    );
+    assert_eq!(seq.equivalent_resistance, par.equivalent_resistance);
+    assert_eq!(seq.total_current, par.total_current);
+}
+
+#[test]
+fn map_and_safety_from_pipeline_output() {
+    let case = parse_case(DECK).unwrap();
+    let result = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    let sys = GroundingSystem::new(result.mesh.clone(), &case.soil, SolveOptions::default());
+    let pool = ThreadPool::new(2);
+    let map = PotentialMap::compute(
+        &result.mesh,
+        sys.kernel(),
+        &result.solution,
+        &MapSpec {
+            x_range: (-5.0, 35.0),
+            y_range: (-5.0, 25.0),
+            nx: 17,
+            ny: 13,
+        },
+        &pool,
+        Schedule::dynamic(4),
+    );
+    assert!(map.max() < result.solution.gpr);
+    assert!(map.min() > 0.0);
+    let ve = voltage_extrema(&map, result.solution.gpr);
+    let criteria = SafetyCriteria {
+        fault_duration: 0.5,
+        body_weight: BodyWeight::Kg50,
+        soil_resistivity: 200.0,
+        surface_layer: None,
+    };
+    let assessment = SafetyAssessment::evaluate(ve.touch, ve.step, &criteria);
+    // This small, sparse yard at 10 kV GPR cannot be safe on bare soil.
+    assert!(!assessment.is_safe());
+    // Adding crushed rock must raise both limits.
+    let rocked = SafetyCriteria {
+        surface_layer: Some(SurfaceLayer {
+            resistivity: 3000.0,
+            thickness: 0.15,
+        }),
+        ..criteria
+    };
+    assert!(rocked.permissible_touch() > criteria.permissible_touch());
+}
+
+#[test]
+fn solver_choices_agree_through_public_api() {
+    let case = parse_case(DECK).unwrap();
+    let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    let mut results = Vec::new();
+    for solver in [
+        SolverChoice::ConjugateGradient,
+        SolverChoice::Cholesky,
+        SolverChoice::Lu,
+    ] {
+        let sys = GroundingSystem::new(
+            mesh.clone(),
+            &case.soil,
+            SolveOptions {
+                solver,
+                ..Default::default()
+            },
+        );
+        results.push(
+            sys.solve(&AssemblyMode::Sequential, 1.0)
+                .equivalent_resistance,
+        );
+    }
+    for w in results.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-7 * w[0]);
+    }
+}
+
+#[test]
+fn collocation_cross_checks_galerkin_on_a_grid() {
+    let case = parse_case(DECK).unwrap();
+    let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    let galerkin = GroundingSystem::new(mesh.clone(), &case.soil, SolveOptions::default())
+        .solve(&AssemblyMode::Sequential, 1.0);
+    let colloc = GroundingSystem::new(
+        mesh,
+        &case.soil,
+        SolveOptions {
+            formulation: Formulation::Collocation,
+            ..Default::default()
+        },
+    )
+    .solve(&AssemblyMode::Sequential, 1.0);
+    let dev = (galerkin.equivalent_resistance - colloc.equivalent_resistance).abs()
+        / galerkin.equivalent_resistance;
+    assert!(dev < 0.05, "galerkin vs collocation deviate {dev}");
+}
+
+#[test]
+fn multilayer_soil_through_full_pipeline() {
+    let deck = "\
+soil multi-layer 0.005 1.0 0.01 2.0 0.016 inf
+gpr 5000
+grid rect 0 0 10 10 1 1 0.8 0.006
+";
+    let case = parse_case(deck).unwrap();
+    let result = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    assert!(result.solution.equivalent_resistance > 0.0);
+    // The 3-layer Req must land between the two bounding 2-layer models.
+    let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    let lo = GroundingSystem::new(
+        mesh.clone(),
+        &SoilModel::two_layer(0.005, 0.016, 3.0),
+        SolveOptions::default(),
+    )
+    .solve(&AssemblyMode::Sequential, 5000.0);
+    let hi = GroundingSystem::new(
+        mesh,
+        &SoilModel::two_layer(0.005, 0.016, 1.0),
+        SolveOptions::default(),
+    )
+    .solve(&AssemblyMode::Sequential, 5000.0);
+    let (a, b) = (
+        lo.equivalent_resistance.min(hi.equivalent_resistance),
+        lo.equivalent_resistance.max(hi.equivalent_resistance),
+    );
+    let r = result.solution.equivalent_resistance;
+    assert!(r > 0.98 * a && r < 1.02 * b, "{r} not in [{a}, {b}]");
+}
