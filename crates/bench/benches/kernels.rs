@@ -66,7 +66,10 @@ fn element_integrals(c: &mut Criterion) {
     for (label, soil) in [
         ("uniform", SoilModel::uniform(0.016)),
         ("two_layer_barbera", SoilModel::two_layer(0.005, 0.016, 1.0)),
-        ("two_layer_balaidos", SoilModel::two_layer(0.0025, 0.020, 1.0)),
+        (
+            "two_layer_balaidos",
+            SoilModel::two_layer(0.0025, 0.020, 1.0),
+        ),
     ] {
         let k = SoilKernel::new(&soil);
         g.bench_with_input(BenchmarkId::from_parameter(label), &k, |b, k| {
@@ -105,5 +108,10 @@ fn series_acceleration(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, point_kernels, element_integrals, series_acceleration);
+criterion_group!(
+    benches,
+    point_kernels,
+    element_integrals,
+    series_acceleration
+);
 criterion_main!(benches);

@@ -39,7 +39,9 @@ fn main() {
             mesh.element_count().to_string(),
             mesh.dof().to_string(),
             format!("{:.5}", sol.equivalent_resistance),
-            delta.map(|d| format!("{d:.5}")).unwrap_or_else(|| "—".into()),
+            delta
+                .map(|d| format!("{d:.5}"))
+                .unwrap_or_else(|| "—".into()),
             format!("{secs:.2}"),
         ]);
         csv.push_str(&format!(
@@ -64,7 +66,14 @@ fn main() {
         prev_req = Some(sol.equivalent_resistance);
     }
     let table = render_table(
-        &["max elem (m)", "elements", "dof", "Req (Ω)", "|ΔReq|", "time (s)"],
+        &[
+            "max elem (m)",
+            "elements",
+            "dof",
+            "Req (Ω)",
+            "|ΔReq|",
+            "time (s)",
+        ],
         &rows,
     );
     println!("{table}");

@@ -64,7 +64,12 @@ fn main() {
         ));
     }
     let table = render_table(
-        &["compression", "Req (Ω)", "worst touch (V)", "worst step (V)"],
+        &[
+            "compression",
+            "Req (Ω)",
+            "worst touch (V)",
+            "worst step (V)",
+        ],
         &rows,
     );
     println!("{table}");

@@ -5,7 +5,7 @@
 //! (γ1 = 0.005, γ2 = 0.016, H = 1 m) soil models — and writes the Fig 5.1
 //! grid plan as CSV.
 
-use layerbem_bench::{paper, pct_dev, plan_csv, render_table, solve_case, soils, write_artifact};
+use layerbem_bench::{paper, pct_dev, plan_csv, render_table, soils, solve_case, write_artifact};
 use layerbem_geometry::grids;
 
 fn main() {

@@ -4,7 +4,7 @@
 //! statistics of the two fields (peak, edge values, and the
 //! uniform-vs-two-layer contrast the figure displays).
 
-use layerbem_bench::{render_table, solve_case, soils, write_artifact};
+use layerbem_bench::{render_table, soils, solve_case, write_artifact};
 use layerbem_core::post::{MapSpec, PotentialMap};
 use layerbem_parfor::{Schedule, ThreadPool};
 

@@ -5,7 +5,7 @@
 //! around the electrodes, the higher the surface potentials relative to
 //! GPR).
 
-use layerbem_bench::{render_table, solve_case, soils, write_artifact};
+use layerbem_bench::{render_table, soils, solve_case, write_artifact};
 use layerbem_core::post::{voltage_extrema, MapSpec, PotentialMap};
 use layerbem_parfor::{Schedule, ThreadPool};
 
@@ -48,7 +48,13 @@ fn main() {
         );
     }
     let table = render_table(
-        &["Model", "peak V", "peak/GPR", "worst touch V", "worst step V"],
+        &[
+            "Model",
+            "peak V",
+            "peak/GPR",
+            "worst touch V",
+            "worst step V",
+        ],
         &rows,
     );
     println!("{table}");

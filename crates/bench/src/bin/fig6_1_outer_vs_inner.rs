@@ -26,9 +26,7 @@ fn main() {
     let report = system.assemble(&AssemblyMode::Sequential);
     let outer_costs = report.column_seconds.clone();
     let total: f64 = outer_costs.iter().sum();
-    println!(
-        "sequential matrix generation: {total:.2} s over {m} columns\n"
-    );
+    println!("sequential matrix generation: {total:.2} s over {m} columns\n");
 
     // Row costs within a column: the column cost spread uniformly over
     // its M−β pairs (pair costs within a column are near-uniform: same

@@ -2,7 +2,7 @@
 //! A (uniform), B (two-layer, H = 0.7 m) and C (two-layer, H = 1.0 m),
 //! at GPR = 10 kV. Also writes the Fig 5.3 grid plan as CSV.
 
-use layerbem_bench::{paper, pct_dev, plan_csv, render_table, solve_case, soils, write_artifact};
+use layerbem_bench::{paper, pct_dev, plan_csv, render_table, soils, solve_case, write_artifact};
 use layerbem_geometry::grids;
 
 fn main() {

@@ -5,8 +5,8 @@
 //! paper; our pipeline must reproduce that dominance.
 
 use layerbem_bench::{paper, render_table, write_artifact};
-use layerbem_cad::pipeline::{run_pipeline, Phase};
 use layerbem_cad::input::parse_case;
+use layerbem_cad::pipeline::{run_pipeline, Phase};
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 use std::time::Instant;

@@ -58,8 +58,16 @@ fn main() {
     }
     let table = render_table(
         &[
-            "Model", "P=1 s (S)", "paper s", "P=2 s (S)", "paper s", "P=4 s (S)", "paper s",
-            "P=8 s (S)", "paper s", "seq s",
+            "Model",
+            "P=1 s (S)",
+            "paper s",
+            "P=2 s (S)",
+            "paper s",
+            "P=4 s (S)",
+            "paper s",
+            "P=8 s (S)",
+            "paper s",
+            "seq s",
         ],
         &rows,
     );

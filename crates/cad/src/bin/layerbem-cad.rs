@@ -146,7 +146,10 @@ fn main() -> ExitCode {
             eprintln!("error: cannot write {out}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("surface potential map ({}×{}) written to {out}", spec.nx, spec.ny);
+        println!(
+            "surface potential map ({}×{}) written to {out}",
+            spec.nx, spec.ny
+        );
     }
     ExitCode::SUCCESS
 }

@@ -204,10 +204,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                         let v = parse_floats(line_no, &rest[1..], 8, "grid rect")?;
                         let (nx, ny) = (v[4] as usize, v[5] as usize);
                         if nx == 0 || ny == 0 || v[4].fract() != 0.0 || v[5].fract() != 0.0 {
-                            return Err(err(
-                                line_no,
-                                "grid cell counts must be positive integers",
-                            ));
+                            return Err(err(line_no, "grid cell counts must be positive integers"));
                         }
                         network.extend(
                             rectangular_grid(RectGridSpec {
@@ -229,10 +226,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                         let v = parse_floats(line_no, &rest[1..], 6, "grid triangle")?;
                         let (nx, ny) = (v[2] as usize, v[3] as usize);
                         if nx == 0 || ny == 0 || v[2].fract() != 0.0 || v[3].fract() != 0.0 {
-                            return Err(err(
-                                line_no,
-                                "grid cell counts must be positive integers",
-                            ));
+                            return Err(err(line_no, "grid cell counts must be positive integers"));
                         }
                         network.extend(
                             triangle_grid(TriangleGridSpec {
@@ -250,9 +244,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                             .copied(),
                         );
                     }
-                    other => {
-                        return Err(err(line_no, format!("unknown grid kind '{other}'")))
-                    }
+                    other => return Err(err(line_no, format!("unknown grid kind '{other}'"))),
                 }
             }
             "formulation" => {
@@ -397,8 +389,7 @@ max-element-length 5
 
     #[test]
     fn triangle_grid_keyword() {
-        let case =
-            parse_case("grid triangle 89 143 9 11 0.8 0.006\n").unwrap();
+        let case = parse_case("grid triangle 89 143 9 11 0.8 0.006\n").unwrap();
         assert!(case.network.len() > 100);
         // All conductors inside the triangle.
         for c in case.network.conductors() {
@@ -408,10 +399,8 @@ max-element-length 5
 
     #[test]
     fn solver_and_formulation_keywords() {
-        let case = parse_case(
-            "solver cholesky\nformulation collocation\nrod 0 0 0.5 1 0.01\n",
-        )
-        .unwrap();
+        let case =
+            parse_case("solver cholesky\nformulation collocation\nrod 0 0 0.5 1 0.01\n").unwrap();
         assert_eq!(case.solver, SolverChoice::Cholesky);
         assert_eq!(case.formulation, Formulation::Collocation);
         // Defaults when absent.

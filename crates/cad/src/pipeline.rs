@@ -65,7 +65,10 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Seconds of one phase.
     pub fn of(&self, phase: Phase) -> f64 {
-        let idx = Phase::all().iter().position(|p| *p == phase).expect("known");
+        let idx = Phase::all()
+            .iter()
+            .position(|p| *p == phase)
+            .expect("known");
         self.seconds[idx]
     }
 

@@ -60,9 +60,7 @@ pub fn soil_description(soil: &SoilModel) -> String {
             upper,
             lower,
             thickness,
-        } => format!(
-            "two-layer, γ1 = {upper}, γ2 = {lower} (Ω·m)⁻¹, H = {thickness} m"
-        ),
+        } => format!("two-layer, γ1 = {upper}, γ2 = {lower} (Ω·m)⁻¹, H = {thickness} m"),
         SoilModel::MultiLayer { layers } => {
             format!("{} layers", layers.len())
         }

@@ -1,0 +1,71 @@
+//! End-to-end smoke test of the CAD layer: a tiny inline deck goes
+//! through `parse_case` + `run_pipeline` without touching the binary, so
+//! `cargo test -q` exercises the same path `layerbem-cad` drives.
+
+use layerbem_cad::{parse_case, run_pipeline, Phase};
+use layerbem_core::assembly::AssemblyMode;
+use layerbem_core::formulation::SolveOptions;
+
+const DECK: &str = "\
+# tiny but complete case
+title Smoke yard
+soil two-layer 0.005 0.016 1.0
+gpr 5000
+grid rect 0 0 20 20 2 2 0.8 0.006
+rod 10 10 0.8 1.5 0.007
+max-element-length 5
+";
+
+#[test]
+fn parse_and_pipeline_round_trip() {
+    let case = parse_case(DECK).expect("deck parses");
+    assert_eq!(case.title, "Smoke yard");
+    // 12 grid segments + 1 rod.
+    assert_eq!(case.network.len(), 13);
+
+    let result = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.25,
+    );
+
+    // Physical sanity of the solution.
+    assert!(result.solution.equivalent_resistance > 0.0);
+    assert!(result.solution.total_current > 0.0);
+    assert!(
+        (result.solution.total_current * result.solution.equivalent_resistance - case.gpr).abs()
+            < 1e-6 * case.gpr
+    );
+
+    // Phase accounting: caller-supplied input time is preserved and the
+    // total is the sum of the five phases.
+    assert_eq!(result.times.of(Phase::DataInput), 0.25);
+    let summed: f64 = Phase::all().iter().map(|p| result.times.of(*p)).sum();
+    assert!((result.times.total() - summed).abs() < 1e-12);
+
+    // The stored report names the case and the key outputs.
+    assert!(result.report.contains("Smoke yard"));
+
+    // The column cost profile has one entry per outer element of the
+    // triangular assembly loop, matching the mesh the pipeline built.
+    assert_eq!(result.column_seconds.len(), result.mesh.element_count());
+}
+
+#[test]
+fn deck_solver_choice_flows_into_pipeline() {
+    // Same case solved by deck-selected Cholesky and by default PCG must
+    // agree on the resistance to solver precision.
+    let cg = parse_case(DECK).expect("deck parses");
+    let chol = parse_case(&format!("{DECK}solver cholesky\n")).expect("deck parses");
+    let a = run_pipeline(&cg, SolveOptions::default(), &AssemblyMode::Sequential, 0.0);
+    let b = run_pipeline(
+        &chol,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    let dev = (a.solution.equivalent_resistance - b.solution.equivalent_resistance).abs()
+        / a.solution.equivalent_resistance;
+    assert!(dev < 1e-6, "cg vs cholesky deviation {dev}");
+}

@@ -169,7 +169,7 @@ mod tests {
             &SoilModel::uniform(0.016),
             SolveOptions::default(),
             1.0,
-            10.0, // halves to 5 m: a genuinely different mesh
+            10.0,  // halves to 5 m: a genuinely different mesh
             1e-12, // unreachable tolerance
             2,
         );

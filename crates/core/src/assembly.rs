@@ -347,7 +347,7 @@ pub fn assemble_collocation(mesh: &Mesh, kernel: &SoilKernel) -> (DenseMatrix, V
 mod tests {
     use super::*;
     use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
-    use layerbem_geometry::{ConductorNetwork, Conductor, Mesher, Point3};
+    use layerbem_geometry::{Conductor, ConductorNetwork, Mesher, Point3};
     use layerbem_numeric::cholesky::CholeskyFactor;
     use layerbem_soil::SoilModel;
 
@@ -498,12 +498,7 @@ mod tests {
     fn two_layer_assembly_costs_more_terms_than_uniform() {
         let mesh = small_mesh();
         let opts = SolveOptions::default();
-        let uni = assemble_galerkin(
-            &mesh,
-            &uniform_kernel(),
-            &opts,
-            &AssemblyMode::Sequential,
-        );
+        let uni = assemble_galerkin(&mesh, &uniform_kernel(), &opts, &AssemblyMode::Sequential);
         let two = assemble_galerkin(
             &mesh,
             &SoilKernel::new(&SoilModel::two_layer(0.0025, 0.020, 1.0)),

@@ -52,7 +52,11 @@ pub fn extract_contour(map: &PotentialMap, level: f64) -> Vec<ContourLine> {
         return Vec::new();
     }
     // Nudge the level off exact grid values.
-    let scale = map.values.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+    let scale = map
+        .values
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1.0);
     let mut lv = level;
     if map.values.contains(&lv) {
         lv += 1e-12 * scale;
@@ -60,9 +64,7 @@ pub fn extract_contour(map: &PotentialMap, level: f64) -> Vec<ContourLine> {
 
     // Collect line segments per cell, then stitch them into polylines.
     let mut segments: Vec<((f64, f64), (f64, f64))> = Vec::new();
-    let interp = |va: f64, vb: f64, a: f64, b: f64| -> f64 {
-        a + (lv - va) / (vb - va) * (b - a)
-    };
+    let interp = |va: f64, vb: f64, a: f64, b: f64| -> f64 { a + (lv - va) / (vb - va) * (b - a) };
     for j in 0..ny - 1 {
         for i in 0..nx - 1 {
             let (x0, x1) = (map.xs[i], map.xs[i + 1]);
@@ -138,9 +140,7 @@ pub fn extract_contour(map: &PotentialMap, level: f64) -> Vec<ContourLine> {
 
 /// Chains loose segments into polylines by matching endpoints.
 fn stitch(mut segments: Vec<((f64, f64), (f64, f64))>, level: f64) -> Vec<ContourLine> {
-    let close = |a: (f64, f64), b: (f64, f64)| {
-        (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9
-    };
+    let close = |a: (f64, f64), b: (f64, f64)| (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9;
     let mut lines = Vec::new();
     while let Some((a, b)) = segments.pop() {
         let mut chain = vec![a, b];

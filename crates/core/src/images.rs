@@ -87,15 +87,39 @@ impl ImageExpansion {
         match self.family {
             Family::UpperUpper => {
                 if n == 0 {
-                    out.push(Image { sign: 1.0, offset: 0.0, coefficient: pre });
-                    out.push(Image { sign: -1.0, offset: 0.0, coefficient: pre });
+                    out.push(Image {
+                        sign: 1.0,
+                        offset: 0.0,
+                        coefficient: pre,
+                    });
+                    out.push(Image {
+                        sign: -1.0,
+                        offset: 0.0,
+                        coefficient: pre,
+                    });
                 } else if k != 0.0 {
                     let c = pre * kn(n);
                     let two_nh = 2.0 * n as f64 * h;
-                    out.push(Image { sign: -1.0, offset: two_nh, coefficient: c });
-                    out.push(Image { sign: 1.0, offset: two_nh, coefficient: c });
-                    out.push(Image { sign: 1.0, offset: -two_nh, coefficient: c });
-                    out.push(Image { sign: -1.0, offset: -two_nh, coefficient: c });
+                    out.push(Image {
+                        sign: -1.0,
+                        offset: two_nh,
+                        coefficient: c,
+                    });
+                    out.push(Image {
+                        sign: 1.0,
+                        offset: two_nh,
+                        coefficient: c,
+                    });
+                    out.push(Image {
+                        sign: 1.0,
+                        offset: -two_nh,
+                        coefficient: c,
+                    });
+                    out.push(Image {
+                        sign: -1.0,
+                        offset: -two_nh,
+                        coefficient: c,
+                    });
                 }
             }
             Family::UpperLower => {
@@ -104,8 +128,16 @@ impl ImageExpansion {
                 }
                 let c = pre * (1.0 + k) * kn(n);
                 let two_nh = 2.0 * n as f64 * h;
-                out.push(Image { sign: 1.0, offset: -two_nh, coefficient: c });
-                out.push(Image { sign: -1.0, offset: -two_nh, coefficient: c });
+                out.push(Image {
+                    sign: 1.0,
+                    offset: -two_nh,
+                    coefficient: c,
+                });
+                out.push(Image {
+                    sign: -1.0,
+                    offset: -two_nh,
+                    coefficient: c,
+                });
             }
             Family::LowerUpper => {
                 if k == 0.0 && n > 0 {
@@ -113,12 +145,24 @@ impl ImageExpansion {
                 }
                 let c = pre * (1.0 - k) * kn(n);
                 let two_nh = 2.0 * n as f64 * h;
-                out.push(Image { sign: 1.0, offset: two_nh, coefficient: c });
-                out.push(Image { sign: -1.0, offset: -two_nh, coefficient: c });
+                out.push(Image {
+                    sign: 1.0,
+                    offset: two_nh,
+                    coefficient: c,
+                });
+                out.push(Image {
+                    sign: -1.0,
+                    offset: -two_nh,
+                    coefficient: c,
+                });
             }
             Family::LowerLower => {
                 if n == 0 {
-                    out.push(Image { sign: 1.0, offset: 0.0, coefficient: pre });
+                    out.push(Image {
+                        sign: 1.0,
+                        offset: 0.0,
+                        coefficient: pre,
+                    });
                     if k != 0.0 {
                         out.push(Image {
                             sign: -1.0,
@@ -147,8 +191,8 @@ impl ImageExpansion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use layerbem_soil::{GreensFunction, SoilModel, TwoLayerKernels};
     use layerbem_soil::uniform::UniformKernel;
+    use layerbem_soil::{GreensFunction, SoilModel, TwoLayerKernels};
 
     const PI4: f64 = 4.0 * std::f64::consts::PI;
 
@@ -184,7 +228,11 @@ mod tests {
         };
         let un = UniformKernel::new(0.016);
         for &(r, z, d) in &[(2.0, 0.0, 0.8), (5.0, 1.5, 0.8), (0.3, 2.0, 1.0)] {
-            assert!(close(point_sum(&exp, r, z, d, 5), un.potential(r, z, d), 1e-14));
+            assert!(close(
+                point_sum(&exp, r, z, d, 5),
+                un.potential(r, z, d),
+                1e-14
+            ));
         }
         // Group 1 must be empty for κ = 0.
         let mut buf = Vec::new();
@@ -214,10 +262,7 @@ mod tests {
             };
             let got = point_sum(&exp, r, z, d, 400);
             let want = tl.potential(r, z, d);
-            assert!(
-                close(got, want, 1e-7),
-                "{family:?}: {got} vs {want}"
-            );
+            assert!(close(got, want, 1e-7), "{family:?}: {got} vs {want}");
         }
     }
 

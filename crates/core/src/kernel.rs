@@ -48,7 +48,10 @@ enum Strategy {
     },
     /// N-layer: analytic singular part + quadrature of the smooth
     /// secondary kernel.
-    Numeric { kernel: MultiLayerKernel, quad: GaussLegendre },
+    Numeric {
+        kernel: MultiLayerKernel,
+        quad: GaussLegendre,
+    },
 }
 
 impl SoilKernel {
@@ -151,8 +154,7 @@ impl SoilKernel {
                     // The analytic split of soil::multilayer: the primary
                     // surface image always, the direct term only when the
                     // field point is in the source sub-segment's layer.
-                    let same_layer =
-                        kernel.layer_index_of(x.z) == kernel.layer_index_of(mid_depth);
+                    let same_layer = kernel.layer_index_of(x.z) == kernel.layer_index_of(mid_depth);
                     let mut imgs = vec![Image {
                         sign: -1.0,
                         offset: 0.0,
@@ -357,7 +359,6 @@ mod tests {
     use super::*;
     use layerbem_numeric::GaussLegendre;
 
-
     fn close(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-30)
     }
@@ -517,6 +518,10 @@ mod tests {
         let k = SoilKernel::new(&SoilModel::two_layer(0.0025, 0.020, 1.0));
         let a = Point3::new(0.0, 0.0, 0.5);
         let b = Point3::new(4.0, 2.0, 1.9);
-        assert!(close(k.point_potential(a, b), k.point_potential(b, a), 1e-8));
+        assert!(close(
+            k.point_potential(a, b),
+            k.point_potential(b, a),
+            1e-8
+        ));
     }
 }

@@ -36,7 +36,7 @@ pub mod safety;
 pub mod system;
 
 pub use assembly::{AssemblyMode, AssemblyReport};
-pub use formulation::{Formulation, SolverChoice, SolveOptions};
+pub use formulation::{Formulation, SolveOptions, SolverChoice};
 pub use kernel::SoilKernel;
 pub use post::PotentialMap;
 pub use system::{GroundingSolution, GroundingSystem};

@@ -52,17 +52,18 @@ impl PotentialMap {
         pool: &ThreadPool,
         schedule: Schedule,
     ) -> PotentialMap {
-        assert!(spec.nx >= 2 && spec.ny >= 2, "map needs at least 2×2 samples");
+        assert!(
+            spec.nx >= 2 && spec.ny >= 2,
+            "map needs at least 2×2 samples"
+        );
         let xs: Vec<f64> = (0..spec.nx)
             .map(|i| {
-                spec.x_range.0
-                    + (spec.x_range.1 - spec.x_range.0) * i as f64 / (spec.nx - 1) as f64
+                spec.x_range.0 + (spec.x_range.1 - spec.x_range.0) * i as f64 / (spec.nx - 1) as f64
             })
             .collect();
         let ys: Vec<f64> = (0..spec.ny)
             .map(|j| {
-                spec.y_range.0
-                    + (spec.y_range.1 - spec.y_range.0) * j as f64 / (spec.ny - 1) as f64
+                spec.y_range.0 + (spec.y_range.1 - spec.y_range.0) * j as f64 / (spec.ny - 1) as f64
             })
             .collect();
         let geoms = element_geoms(mesh);
@@ -400,8 +401,13 @@ mod tests {
         // By symmetry all four centres are equivalent; Em equals the
         // touch voltage at any of them.
         let geoms = element_geoms(sys.mesh());
-        let v = surface_potential(centres[0], sys.mesh(), &geoms, sys.kernel(), &sol.unit_leakage())
-            * sol.gpr;
+        let v = surface_potential(
+            centres[0],
+            sys.mesh(),
+            &geoms,
+            sys.kernel(),
+            &sol.unit_leakage(),
+        ) * sol.gpr;
         assert!((em - (sol.gpr - v)).abs() < 1e-6 * em);
     }
 

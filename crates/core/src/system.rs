@@ -102,8 +102,8 @@ impl GroundingSystem {
                 (out.x, out.history.iterations())
             }
             SolverChoice::Cholesky => {
-                let f = CholeskyFactor::factor(&report.matrix)
-                    .expect("Galerkin matrix must be SPD");
+                let f =
+                    CholeskyFactor::factor(&report.matrix).expect("Galerkin matrix must be SPD");
                 (f.solve(&report.rhs), 0)
             }
             SolverChoice::Lu => {
@@ -162,7 +162,7 @@ mod tests {
     use super::*;
     use layerbem_geometry::conductor::ground_rod;
     use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
-    use layerbem_geometry::{ConductorNetwork, Mesher, MeshOptions, Point3};
+    use layerbem_geometry::{ConductorNetwork, MeshOptions, Mesher, Point3};
 
     fn close(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-30)
@@ -361,7 +361,11 @@ mod tests {
             ..Default::default()
         })
         .mesh(&net);
-        let sys = GroundingSystem::new(mesh.clone(), &SoilModel::uniform(0.016), SolveOptions::default());
+        let sys = GroundingSystem::new(
+            mesh.clone(),
+            &SoilModel::uniform(0.016),
+            SolveOptions::default(),
+        );
         let sol = sys.solve(&AssemblyMode::Sequential, 1.0);
         // Find end nodes (x = 0 and x = 20) and the middle node.
         let mut end_q = 0.0f64;
@@ -374,10 +378,7 @@ mod tests {
                 mid_q = mid_q.min(sol.leakage[i]);
             }
         }
-        assert!(
-            end_q > 1.2 * mid_q,
-            "end {end_q} vs mid {mid_q}"
-        );
+        assert!(end_q > 1.2 * mid_q, "end {end_q} vs mid {mid_q}");
     }
 
     #[test]

@@ -171,7 +171,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "buried")]
     fn above_surface_rejected() {
-        Conductor::new(Point3::new(0.0, 0.0, -0.1), Point3::new(1.0, 0.0, 0.5), 0.01);
+        Conductor::new(
+            Point3::new(0.0, 0.0, -0.1),
+            Point3::new(1.0, 0.0, 0.5),
+            0.01,
+        );
     }
 
     #[test]

@@ -271,15 +271,11 @@ pub fn balaidos() -> ConductorNetwork {
         ((0.0, 50.0), (0.0, 60.0)),
         ((80.0, 50.0), (80.0, 60.0)),
     ];
-    let key = |c: &Conductor| {
-        (
-            (c.axis.a.x, c.axis.a.y),
-            (c.axis.b.x, c.axis.b.y),
-        )
-    };
+    let key = |c: &Conductor| ((c.axis.a.x, c.axis.a.y), (c.axis.b.x, c.axis.b.y));
     let matches = |c: &Conductor, pat: &PlanEdge| {
         let k = key(c);
-        let eq = |p: (f64, f64), q: (f64, f64)| (p.0 - q.0).abs() < 1e-9 && (p.1 - q.1).abs() < 1e-9;
+        let eq =
+            |p: (f64, f64), q: (f64, f64)| (p.0 - q.0).abs() < 1e-9 && (p.1 - q.1).abs() < 1e-9;
         (eq(k.0, pat.0) && eq(k.1, pat.1)) || (eq(k.0, pat.1) && eq(k.1, pat.0))
     };
 
@@ -389,10 +385,7 @@ pub fn ring_with_rods(spec: RingSpec) -> ConductorNetwork {
 /// density — and hence the mesh voltage — peaks at the periphery. Grid
 /// lines are placed symmetrically with spacing that shrinks toward the
 /// edges by the given `compression` ratio (1.0 = uniform).
-pub fn compressed_grid(
-    spec: RectGridSpec,
-    compression: f64,
-) -> ConductorNetwork {
+pub fn compressed_grid(spec: RectGridSpec, compression: f64) -> ConductorNetwork {
     assert!(
         compression > 0.0 && compression <= 1.0,
         "compression ratio must be in (0, 1]"

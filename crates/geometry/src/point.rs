@@ -73,12 +73,20 @@ impl Point3 {
 
     /// Component-wise minimum.
     pub fn min(self, other: Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     pub fn max(self, other: Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 }
 

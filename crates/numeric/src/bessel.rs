@@ -12,10 +12,11 @@ pub fn j0(x: f64) -> f64 {
     if ax < 3.0 {
         // A&S 9.4.1.
         let t = (ax / 3.0).powi(2);
-        1.0 + t * (-2.249_999_7
-            + t * (1.265_620_8
-                + t * (-0.316_386_6
-                    + t * (0.044_447_9 + t * (-0.003_944_4 + t * 0.000_210_0)))))
+        1.0 + t
+            * (-2.249_999_7
+                + t * (1.265_620_8
+                    + t * (-0.316_386_6
+                        + t * (0.044_447_9 + t * (-0.003_944_4 + t * 0.000_210_0)))))
     } else {
         // A&S 9.4.3.
         let t = 3.0 / ax;
@@ -83,7 +84,11 @@ mod tests {
 
     #[test]
     fn j0_zeros() {
-        for z in [2.404_825_557_695_773, 5.520_078_110_286_311, 8.653_727_912_911_013] {
+        for z in [
+            2.404_825_557_695_773,
+            5.520_078_110_286_311,
+            8.653_727_912_911_013,
+        ] {
             assert!(j0(z).abs() < 1e-6, "J0({z}) = {}", j0(z));
         }
     }

@@ -143,8 +143,16 @@ mod tests {
         let pi = std::f64::consts::PI;
         let lmax = 2.0 - 2.0 * ((n as f64) * pi / (n as f64 + 1.0)).cos();
         let lmin = 2.0 - 2.0 * (pi / (n as f64 + 1.0)).cos();
-        assert!(close(s.lambda_max, lmax, 1e-6), "{} vs {lmax}", s.lambda_max);
-        assert!(close(s.lambda_min, lmin, 1e-6), "{} vs {lmin}", s.lambda_min);
+        assert!(
+            close(s.lambda_max, lmax, 1e-6),
+            "{} vs {lmax}",
+            s.lambda_max
+        );
+        assert!(
+            close(s.lambda_min, lmin, 1e-6),
+            "{} vs {lmin}",
+            s.lambda_min
+        );
     }
 
     #[test]

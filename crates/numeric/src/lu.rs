@@ -17,7 +17,11 @@ pub struct SingularMatrix {
 
 impl std::fmt::Display for SingularMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is numerically singular at column {}", self.column)
+        write!(
+            f,
+            "matrix is numerically singular at column {}",
+            self.column
+        )
     }
 }
 

@@ -119,7 +119,11 @@ pub struct PcgOutcome {
 pub fn pcg_solve<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: PcgOptions) -> PcgOutcome {
     let n = a.order();
     assert_eq!(b.len(), n, "pcg: rhs length");
-    let max_iter = if opts.max_iter == 0 { 2 * n + 10 } else { opts.max_iter };
+    let max_iter = if opts.max_iter == 0 {
+        2 * n + 10
+    } else {
+        opts.max_iter
+    };
 
     // Inverse diagonal for the Jacobi preconditioner.
     let minv: Vec<f64> = if opts.unpreconditioned {

@@ -253,9 +253,8 @@ mod tests {
     #[test]
     fn term_count_grows_with_contrast() {
         // |κ| → 1 needs more terms — the cost driver behind Table 6.3.
-        let terms_of = |kappa: f64| {
-            sum_until(|l| ratio_powi(kappa, l), SeriesOptions::default()).terms
-        };
+        let terms_of =
+            |kappa: f64| sum_until(|l| ratio_powi(kappa, l), SeriesOptions::default()).terms;
         assert!(terms_of(0.9) > terms_of(0.5));
         assert!(terms_of(0.99) > terms_of(0.9));
     }

@@ -80,7 +80,12 @@ impl ThreadPool {
 
     /// Instrumented variant of [`parallel_for`](Self::parallel_for):
     /// returns per-thread iteration counts, chunk counts and busy times.
-    pub fn parallel_for_with_stats<F>(&self, n: usize, schedule: Schedule, body: F) -> ExecutionStats
+    pub fn parallel_for_with_stats<F>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        body: F,
+    ) -> ExecutionStats
     where
         F: Fn(usize) + Sync,
     {
@@ -137,16 +142,17 @@ impl ThreadPool {
         F: Fn(usize) -> T + Sync,
         C: Fn(T, T) -> T + Sync + Send,
     {
-        let partials = parking_lot::Mutex::new(Vec::<T>::with_capacity(self.threads));
+        let partials = std::sync::Mutex::new(Vec::<T>::with_capacity(self.threads));
         self.for_each_chunk(n, schedule, |_t, range| {
             let mut acc = identity.clone();
             for i in range {
                 acc = combine(acc, f(i));
             }
-            partials.lock().push(acc);
+            partials.lock().expect("reduce mutex poisoned").push(acc);
         });
         partials
             .into_inner()
+            .expect("reduce mutex poisoned")
             .into_iter()
             .fold(identity, combine)
     }
@@ -387,8 +393,7 @@ mod tests {
             let pool = ThreadPool::new(p);
             for s in all_schedules() {
                 for n in [0usize, 1, 7, 100, 408] {
-                    let counters: Vec<AtomicUsize> =
-                        (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
                     pool.parallel_for(n, s, |i| {
                         counters[i].fetch_add(1, Ordering::Relaxed);
                     });
@@ -513,6 +518,25 @@ mod tests {
             f64::max,
         );
         assert_eq!(max, data.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn parallel_reduce_under_partials_contention() {
+        // Regression for the never-compiled `parking_lot::Mutex` in
+        // `parallel_reduce` (now `std::sync::Mutex`): chunk-1 dynamic
+        // scheduling on many threads maximizes concurrent pushes into the
+        // partials vector, the exact code path the broken lock guarded.
+        let pool = ThreadPool::new(8);
+        for _ in 0..10 {
+            let total = pool.parallel_reduce(
+                257,
+                Schedule::dynamic(1),
+                0u64,
+                |i| i as u64 + 1,
+                |a, b| a + b,
+            );
+            assert_eq!(total, 257 * 258 / 2);
+        }
     }
 
     #[test]

@@ -501,7 +501,12 @@ mod tests {
 
     #[test]
     fn timeline_csv_has_header_and_rows() {
-        let r = simulate(&[1.0, 2.0, 3.0], 2, Schedule::dynamic(1), SimOverheads::none());
+        let r = simulate(
+            &[1.0, 2.0, 3.0],
+            2,
+            Schedule::dynamic(1),
+            SimOverheads::none(),
+        );
         let csv = r.timeline_csv();
         assert!(csv.starts_with("proc,start_iter"));
         assert_eq!(csv.trim().lines().count(), 1 + 3);

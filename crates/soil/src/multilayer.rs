@@ -217,7 +217,11 @@ impl MultiLayerKernel {
         // Decay scale of the secondary kernel: every image involves at
         // least one interface round-trip (2 h₁) or the surface offset.
         let h1 = self.interfaces.first().copied().unwrap_or(f64::INFINITY);
-        let s = if h1.is_finite() { 2.0 * h1 } else { z + d + 1.0 };
+        let s = if h1.is_finite() {
+            2.0 * h1
+        } else {
+            z + d + 1.0
+        };
         let s = s.max(1e-3);
         // Panel width: resolve the J₀ oscillation and the decay.
         let osc = if r > 1e-12 {
@@ -279,9 +283,9 @@ impl GreensFunction for MultiLayerKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::Layer;
     use crate::two_layer::TwoLayerKernels;
     use crate::uniform::UniformKernel;
-    use crate::model::Layer;
 
     fn close(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-30)
@@ -305,11 +309,11 @@ mod tests {
         let ml = MultiLayerKernel::new(&model);
         let tl = TwoLayerKernels::new(&model);
         for &(r, z, d) in &[
-            (3.0, 0.0, 0.8),  // surface observation, source layer 1
-            (5.0, 0.5, 0.7),  // both layer 1
-            (4.0, 2.0, 0.8),  // source layer 1, obs layer 2
-            (4.0, 0.5, 2.0),  // source layer 2, obs layer 1
-            (6.0, 3.0, 2.5),  // both layer 2
+            (3.0, 0.0, 0.8), // surface observation, source layer 1
+            (5.0, 0.5, 0.7), // both layer 1
+            (4.0, 2.0, 0.8), // source layer 1, obs layer 2
+            (4.0, 0.5, 2.0), // source layer 2, obs layer 1
+            (6.0, 3.0, 2.5), // both layer 2
         ] {
             let a = ml.potential(r, z, d);
             let b = tl.potential(r, z, d);
@@ -323,9 +327,18 @@ mod tests {
         // the two-layer models obtained by assigning the middle layer the
         // top or bottom conductivity.
         let three = MultiLayerKernel::new(&SoilModel::multi_layer(vec![
-            Layer { conductivity: 0.005, thickness: 1.0 },
-            Layer { conductivity: 0.010, thickness: 2.0 },
-            Layer { conductivity: 0.016, thickness: f64::INFINITY },
+            Layer {
+                conductivity: 0.005,
+                thickness: 1.0,
+            },
+            Layer {
+                conductivity: 0.010,
+                thickness: 2.0,
+            },
+            Layer {
+                conductivity: 0.016,
+                thickness: f64::INFINITY,
+            },
         ]));
         let low = TwoLayerKernels::new(&SoilModel::two_layer(0.005, 0.016, 3.0));
         let high = TwoLayerKernels::new(&SoilModel::two_layer(0.005, 0.016, 1.0));
@@ -343,9 +356,18 @@ mod tests {
     #[test]
     fn three_layer_surface_condition() {
         let ml = MultiLayerKernel::new(&SoilModel::multi_layer(vec![
-            Layer { conductivity: 0.01, thickness: 1.0 },
-            Layer { conductivity: 0.05, thickness: 2.0 },
-            Layer { conductivity: 0.02, thickness: f64::INFINITY },
+            Layer {
+                conductivity: 0.01,
+                thickness: 1.0,
+            },
+            Layer {
+                conductivity: 0.05,
+                thickness: 2.0,
+            },
+            Layer {
+                conductivity: 0.02,
+                thickness: f64::INFINITY,
+            },
         ]));
         let step = 1e-4;
         let v0 = ml.potential(4.0, 0.0, 0.8);
@@ -356,9 +378,18 @@ mod tests {
     #[test]
     fn three_layer_reciprocity() {
         let ml = MultiLayerKernel::new(&SoilModel::multi_layer(vec![
-            Layer { conductivity: 0.01, thickness: 1.0 },
-            Layer { conductivity: 0.05, thickness: 2.0 },
-            Layer { conductivity: 0.02, thickness: f64::INFINITY },
+            Layer {
+                conductivity: 0.01,
+                thickness: 1.0,
+            },
+            Layer {
+                conductivity: 0.05,
+                thickness: 2.0,
+            },
+            Layer {
+                conductivity: 0.02,
+                thickness: f64::INFINITY,
+            },
         ]));
         for &(r, z, d) in &[(3.0, 0.5, 2.0), (5.0, 1.5, 4.0), (2.0, 0.2, 5.0)] {
             let a = ml.potential(r, z, d);
@@ -370,9 +401,18 @@ mod tests {
     #[test]
     fn decays_with_horizontal_distance() {
         let ml = MultiLayerKernel::new(&SoilModel::multi_layer(vec![
-            Layer { conductivity: 0.005, thickness: 0.7 },
-            Layer { conductivity: 0.02, thickness: 3.0 },
-            Layer { conductivity: 0.01, thickness: f64::INFINITY },
+            Layer {
+                conductivity: 0.005,
+                thickness: 0.7,
+            },
+            Layer {
+                conductivity: 0.02,
+                thickness: 3.0,
+            },
+            Layer {
+                conductivity: 0.01,
+                thickness: f64::INFINITY,
+            },
         ]));
         let v: Vec<f64> = [1.0, 2.0, 5.0, 20.0, 80.0]
             .iter()
@@ -387,9 +427,18 @@ mod tests {
     fn typical_terms_reflects_inversion_cost() {
         let two = MultiLayerKernel::new(&SoilModel::two_layer(0.01, 0.02, 1.0));
         let three = MultiLayerKernel::new(&SoilModel::multi_layer(vec![
-            Layer { conductivity: 0.01, thickness: 1.0 },
-            Layer { conductivity: 0.05, thickness: 2.0 },
-            Layer { conductivity: 0.02, thickness: f64::INFINITY },
+            Layer {
+                conductivity: 0.01,
+                thickness: 1.0,
+            },
+            Layer {
+                conductivity: 0.05,
+                thickness: 2.0,
+            },
+            Layer {
+                conductivity: 0.02,
+                thickness: f64::INFINITY,
+            },
         ]));
         // More layers ⇒ bigger transform-domain system ⇒ higher cost.
         assert!(three.typical_terms() > two.typical_terms());

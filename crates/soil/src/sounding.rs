@@ -49,15 +49,12 @@ pub fn schlumberger_apparent_resistivity<G: GreensFunction + ?Sized>(
     half_ab: f64,
     half_mn: f64,
 ) -> f64 {
-    assert!(
-        half_ab > half_mn && half_mn > 0.0,
-        "need AB/2 > MN/2 > 0"
-    );
+    assert!(half_ab > half_mn && half_mn > 0.0, "need AB/2 > MN/2 > 0");
     let eps = 1e-9 * half_ab.max(1.0);
     // ΔV between the M and N electrodes per unit current, by
     // superposition of the +I and −I current electrodes.
-    let dv = 2.0 * (g.potential(half_ab - half_mn, 0.0, eps)
-        - g.potential(half_ab + half_mn, 0.0, eps));
+    let dv =
+        2.0 * (g.potential(half_ab - half_mn, 0.0, eps) - g.potential(half_ab + half_mn, 0.0, eps));
     std::f64::consts::PI * (half_ab * half_ab - half_mn * half_mn) / (2.0 * half_mn) * dv
 }
 
@@ -195,7 +192,10 @@ mod tests {
     fn uniform_soil_has_flat_curve() {
         let g = UniformKernel::new(0.016);
         for a in [0.5, 2.0, 10.0, 50.0] {
-            assert!(close(wenner_apparent_resistivity(&g, a), 62.5, 1e-6), "a={a}");
+            assert!(
+                close(wenner_apparent_resistivity(&g, a), 62.5, 1e-6),
+                "a={a}"
+            );
         }
     }
 

@@ -138,12 +138,17 @@ impl TwoLayerKernels {
                 let n = (i + 1) as f64; // n ≥ 1
                 let two_nh = 2.0 * n * h;
                 k.powi((i + 1) as i32)
-                    * (inv(two_nh - d - z) + inv(two_nh + d - z) + inv(two_nh - d + z)
+                    * (inv(two_nh - d - z)
+                        + inv(two_nh + d - z)
+                        + inv(two_nh - d + z)
                         + inv(two_nh + d + z))
             },
             self.opts,
         );
-        ((direct + series.value) / (PI4 * self.gamma1), series.terms + 2)
+        (
+            (direct + series.value) / (PI4 * self.gamma1),
+            series.terms + 2,
+        )
     }
 
     fn g12(&self, r: f64, z: f64, d: f64) -> (f64, usize) {
@@ -156,10 +161,7 @@ impl TwoLayerKernels {
             },
             self.opts,
         );
-        (
-            (1.0 + k) * series.value / (PI4 * self.gamma1),
-            series.terms,
-        )
+        ((1.0 + k) * series.value / (PI4 * self.gamma1), series.terms)
     }
 
     fn g21(&self, r: f64, z: f64, d: f64) -> (f64, usize) {
@@ -172,10 +174,7 @@ impl TwoLayerKernels {
             },
             self.opts,
         );
-        (
-            (1.0 - k) * series.value / (PI4 * self.gamma2),
-            series.terms,
-        )
+        ((1.0 - k) * series.value / (PI4 * self.gamma2), series.terms)
     }
 
     fn g22(&self, r: f64, z: f64, d: f64) -> (f64, usize) {
@@ -211,7 +210,9 @@ impl GreensFunction for TwoLayerKernels {
         if self.kappa == 0.0 {
             2
         } else {
-            (self.opts.rel_tol.ln() / self.kappa.abs().ln()).ceil().max(2.0) as usize
+            (self.opts.rel_tol.ln() / self.kappa.abs().ln())
+                .ceil()
+                .max(2.0) as usize
         }
     }
 }
@@ -366,10 +367,7 @@ mod tests {
         let strong = strong_contrast();
         let (_, t_mild) = mild.potential_counted(5.0, 0.5, 0.8);
         let (_, t_strong) = strong.potential_counted(5.0, 0.5, 0.8);
-        assert!(
-            t_strong > 2 * t_mild,
-            "strong {t_strong} vs mild {t_mild}"
-        );
+        assert!(t_strong > 2 * t_mild, "strong {t_strong} vs mild {t_mild}");
         assert!(strong.typical_terms() > mild.typical_terms());
     }
 

@@ -92,6 +92,10 @@ fn main() {
         assessment.touch_limit,
         assessment.step,
         assessment.step_limit,
-        if assessment.is_safe() { "SAFE" } else { "NOT SAFE" }
+        if assessment.is_safe() {
+            "SAFE"
+        } else {
+            "NOT SAFE"
+        }
     );
 }

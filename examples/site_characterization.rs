@@ -9,9 +9,7 @@
 //! ```
 
 use layerbem::prelude::*;
-use layerbem::soil::sounding::{
-    invert_two_layer, wenner_apparent_resistivity, SoundingPoint,
-};
+use layerbem::soil::sounding::{invert_two_layer, wenner_apparent_resistivity, SoundingPoint};
 use layerbem::soil::TwoLayerKernels;
 
 fn main() {
@@ -54,7 +52,13 @@ fn main() {
         radius: 0.006,
     });
     // Rods through the resistive fill into the conductive clay.
-    for (x, y) in [(0.0, 0.0), (40.0, 0.0), (0.0, 30.0), (40.0, 30.0), (20.0, 10.0)] {
+    for (x, y) in [
+        (0.0, 0.0),
+        (40.0, 0.0),
+        (0.0, 30.0),
+        (40.0, 30.0),
+        (20.0, 10.0),
+    ] {
         network.add(layerbem::geometry::conductor::ground_rod(
             Point3::new(x, y, 0.8),
             3.0,
@@ -75,12 +79,8 @@ fn main() {
     );
 
     // --- 5. Verify the design against the *true* soil. ----------------
-    let check = GroundingSystem::new(
-        system.mesh().clone(),
-        &truth,
-        SolveOptions::default(),
-    )
-    .solve(&AssemblyMode::Sequential, 8_000.0);
+    let check = GroundingSystem::new(system.mesh().clone(), &truth, SolveOptions::default())
+        .solve(&AssemblyMode::Sequential, 8_000.0);
     let dev = 100.0 * (solution.equivalent_resistance - check.equivalent_resistance)
         / check.equivalent_resistance;
     println!(

@@ -50,6 +50,11 @@
 //! | [`cad`] | case-deck parser, five-phase timed pipeline, reports |
 
 pub use layerbem_cad as cad;
+// Deliberate name reuse: this re-export is only ever reachable as
+// `layerbem::core::...`, where the leading `layerbem::` segment keeps it
+// distinct from the built-in `core` crate. Inside this crate the built-in
+// stays reachable as `::core`. Rust 2018+ path resolution never confuses
+// the two (pinned by `core_reexport_does_not_shadow_builtin_core` below).
 pub use layerbem_core as core;
 pub use layerbem_geometry as geometry;
 pub use layerbem_numeric as numeric;
@@ -67,9 +72,7 @@ pub mod prelude {
     pub use layerbem_geometry::grids::{
         balaidos, barbera, rectangular_grid, triangle_grid, RectGridSpec, TriangleGridSpec,
     };
-    pub use layerbem_geometry::{
-        Conductor, ConductorNetwork, Mesh, MeshOptions, Mesher, Point3,
-    };
+    pub use layerbem_geometry::{Conductor, ConductorNetwork, Mesh, MeshOptions, Mesher, Point3};
     pub use layerbem_parfor::{simulate, Schedule, SimOverheads, ThreadPool};
     pub use layerbem_soil::{Layer, SoilModel};
 }
@@ -82,5 +85,14 @@ mod tests {
         let _ = SoilModel::uniform(0.016);
         let _ = Schedule::dynamic(1);
         let _ = SolveOptions::default();
+    }
+
+    #[test]
+    fn core_reexport_does_not_shadow_builtin_core() {
+        // The facade path and the built-in crate coexist: downstream code
+        // writes `layerbem::core::...`, and `::core` still means the
+        // language's core library.
+        let _ = crate::core::assembly::AssemblyMode::Sequential;
+        let _ = ::core::num::NonZeroUsize::new(1).expect("nonzero");
     }
 }

@@ -112,8 +112,7 @@ fn table_6_2_schedule_shape() {
     );
     let rep = sys.assemble(&AssemblyMode::Sequential);
     let costs: Vec<f64> = rep.column_terms.iter().map(|&t| t as f64 * 1e-7).collect();
-    let speedup =
-        |s: Schedule, p: usize| simulate(&costs, p, s, SimOverheads::default()).speedup();
+    let speedup = |s: Schedule, p: usize| simulate(&costs, p, s, SimOverheads::default()).speedup();
     let static8 = speedup(Schedule::static_blocked(), 8);
     let dyn1_8 = speedup(Schedule::dynamic(1), 8);
     let dyn64_8 = speedup(Schedule::dynamic(64), 8);
@@ -122,9 +121,9 @@ fn table_6_2_schedule_shape() {
     assert!(guided1_8 > 7.5, "{guided1_8}");
     assert!(static8 < 5.5, "{static8}"); // paper: 4.38
     assert!(dyn64_8 < 5.0, "{dyn64_8}"); // paper: 3.55
-    // And the paper's summary: "speed-up factors obtained for the outer
-    // parallelization are very close to the number of processors for
-    // good schedules".
+                                         // And the paper's summary: "speed-up factors obtained for the outer
+                                         // parallelization are very close to the number of processors for
+                                         // good schedules".
     for p in [2usize, 4] {
         assert!(speedup(Schedule::dynamic(1), p) > 0.95 * p as f64);
     }
@@ -150,8 +149,8 @@ fn fig_6_1_outer_beats_inner() {
     let mut last_gap = 0.0;
     for p in [4usize, 16, 64] {
         let o = simulate(&outer, p, Schedule::dynamic(1), SimOverheads::default()).speedup();
-        let i = simulate_inner_loop(&inner, p, Schedule::dynamic(1), SimOverheads::default())
-            .speedup();
+        let i =
+            simulate_inner_loop(&inner, p, Schedule::dynamic(1), SimOverheads::default()).speedup();
         assert!(o > i, "P={p}: outer {o} vs inner {i}");
         let gap = o - i;
         assert!(gap > last_gap, "gap must widen with P");

@@ -11,12 +11,12 @@ use layerbem::prelude::*;
 /// Strategy: a small rectangular grid with arbitrary-but-sane geometry.
 fn grid_strategy() -> impl Strategy<Value = (Mesh, f64)> {
     (
-        1usize..=3,          // nx
-        1usize..=3,          // ny
-        5.0f64..30.0,        // width
-        5.0f64..30.0,        // height
-        0.3f64..1.5,         // depth
-        0.004f64..0.012,     // radius
+        1usize..=3,      // nx
+        1usize..=3,      // ny
+        5.0f64..30.0,    // width
+        5.0f64..30.0,    // height
+        0.3f64..1.5,     // depth
+        0.004f64..0.012, // radius
     )
         .prop_map(|(nx, ny, w, h, depth, radius)| {
             let net = rectangular_grid(RectGridSpec {
