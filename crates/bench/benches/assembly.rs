@@ -92,6 +92,49 @@ fn parallel_modes(c: &mut Criterion) {
     g.finish();
 }
 
+fn staged_vs_direct(c: &mut Criterion) {
+    // The tentpole comparison: the paper's staged scheme (compute blocks,
+    // assemble sequentially, ~2× memory) against the zero-staging
+    // in-place assembler (1× memory) on the same pool.
+    let mesh = bench_mesh();
+    let opts = SolveOptions::default();
+    let k = SoilKernel::new(&SoilModel::two_layer(0.005, 0.016, 1.0));
+    let pool = ThreadPool::with_available_parallelism();
+    let mut g = c.benchmark_group("assembly_staged_vs_direct");
+    g.sample_size(10);
+    for schedule in [Schedule::static_blocked(), Schedule::guided(1)] {
+        g.bench_with_input(
+            BenchmarkId::new("staged_outer", schedule.label()),
+            &schedule,
+            |b, s| {
+                b.iter(|| {
+                    black_box(assemble_galerkin(
+                        &mesh,
+                        &k,
+                        &opts,
+                        &AssemblyMode::ParallelOuter(pool, *s),
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("direct", schedule.label()),
+            &schedule,
+            |b, s| {
+                b.iter(|| {
+                    black_box(assemble_galerkin(
+                        &mesh,
+                        &k,
+                        &opts,
+                        &AssemblyMode::ParallelDirect(pool, *s),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn quadrature_ablation(c: &mut Criterion) {
     // Cost of the outer-quadrature order — the accuracy/cost lever of
     // SolveOptions::outer_quadrature.
@@ -118,5 +161,11 @@ fn quadrature_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, soil_models, parallel_modes, quadrature_ablation);
+criterion_group!(
+    benches,
+    soil_models,
+    parallel_modes,
+    staged_vs_direct,
+    quadrature_ablation
+);
 criterion_main!(benches);

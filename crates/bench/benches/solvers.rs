@@ -13,8 +13,9 @@ use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
 use layerbem_geometry::Mesher;
 use layerbem_numeric::cholesky::CholeskyFactor;
 use layerbem_numeric::lu::LuFactor;
-use layerbem_numeric::pcg::{pcg_solve, PcgOptions};
+use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
 use layerbem_numeric::SymMatrix;
+use layerbem_parfor::{Schedule, ThreadPool};
 use layerbem_soil::SoilModel;
 
 /// Assembles a real BEM system of roughly `n` unknowns.
@@ -86,5 +87,46 @@ fn matvec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, direct_vs_iterative, matvec);
+fn serial_vs_pooled(c: &mut Criterion) {
+    // The solve-phase half of the tentpole: the previously 100%-serial
+    // solvers against their pool-parallel counterparts on one BEM system.
+    let (a, rhs) = bem_system(8);
+    let n = a.order();
+    let pool = ThreadPool::with_available_parallelism();
+    let schedule = Schedule::static_blocked();
+    let mut g = c.benchmark_group("solver_serial_vs_pooled");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("pcg_serial", n), &(), |b, _| {
+        b.iter(|| black_box(pcg_solve(&a, &rhs, PcgOptions::default())))
+    });
+    g.bench_with_input(BenchmarkId::new("pcg_pooled", n), &(), |b, _| {
+        let op = PooledSymOperator::new(&a, pool, schedule);
+        b.iter(|| black_box(pcg_solve(&op, &rhs, PcgOptions::default())))
+    });
+    g.bench_with_input(BenchmarkId::new("cholesky_serial", n), &(), |b, _| {
+        b.iter(|| black_box(CholeskyFactor::factor(&a).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("cholesky_pooled", n), &(), |b, _| {
+        b.iter(|| black_box(CholeskyFactor::factor_pooled(&a, &pool, schedule).unwrap()))
+    });
+    let dense = a.to_dense();
+    g.bench_with_input(BenchmarkId::new("lu_serial", n), &(), |b, _| {
+        b.iter(|| black_box(LuFactor::factor(&dense).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("lu_pooled", n), &(), |b, _| {
+        b.iter(|| black_box(LuFactor::factor_pooled(&dense, &pool, schedule).unwrap()))
+    });
+    let mut y = vec![0.0; n];
+    g.bench_with_input(BenchmarkId::new("matvec_pooled", n), &(), |b, _| {
+        use layerbem_numeric::pcg::LinearOperator;
+        let op = PooledSymOperator::new(&a, pool, schedule);
+        b.iter(|| {
+            op.apply(black_box(&rhs), &mut y);
+            black_box(&y);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, direct_vs_iterative, serial_vs_pooled, matvec);
 criterion_main!(benches);

@@ -4,8 +4,16 @@
 //!
 //! ```text
 //! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
+//!              [--assembly direct|outer|inner]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
+//!
+//! `--threads` defaults to the machine's available parallelism (overridable
+//! via the `LAYERBEM_THREADS` environment variable) and drives **both**
+//! phases: matrix generation runs in the requested assembly mode
+//! (`direct` — the zero-staging in-place assembler — by default; `outer` /
+//! `inner` are the paper's staged baselines) and the linear solve runs on
+//! the same pool through [`SolveOptions::parallelism`].
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,10 +26,22 @@ use layerbem_core::post::{MapSpec, PotentialMap};
 use layerbem_core::system::GroundingSystem;
 use layerbem_parfor::{Schedule, ThreadPool};
 
+/// Which matrix-generation strategy `--assembly` selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AssemblyChoice {
+    /// Zero-staging in-place assembly (1× memory) — the default.
+    Direct,
+    /// Staged outer-loop parallelism (the paper's preferred variant, ~2×).
+    Outer,
+    /// Staged inner-loop parallelism (the paper's comparison variant).
+    Inner,
+}
+
 struct Args {
     deck: String,
     threads: usize,
     schedule: Schedule,
+    assembly: AssemblyChoice,
     map: Option<(MapSpec, String)>,
     timing: bool,
 }
@@ -29,6 +49,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
+         \u{20}                [--assembly direct|outer|inner]\n\
          \u{20}                [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
@@ -37,10 +58,10 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     let mut deck = None;
-    let mut threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1);
+    // Default: every core the machine offers, honoring LAYERBEM_THREADS.
+    let mut threads = ThreadPool::with_available_parallelism().threads();
     let mut schedule = Schedule::dynamic(1);
+    let mut assembly = AssemblyChoice::Direct;
     let mut map = None;
     let mut timing = false;
     while let Some(arg) = argv.next() {
@@ -57,6 +78,14 @@ fn parse_args() -> Args {
                     .as_deref()
                     .and_then(Schedule::parse)
                     .unwrap_or_else(|| usage());
+            }
+            "--assembly" => {
+                assembly = match argv.next().as_deref() {
+                    Some("direct") => AssemblyChoice::Direct,
+                    Some("outer") => AssemblyChoice::Outer,
+                    Some("inner") => AssemblyChoice::Inner,
+                    _ => usage(),
+                };
             }
             "--map" => {
                 let nums: Vec<String> = (0..6).filter_map(|_| argv.next()).collect();
@@ -88,6 +117,7 @@ fn parse_args() -> Args {
         deck: deck.unwrap_or_else(|| usage()),
         threads: threads.max(1),
         schedule,
+        assembly,
         map,
         timing,
     }
@@ -112,12 +142,23 @@ fn main() -> ExitCode {
     };
     let input_seconds = t0.elapsed().as_secs_f64();
 
+    let pool = ThreadPool::new(args.threads);
     let mode = if args.threads == 1 {
         AssemblyMode::Sequential
     } else {
-        AssemblyMode::ParallelOuter(ThreadPool::new(args.threads), args.schedule)
+        match args.assembly {
+            AssemblyChoice::Direct => AssemblyMode::ParallelDirect(pool, args.schedule),
+            AssemblyChoice::Outer => AssemblyMode::ParallelOuter(pool, args.schedule),
+            AssemblyChoice::Inner => AssemblyMode::ParallelInner(pool, args.schedule),
+        }
     };
-    let opts = SolveOptions::default();
+    // The same pool drives the linear solve: with the in-place assembler
+    // the whole assemble→solve pipeline scales, not just generation.
+    let opts = if args.threads == 1 {
+        SolveOptions::default()
+    } else {
+        SolveOptions::default().with_parallelism(pool, args.schedule)
+    };
     let result = run_pipeline(&case, opts, &mode, input_seconds);
     print!("{}", result.report);
     if args.timing {
@@ -133,7 +174,6 @@ fn main() -> ExitCode {
 
     if let Some((spec, out)) = args.map {
         let system = GroundingSystem::new(result.mesh.clone(), &case.soil, opts);
-        let pool = ThreadPool::new(args.threads);
         let map = PotentialMap::compute(
             &result.mesh,
             system.kernel(),

@@ -69,3 +69,36 @@ fn deck_solver_choice_flows_into_pipeline() {
         / a.solution.equivalent_resistance;
     assert!(dev < 1e-6, "cg vs cholesky deviation {dev}");
 }
+
+#[test]
+fn parallel_direct_pipeline_reproduces_sequential_run() {
+    // The path the `layerbem-cad` binary takes with `--threads N`:
+    // zero-staging direct assembly plus the pooled solver. The solution
+    // must be identical to the serial pipeline (the direct assembler and
+    // the pooled PCG matvec are both bit-faithful).
+    use layerbem_parfor::{Schedule, ThreadPool};
+    let case = parse_case(DECK).expect("deck parses");
+    let serial = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    let pool = ThreadPool::new(2);
+    let schedule = Schedule::dynamic(1);
+    let parallel = run_pipeline(
+        &case,
+        SolveOptions::default().with_parallelism(pool, schedule),
+        &AssemblyMode::ParallelDirect(pool, schedule),
+        0.0,
+    );
+    assert_eq!(
+        serial.solution.leakage, parallel.solution.leakage,
+        "direct + pooled pipeline must reproduce the serial solution bit-for-bit"
+    );
+    assert_eq!(
+        serial.solution.solver_iterations,
+        parallel.solution.solver_iterations
+    );
+    assert_eq!(serial.column_terms, parallel.column_terms);
+}

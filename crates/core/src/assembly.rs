@@ -8,17 +8,38 @@
 //! analytically integrated source potentials) and assembled into the
 //! packed symmetric global matrix.
 //!
-//! Parallel variants reproduce the paper's scheme exactly: "the assembly
-//! of the elemental matrices causes a dependency between the actions of
-//! the threads. This drawback can be avoided by taking the assembly
-//! process out of that loop, which implies first the computation and the
-//! storage of all the elemental matrices and, after this step, the
-//! assembly in a sequential mode. This scheme requires approximately twice
-//! the memory space" — we store per-column block vectors, computed in
-//! parallel under any OpenMP-style schedule over either the **outer**
-//! loop (columns) or the **inner** loop (rows of each column), then
-//! assemble sequentially.
+//! Three assembly modes share the pair-block computation:
+//!
+//! * **Staged** ([`AssemblyMode::ParallelOuter`] /
+//!   [`AssemblyMode::ParallelInner`]) — the paper's scheme, kept as the
+//!   paper-faithful baseline: "the assembly of the elemental matrices
+//!   causes a dependency between the actions of the threads. This
+//!   drawback can be avoided by taking the assembly process out of that
+//!   loop, which implies first the computation and the storage of all the
+//!   elemental matrices and, after this step, the assembly in a
+//!   sequential mode. This scheme requires approximately twice the memory
+//!   space" — per-column block vectors are computed in parallel under any
+//!   OpenMP-style schedule over either the **outer** loop (columns) or
+//!   the **inner** loop (rows of each column), then assembled
+//!   sequentially. Peak memory: the staged blocks (`M(M+1)/2` elemental
+//!   matrices) *plus* the global triangle — the paper's ~2×.
+//! * **Direct** ([`AssemblyMode::ParallelDirect`]) — the production path:
+//!   the global packed triangle is split into disjoint row-range views
+//!   ([`SymRowsMut`](layerbem_numeric::SymRowsMut)), one per
+//!   schedule-determined row chunk, and each partition walks the pair
+//!   triangle accumulating **in place** the contributions that land in
+//!   its rows. Ownership is settled by the partition (the packed storage
+//!   is row-major, so a row range is a contiguous slice), which replaces
+//!   the paper's coordination-by-copying with coordination-by-ownership:
+//!   no staging, no locks, peak memory = the 1× global triangle. Each
+//!   packed entry receives its contributions from exactly one thread in
+//!   the sequential pair order, so the result is **bit-identical** to
+//!   [`AssemblyMode::Sequential`] for every schedule and thread count
+//!   (pairs whose targets straddle a partition boundary are recomputed by
+//!   both sides — a `O(boundary)` compute overlap instead of an `O(M²)`
+//!   memory copy).
 
+use std::ops::Range;
 use std::time::Instant;
 
 use layerbem_geometry::Mesh;
@@ -41,6 +62,16 @@ pub enum AssemblyMode {
     /// each column's rows are distributed (the paper's granularity-losing
     /// comparison variant, Fig 6.1 dashed line).
     ParallelInner(ThreadPool, Schedule),
+    /// Zero-staging in-place assembly: the packed global triangle is
+    /// partitioned into disjoint row-range views by the schedule's chunk
+    /// decomposition and every partition accumulates its own rows
+    /// directly — no elemental-block staging, 1× memory, bit-identical
+    /// to [`Sequential`](Self::Sequential). The schedule's chunk
+    /// parameter applies to **matrix rows** (the unit of ownership), not
+    /// pair columns, and is floored so at most ~4 partitions per thread
+    /// exist (each partition scans the pair triangle once, so unbounded
+    /// partition counts would trade the staging memory for scan time).
+    ParallelDirect(ThreadPool, Schedule),
 }
 
 /// Output of matrix generation.
@@ -96,12 +127,28 @@ pub struct OuterQuadrature {
 
 impl OuterQuadrature {
     /// Builds from the base order of [`SolveOptions::outer_quadrature`];
-    /// the near rule uses 4× the points.
+    /// the near rule uses 4× the base points, floored at 8 points so a
+    /// deliberately coarse base request (order 1) still resolves the
+    /// logarithmic near-field factor. (The historical expression
+    /// `4 * base_order.max(2)` produced the same values but buried the
+    /// floor inside the base order, reading as if a `base_order = 1`
+    /// request were silently promoted; `(4 * base_order).max(8)` states
+    /// the intent — same rule for every base ≥ 1.)
     pub fn new(base_order: usize) -> Self {
         OuterQuadrature {
             base: layerbem_numeric::GaussLegendre::new(base_order),
-            near: layerbem_numeric::GaussLegendre::new(4 * base_order.max(2)),
+            near: layerbem_numeric::GaussLegendre::new((4 * base_order).max(8)),
         }
+    }
+
+    /// Points of the base (well-separated) rule.
+    pub fn base_points(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Points of the refined near-pair rule: `max(4 × base, 8)`.
+    pub fn near_points(&self) -> usize {
+        self.near.len()
     }
 
     /// Chooses the rule for a pair by separation: near when the closest
@@ -199,6 +246,45 @@ fn compute_column(
     }
 }
 
+/// Scatters one elemental block as the canonical sequence of entry
+/// updates. Every assembly mode funnels through this function, so the
+/// per-entry accumulation order — and therefore the floating-point result
+/// — is identical whether contributions are applied to the whole matrix
+/// (staged modes) or filtered into a row-range view (direct mode).
+#[inline]
+fn scatter_pair(
+    nb: [usize; 2],
+    na: [usize; 2],
+    diagonal_pair: bool,
+    b: &Block,
+    add: &mut impl FnMut(usize, usize, f64),
+) {
+    if diagonal_pair {
+        // Diagonal pair: one ordered contribution (α, α). The
+        // off-diagonal entry is symmetrized against quadrature
+        // asymmetry.
+        add(nb[0], nb[0], b[0][0]);
+        add(nb[1], nb[1], b[1][1]);
+        add(nb[0], nb[1], 0.5 * (b[0][1] + b[1][0]));
+    } else {
+        // Off-diagonal pair {β, α}: the packed slot (p, q), p ≠ q,
+        // receives the single ordered contribution; a shared node
+        // (p == q) receives both ordered contributions (β, α) and
+        // (α, β), which are equal by the symmetry of G.
+        for j in 0..2 {
+            for i in 0..2 {
+                let p = nb[j];
+                let q = na[i];
+                let v = b[j][i];
+                add(p, q, v);
+                if p == q {
+                    add(p, q, v);
+                }
+            }
+        }
+    }
+}
+
 /// Assembles stored columns into the packed global matrix (the paper's
 /// sequential assembly step).
 fn assemble_columns(mesh: &Mesh, columns: &[Column]) -> SymMatrix {
@@ -208,33 +294,135 @@ fn assemble_columns(mesh: &Mesh, columns: &[Column]) -> SymMatrix {
         for (k, b) in col.blocks.iter().enumerate() {
             let alpha = beta + k;
             let na = mesh.elements[alpha].nodes;
-            if alpha == beta {
-                // Diagonal pair: one ordered contribution (α, α). The
-                // off-diagonal entry is symmetrized against quadrature
-                // asymmetry.
-                m.add(nb[0], nb[0], b[0][0]);
-                m.add(nb[1], nb[1], b[1][1]);
-                m.add(nb[0], nb[1], 0.5 * (b[0][1] + b[1][0]));
-            } else {
-                // Off-diagonal pair {β, α}: the packed slot (p, q), p ≠ q,
-                // receives the single ordered contribution; a shared node
-                // (p == q) receives both ordered contributions (β, α) and
-                // (α, β), which are equal by the symmetry of G.
-                for j in 0..2 {
-                    for i in 0..2 {
-                        let p = nb[j];
-                        let q = na[i];
-                        let v = b[j][i];
-                        m.add(p, q, v);
-                        if p == q {
-                            m.add(p, q, v);
-                        }
-                    }
-                }
-            }
+            scatter_pair(nb, na, alpha == beta, b, &mut |p, q, v| m.add(p, q, v));
         }
     }
     m
+}
+
+/// One partition's workspace for the zero-staging direct assembly: an
+/// exclusively owned row-range view of the global triangle plus private
+/// per-column accumulators (merged after the region joins, so no shared
+/// counters are contended during assembly).
+struct DirectPart<'a> {
+    view: layerbem_numeric::SymRowsMut<'a>,
+    /// Series terms of the pairs attributed to this partition, per column.
+    terms: Vec<u64>,
+    /// Seconds this partition spent inside each column's pair walk.
+    seconds: Vec<f64>,
+}
+
+/// In-place parallel assembly: no staged blocks, 1× memory, bit-identical
+/// to the sequential double loop.
+///
+/// The matrix rows are partitioned by the schedule's deterministic chunk
+/// decomposition ([`Schedule::chunk_ranges`]); each partition walks the
+/// pair triangle in sequential order, computes the pairs whose targets
+/// intersect its rows, and accumulates straight into its
+/// [`SymRowsMut`](layerbem_numeric::SymRowsMut) view. A pair's series
+/// terms are attributed to the single partition owning the pair's highest
+/// target row (which always computes it), so `column_terms` sums to
+/// exactly the sequential count even when a boundary pair is recomputed
+/// by two partitions.
+fn assemble_direct(
+    mesh: &Mesh,
+    geoms: &[ElementGeom],
+    kernel: &SoilKernel,
+    quad: &OuterQuadrature,
+    pool: &ThreadPool,
+    schedule: Schedule,
+) -> (SymMatrix, Vec<f64>, Vec<u64>, ExecutionStats) {
+    let n = mesh.dof();
+    let m = geoms.len();
+    let mut matrix = SymMatrix::zeros(n);
+    // Every partition pays an O(M²) envelope scan of the pair triangle
+    // plus two length-M accumulators, so a fine-grained chunk request
+    // (e.g. `dynamic,1` over 10⁴ rows) must not degenerate into one
+    // partition per row — that would reintroduce memory of the staging
+    // buffer's order and let scan overhead dominate. Raise the row-chunk
+    // floor so at most ~4 partitions per thread exist: the schedule kind
+    // keeps its dispatch semantics (round-robin / first-come / shrinking
+    // sizes) and the result is partition-independent anyway.
+    let dispatch_schedule = schedule.with_min_chunk(n.div_ceil(4 * pool.threads()));
+    let ranges: Vec<Range<usize>> = dispatch_schedule
+        .chunk_ranges(n, pool.threads())
+        .into_iter()
+        .map(|(a, b)| a..b)
+        .collect();
+    let elem_nodes: Vec<[usize; 2]> = mesh.elements.iter().map(|e| e.nodes).collect();
+    // Per-element node extremes: target rows of pair (β, α) all lie in
+    // [max(lo_β, lo_α), max(hi_β, hi_α)], giving an exact upper envelope
+    // for the cheap reject below.
+    let node_lo: Vec<usize> = elem_nodes.iter().map(|nd| nd[0].min(nd[1])).collect();
+    let node_hi: Vec<usize> = elem_nodes.iter().map(|nd| nd[0].max(nd[1])).collect();
+
+    let mut parts: Vec<DirectPart> = matrix
+        .partition_rows(&ranges)
+        .into_iter()
+        .map(|view| DirectPart {
+            view,
+            terms: vec![0; m],
+            seconds: vec![0.0; m],
+        })
+        .collect();
+
+    let stats = pool.scoped_partition(
+        &mut parts,
+        dispatch_schedule.partition_dispatch(),
+        |_, part| {
+            let DirectPart {
+                view,
+                terms,
+                seconds,
+            } = part;
+            let rows = view.rows();
+            for beta in 0..m {
+                let t0 = Instant::now();
+                for alpha in beta..m {
+                    // Quick reject on the target-row envelope.
+                    let hi = node_hi[beta].max(node_hi[alpha]);
+                    if hi < rows.start || node_lo[beta].max(node_lo[alpha]) >= rows.end {
+                        continue;
+                    }
+                    let nb = elem_nodes[beta];
+                    let na = elem_nodes[alpha];
+                    // Exact ownership test over the pair's target entries.
+                    let touches = if alpha == beta {
+                        rows.contains(&nb[0]) || rows.contains(&nb[1])
+                    } else {
+                        nb.iter()
+                            .any(|&p| na.iter().any(|&q| rows.contains(&p.max(q))))
+                    };
+                    if !touches {
+                        continue;
+                    }
+                    let (b, t) = pair_block(&geoms[beta], &geoms[alpha], kernel, quad);
+                    scatter_pair(nb, na, alpha == beta, &b, &mut |p, q, v| {
+                        if view.owns(p, q) {
+                            view.add(p, q, v);
+                        }
+                    });
+                    if rows.contains(&hi) {
+                        terms[beta] += t as u64;
+                    }
+                }
+                seconds[beta] += t0.elapsed().as_secs_f64();
+            }
+        },
+    );
+
+    let mut column_terms = vec![0u64; m];
+    let mut column_seconds = vec![0.0; m];
+    for part in &parts {
+        for (acc, v) in column_terms.iter_mut().zip(&part.terms) {
+            *acc += v;
+        }
+        for (acc, v) in column_seconds.iter_mut().zip(&part.seconds) {
+            *acc += v;
+        }
+    }
+    drop(parts);
+    (matrix, column_seconds, column_terms, stats)
 }
 
 /// Galerkin right-hand side for unit GPR: `ν_p = Σ_{e ∋ p} L_e / 2`.
@@ -259,6 +447,23 @@ pub fn assemble_galerkin(
     let quad = OuterQuadrature::new(opts.outer_quadrature);
     let m = geoms.len();
     let t0 = Instant::now();
+
+    // The direct mode writes the global triangle in place and stages
+    // nothing; the staged modes below produce a `Vec<Column>` (the
+    // paper's ~2× staging buffer) assembled sequentially afterwards.
+    if let AssemblyMode::ParallelDirect(pool, schedule) = mode {
+        let (matrix, column_seconds, column_terms, stats) =
+            assemble_direct(mesh, &geoms, kernel, &quad, pool, *schedule);
+        let rhs = galerkin_rhs(mesh);
+        return AssemblyReport {
+            matrix,
+            rhs,
+            column_seconds,
+            column_terms,
+            generation_seconds: t0.elapsed().as_secs_f64(),
+            stats: Some(stats),
+        };
+    }
 
     let (columns, stats): (Vec<Column>, Option<ExecutionStats>) = match mode {
         AssemblyMode::Sequential => {
@@ -299,6 +504,7 @@ pub fn assemble_galerkin(
             }
             (cols, None)
         }
+        AssemblyMode::ParallelDirect(..) => unreachable!("handled above"),
     };
 
     let matrix = assemble_columns(mesh, &columns);
@@ -412,6 +618,81 @@ mod tests {
                     schedule.label()
                 );
             }
+        }
+    }
+
+    /// Barberá-style grid: a multi-cell rectangular mesh whose junction
+    /// nodes give element pairs with non-adjacent node indices — the
+    /// configuration that exercises partition-boundary pairs.
+    fn barbera_style_mesh() -> Mesh {
+        let net = rectangular_grid(RectGridSpec {
+            origin: (0.0, 0.0),
+            width: 30.0,
+            height: 20.0,
+            nx: 3,
+            ny: 2,
+            depth: 0.8,
+            radius: 0.006,
+        });
+        Mesher::default().mesh(&net)
+    }
+
+    #[test]
+    fn parallel_direct_is_bit_identical_to_sequential() {
+        let mesh = barbera_style_mesh();
+        let k = uniform_kernel();
+        let opts = SolveOptions::default();
+        let seq = assemble_galerkin(&mesh, &k, &opts, &AssemblyMode::Sequential);
+        for threads in [2, 3] {
+            let pool = ThreadPool::new(threads);
+            for schedule in [
+                Schedule::static_blocked(),
+                Schedule::static_chunk(3),
+                Schedule::dynamic(1),
+                Schedule::dynamic(4),
+                Schedule::guided(1),
+            ] {
+                let direct = assemble_galerkin(
+                    &mesh,
+                    &k,
+                    &opts,
+                    &AssemblyMode::ParallelDirect(pool, schedule),
+                );
+                let label = format!("threads={threads} {}", schedule.label());
+                assert_eq!(seq.matrix.packed(), direct.matrix.packed(), "{label}");
+                assert_eq!(seq.rhs, direct.rhs, "{label}");
+                assert_eq!(seq.column_terms, direct.column_terms, "{label}");
+                assert!(direct.stats.is_some(), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_direct_matches_sequential_on_two_layer_soil() {
+        // The layered kernel consumes far more series terms per pair;
+        // the per-pair term attribution must still sum exactly.
+        let mesh = small_mesh();
+        let k = SoilKernel::new(&SoilModel::two_layer(0.005, 0.016, 1.0));
+        let opts = SolveOptions::default();
+        let seq = assemble_galerkin(&mesh, &k, &opts, &AssemblyMode::Sequential);
+        let direct = assemble_galerkin(
+            &mesh,
+            &k,
+            &opts,
+            &AssemblyMode::ParallelDirect(ThreadPool::new(2), Schedule::guided(1)),
+        );
+        assert_eq!(seq.matrix.packed(), direct.matrix.packed());
+        assert_eq!(seq.column_terms, direct.column_terms);
+        assert_eq!(seq.total_terms(), direct.total_terms());
+    }
+
+    #[test]
+    fn outer_quadrature_orders_are_pinned() {
+        // (base request, near points): near = max(4 × base, 8).
+        for (base, near) in [(1, 8), (2, 8), (3, 12), (4, 16), (8, 32)] {
+            let q = OuterQuadrature::new(base);
+            assert_eq!(q.base_points(), base, "base {base}");
+            assert_eq!(q.near_points(), near, "base {base}");
         }
     }
 

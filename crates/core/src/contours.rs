@@ -3,7 +3,8 @@
 //! The paper's post-processing cost discussion is about computing
 //! "potentials at a large number of points (i.e. to draw contours)"
 //! (§4.3) — Figs 5.2 and 5.4 *are* contour plots. This module turns a
-//! [`PotentialMap`](crate::post::PotentialMap) into iso-potential
+//! [`PotentialMap`] into
+//! iso-potential
 //! polylines by marching squares with linear interpolation along cell
 //! edges, ready for plotting or for extracting the safety boundary
 //! (e.g. the touch-voltage-limit contour around an installation).

@@ -1,5 +1,7 @@
 //! Formulation and solver options.
 
+use layerbem_parfor::{Schedule, ThreadPool};
+
 /// Which BEM weighting scheme states the linear system.
 ///
 /// "The selection of different sets of trial and test functions in the
@@ -43,6 +45,14 @@ pub struct SolveOptions {
     pub outer_quadrature: usize,
     /// Relative tolerance of the iterative solver.
     pub cg_rel_tol: f64,
+    /// Pool and schedule for the **solve** phase (and the assembly mode
+    /// front-ends derive from it): `None` runs the serial solvers, `Some`
+    /// switches PCG to the pooled matvec operator and the direct
+    /// factorizations to their pool-parallel right-looking variants. This
+    /// is the knob that threads one `ThreadPool` from the CAD pipeline
+    /// all the way into the linear-algebra layer, so the measured
+    /// speed-ups no longer stop at matrix generation.
+    pub parallelism: Option<(ThreadPool, Schedule)>,
 }
 
 impl Default for SolveOptions {
@@ -52,6 +62,18 @@ impl Default for SolveOptions {
             solver: SolverChoice::ConjugateGradient,
             outer_quadrature: 4,
             cg_rel_tol: 1e-10,
+            parallelism: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Returns the options with the solve phase (and derived assembly
+    /// mode) running on `pool` under `schedule`.
+    pub fn with_parallelism(self, pool: ThreadPool, schedule: Schedule) -> Self {
+        SolveOptions {
+            parallelism: Some((pool, schedule)),
+            ..self
         }
     }
 }
@@ -66,5 +88,15 @@ mod tests {
         assert_eq!(o.formulation, Formulation::Galerkin);
         assert_eq!(o.solver, SolverChoice::ConjugateGradient);
         assert!(o.outer_quadrature >= 2);
+        assert!(o.parallelism.is_none(), "serial by default");
+    }
+
+    #[test]
+    fn with_parallelism_sets_only_the_knob() {
+        let o = SolveOptions::default().with_parallelism(ThreadPool::new(4), Schedule::guided(1));
+        let (pool, schedule) = o.parallelism.expect("set");
+        assert_eq!(pool.threads(), 4);
+        assert_eq!(schedule, Schedule::guided(1));
+        assert_eq!(o.solver, SolverChoice::ConjugateGradient);
     }
 }

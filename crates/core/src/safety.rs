@@ -4,7 +4,7 @@
 //! electrical potentials between close points on earth surface that can
 //! be connected by a person must be kept under certain maximum safe
 //! limits (step, touch and mesh voltages)", per IEEE Std 80 (the paper's
-//! reference [1]). This module implements the permissible-limit formulas
+//! reference \[1\]). This module implements the permissible-limit formulas
 //! of IEEE Std 80-2000 and a checker that compares them with computed
 //! voltages.
 

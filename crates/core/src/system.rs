@@ -8,7 +8,7 @@
 use layerbem_geometry::Mesh;
 use layerbem_numeric::cholesky::CholeskyFactor;
 use layerbem_numeric::lu::LuFactor;
-use layerbem_numeric::pcg::{pcg_solve, PcgOptions};
+use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
 use layerbem_soil::SoilModel;
 
 use crate::assembly::{assemble_collocation, assemble_galerkin, AssemblyMode, AssemblyReport};
@@ -77,7 +77,23 @@ impl GroundingSystem {
         assemble_galerkin(&self.mesh, &self.kernel, &self.opts, mode)
     }
 
+    /// The assembly mode implied by [`SolveOptions::parallelism`]: the
+    /// zero-staging in-place parallel assembler when a pool is
+    /// configured, the sequential double loop otherwise.
+    pub fn default_assembly_mode(&self) -> AssemblyMode {
+        match self.opts.parallelism {
+            Some((pool, schedule)) => AssemblyMode::ParallelDirect(pool, schedule),
+            None => AssemblyMode::Sequential,
+        }
+    }
+
     /// Solves a previously assembled Galerkin system for the given GPR.
+    ///
+    /// With [`SolveOptions::parallelism`] set, the solve runs on the pool:
+    /// PCG applies the matrix through the partitioned
+    /// [`PooledSymOperator`] (bit-identical iterates to the serial
+    /// operator), and the direct factorizations distribute their
+    /// right-looking trailing updates.
     ///
     /// # Panics
     /// Panics if the direct factorization fails (matrix not SPD) or the
@@ -86,14 +102,18 @@ impl GroundingSystem {
         assert!(gpr > 0.0, "GPR must be positive");
         let (q_unit, iterations) = match self.opts.solver {
             SolverChoice::ConjugateGradient => {
-                let out = pcg_solve(
-                    &report.matrix,
-                    &report.rhs,
-                    PcgOptions {
-                        rel_tol: self.opts.cg_rel_tol,
-                        ..Default::default()
-                    },
-                );
+                let popts = PcgOptions {
+                    rel_tol: self.opts.cg_rel_tol,
+                    ..Default::default()
+                };
+                let out = match self.opts.parallelism {
+                    Some((pool, schedule)) => pcg_solve(
+                        &PooledSymOperator::new(&report.matrix, pool, schedule),
+                        &report.rhs,
+                        popts,
+                    ),
+                    None => pcg_solve(&report.matrix, &report.rhs, popts),
+                };
                 assert!(
                     out.converged,
                     "PCG failed to converge in {} iterations",
@@ -102,13 +122,22 @@ impl GroundingSystem {
                 (out.x, out.history.iterations())
             }
             SolverChoice::Cholesky => {
-                let f =
-                    CholeskyFactor::factor(&report.matrix).expect("Galerkin matrix must be SPD");
+                let f = match self.opts.parallelism {
+                    Some((pool, schedule)) => {
+                        CholeskyFactor::factor_pooled(&report.matrix, &pool, schedule)
+                    }
+                    None => CholeskyFactor::factor(&report.matrix),
+                }
+                .expect("Galerkin matrix must be SPD");
                 (f.solve(&report.rhs), 0)
             }
             SolverChoice::Lu => {
                 let dense = report.matrix.to_dense();
-                let f = LuFactor::factor(&dense).expect("Galerkin matrix must be nonsingular");
+                let f = match self.opts.parallelism {
+                    Some((pool, schedule)) => LuFactor::factor_pooled(&dense, &pool, schedule),
+                    None => LuFactor::factor(&dense),
+                }
+                .expect("Galerkin matrix must be nonsingular");
                 (f.solve(&report.rhs), 0)
             }
         };
@@ -124,7 +153,11 @@ impl GroundingSystem {
             }
             Formulation::Collocation => {
                 let (c, rhs) = assemble_collocation(&self.mesh, &self.kernel);
-                let f = LuFactor::factor(&c).expect("collocation matrix must be nonsingular");
+                let f = match self.opts.parallelism {
+                    Some((pool, schedule)) => LuFactor::factor_pooled(&c, &pool, schedule),
+                    None => LuFactor::factor(&c),
+                }
+                .expect("collocation matrix must be nonsingular");
                 self.package(f.solve(&rhs), gpr, 0)
             }
         }
@@ -268,6 +301,89 @@ mod tests {
         }
         assert!(close(results[0], results[1], 1e-8));
         assert!(close(results[1], results[2], 1e-10));
+    }
+
+    #[test]
+    fn pooled_pcg_solve_is_identical_to_serial() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let mesh = rod_mesh(8);
+        let soil = SoilModel::uniform(0.016);
+        let serial = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default());
+        let report = serial.assemble(&AssemblyMode::Sequential);
+        let a = serial.solve_assembled(&report, 1.0);
+        for threads in [2, 4] {
+            let opts = SolveOptions::default()
+                .with_parallelism(ThreadPool::new(threads), Schedule::dynamic(2));
+            let pooled = GroundingSystem::new(mesh.clone(), &soil, opts);
+            let b = pooled.solve_assembled(&report, 1.0);
+            // The pooled matvec is bit-identical, so the whole Krylov
+            // trajectory — iterate count included — reproduces exactly.
+            assert_eq!(
+                a.solver_iterations, b.solver_iterations,
+                "threads={threads}"
+            );
+            assert_eq!(a.leakage, b.leakage, "threads={threads}");
+            assert_eq!(a.equivalent_resistance, b.equivalent_resistance);
+        }
+    }
+
+    #[test]
+    fn pooled_direct_solvers_agree_with_serial() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let mesh = rod_mesh(6);
+        let soil = SoilModel::uniform(0.02);
+        for solver in [SolverChoice::Cholesky, SolverChoice::Lu] {
+            let serial = GroundingSystem::new(
+                mesh.clone(),
+                &soil,
+                SolveOptions {
+                    solver,
+                    ..Default::default()
+                },
+            )
+            .solve(&AssemblyMode::Sequential, 1.0);
+            let opts = SolveOptions {
+                solver,
+                ..Default::default()
+            }
+            .with_parallelism(ThreadPool::new(3), Schedule::static_blocked());
+            let pooled_sys = GroundingSystem::new(mesh.clone(), &soil, opts);
+            let pooled = pooled_sys.solve(&pooled_sys.default_assembly_mode(), 1.0);
+            assert!(
+                close(
+                    serial.equivalent_resistance,
+                    pooled.equivalent_resistance,
+                    1e-12
+                ),
+                "{solver:?}: {} vs {}",
+                serial.equivalent_resistance,
+                pooled.equivalent_resistance
+            );
+        }
+    }
+
+    #[test]
+    fn default_assembly_mode_follows_parallelism_knob() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let mesh = rod_mesh(3);
+        let soil = SoilModel::uniform(0.02);
+        let serial = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default());
+        assert!(matches!(
+            serial.default_assembly_mode(),
+            AssemblyMode::Sequential
+        ));
+        let pooled = GroundingSystem::new(
+            mesh,
+            &soil,
+            SolveOptions::default().with_parallelism(ThreadPool::new(2), Schedule::guided(1)),
+        );
+        match pooled.default_assembly_mode() {
+            AssemblyMode::ParallelDirect(pool, schedule) => {
+                assert_eq!(pool.threads(), 2);
+                assert_eq!(schedule, Schedule::guided(1));
+            }
+            other => panic!("expected ParallelDirect, got {other:?}"),
+        }
     }
 
     #[test]

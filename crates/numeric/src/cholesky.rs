@@ -7,6 +7,14 @@
 //! for small systems, the cross-check for the iterative path, and the tool
 //! that certifies positive-definiteness of the assembled Galerkin matrix
 //! (factorization succeeds ⇔ SPD up to round-off).
+//!
+//! Two algorithms produce the same factor: the sequential row-oriented
+//! Cholesky–Crout ([`CholeskyFactor::factor`]) and a **right-looking**
+//! variant ([`CholeskyFactor::factor_pooled`]) whose trailing-submatrix
+//! update — the `O(N³)` bulk of the work — is distributed over a
+//! [`ThreadPool`] by disjoint row partitions of the packed triangle.
+
+use layerbem_parfor::{Schedule, ThreadPool};
 
 use crate::symmetric::SymMatrix;
 
@@ -68,6 +76,89 @@ impl CholeskyFactor {
             }
         }
         Ok(CholeskyFactor { n, l })
+    }
+
+    /// Right-looking factorization with the trailing update parallelized
+    /// over the pool.
+    ///
+    /// At step `k` the column `l_·k` is finalized and every remaining row
+    /// `i > k` is updated as `l_ij -= l_ik·l_jk` (`k < j ≤ i`) — rows are
+    /// independent, so they are partitioned into disjoint
+    /// [`SymRowsMut`](crate::symmetric::SymRowsMut) views and dispatched
+    /// under `schedule`. Row updates are identical scalar sequences
+    /// regardless of the executing thread, so the factor is deterministic
+    /// (it differs from [`factor`](Self::factor) only by the usual
+    /// left-vs-right-looking round-off reordering).
+    ///
+    /// Trailing blocks narrower than an internal cutoff are updated
+    /// inline: a parallel region per column is only worth its spawn cost
+    /// while the update is `O(N²)`.
+    pub fn factor_pooled(
+        a: &SymMatrix,
+        pool: &ThreadPool,
+        schedule: Schedule,
+    ) -> Result<Self, NotPositiveDefinite> {
+        /// Trailing rows below which the update runs inline.
+        const PAR_CUTOFF: usize = 64;
+
+        let n = a.order();
+        let mut l = SymMatrix::from_packed(n, a.packed().to_vec());
+        // `col[i]` caches the finalized l_ik of step k for i ≥ k+1: the
+        // strided column read happens once, and the parallel row updates
+        // then only touch their own packed rows plus this shared cache.
+        let mut col = vec![0.0; n];
+        for k in 0..n {
+            let s = l.get(k, k);
+            if s <= 0.0 || !s.is_finite() {
+                return Err(NotPositiveDefinite { pivot: k });
+            }
+            let lkk = s.sqrt();
+            l.set(k, k, lkk);
+            for (off, c) in col[(k + 1)..n].iter_mut().enumerate() {
+                let i = k + 1 + off;
+                let v = l.get(i, k) / lkk;
+                l.set(i, k, v);
+                *c = v;
+            }
+            let rows = n - (k + 1);
+            if rows == 0 {
+                continue;
+            }
+            if rows < PAR_CUTOFF || pool.threads() == 1 {
+                for i in (k + 1)..n {
+                    let ci = col[i];
+                    let row = &mut l.packed_mut()[i * (i + 1) / 2..];
+                    for (j, cj) in col[(k + 1)..=i].iter().enumerate() {
+                        row[k + 1 + j] -= ci * cj;
+                    }
+                }
+            } else {
+                // Floor the chunk so per-step partition bookkeeping (one
+                // view + one dispatch claim each) stays O(threads), even
+                // for a `dynamic,1` schedule request.
+                let step = schedule.with_min_chunk(rows.div_ceil(4 * pool.threads()));
+                let ranges: Vec<std::ops::Range<usize>> = step
+                    .chunk_ranges(rows, pool.threads())
+                    .into_iter()
+                    .map(|(a, b)| (k + 1 + a)..(k + 1 + b))
+                    .collect();
+                let mut views = l.partition_rows(&ranges);
+                let col = &col;
+                pool.scoped_partition(&mut views, step.partition_dispatch(), |_, view| {
+                    for i in view.rows() {
+                        let ci = col[i];
+                        let row = view.row_mut(i);
+                        for (j, cj) in col[(k + 1)..=i].iter().enumerate() {
+                            row[k + 1 + j] -= ci * cj;
+                        }
+                    }
+                });
+            }
+        }
+        Ok(CholeskyFactor {
+            n,
+            l: l.into_packed(),
+        })
     }
 
     /// Matrix order.
@@ -206,5 +297,80 @@ mod tests {
     fn error_display_mentions_pivot() {
         let e = NotPositiveDefinite { pivot: 3 };
         assert!(e.to_string().contains("pivot 3"));
+    }
+
+    /// Dense-ish SPD matrix large enough to cross the parallel cutoff.
+    fn spd_large(n: usize) -> SymMatrix {
+        let mut a = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = 1.0 / (1.0 + (i - j) as f64); // Lehmer-like decay
+                a.set(i, j, if i == j { v + n as f64 * 0.05 } else { v * 0.3 });
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn pooled_factor_matches_crout_factor() {
+        let a = spd_large(150);
+        let crout = CholeskyFactor::factor(&a).unwrap();
+        let pool = ThreadPool::new(4);
+        for schedule in [
+            Schedule::static_blocked(),
+            Schedule::dynamic(8),
+            Schedule::guided(1),
+        ] {
+            let pooled = CholeskyFactor::factor_pooled(&a, &pool, schedule).unwrap();
+            for i in 0..a.order() {
+                for j in 0..=i {
+                    assert!(
+                        approx_eq(pooled.l_entry(i, j), crout.l_entry(i, j), 1e-11),
+                        "({i},{j}) {} vs {} [{}]",
+                        pooled.l_entry(i, j),
+                        crout.l_entry(i, j),
+                        schedule.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_factor_is_deterministic_across_thread_counts() {
+        let a = spd_large(100);
+        let reference =
+            CholeskyFactor::factor_pooled(&a, &ThreadPool::new(1), Schedule::dynamic(4)).unwrap();
+        for threads in [2, 3, 8] {
+            let f =
+                CholeskyFactor::factor_pooled(&a, &ThreadPool::new(threads), Schedule::dynamic(4))
+                    .unwrap();
+            assert_eq!(f.l, reference.l, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_solve_round_trips() {
+        let a = spd_large(120);
+        let x_true: Vec<f64> = (0..120).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let b = a.matvec_alloc(&x_true);
+        let f =
+            CholeskyFactor::factor_pooled(&a, &ThreadPool::new(3), Schedule::guided(2)).unwrap();
+        let x = f.solve(&b);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!(approx_eq(*u, *v, 1e-9));
+        }
+    }
+
+    #[test]
+    fn pooled_factor_reports_failing_pivot() {
+        let mut a = spd_large(80);
+        a.set(40, 40, -1.0);
+        let err = CholeskyFactor::factor_pooled(&a, &ThreadPool::new(2), Schedule::dynamic(1))
+            .unwrap_err();
+        // The right-looking sweep reaches the poisoned diagonal at its
+        // own step; Crout agrees on the pivot index.
+        assert_eq!(err.pivot, 40);
+        assert_eq!(CholeskyFactor::factor(&a).unwrap_err().pivot, 40);
     }
 }

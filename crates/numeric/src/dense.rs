@@ -85,6 +85,13 @@ impl DenseMatrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Mutable raw row-major buffer. Rows are contiguous `cols`-length
+    /// runs, so disjoint row blocks are disjoint sub-slices — the property
+    /// the pool-parallel LU elimination splits on.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Raw row-major buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data

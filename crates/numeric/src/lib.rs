@@ -20,6 +20,15 @@
 //! * [`pcg`] — Jacobi-preconditioned conjugate gradient with convergence
 //!   history, defined over a [`LinearOperator`] abstraction so that both
 //!   assembled matrices and matrix-free operators can be solved.
+//!
+//! The **pooled layer** makes the solve phase scale with the same
+//! `layerbem-parfor` runtime the assembler uses: [`SymMatrix::partition_rows`]
+//! splits the packed triangle into disjoint row-range views
+//! ([`symmetric::SymRowsMut`]) that different threads may write without
+//! locks, [`PooledSymOperator`] runs the PCG matvec in parallel
+//! (bit-identical to the serial operator), and
+//! [`CholeskyFactor::factor_pooled`] / [`LuFactor::factor_pooled`]
+//! distribute the right-looking trailing updates of the direct solvers.
 //! * [`quadrature`] — Gauss–Legendre rules computed to machine precision,
 //!   used for the outer element integrals.
 //! * [`series`] — compensated (Kahan) summation and tolerance-controlled
@@ -40,10 +49,12 @@ pub mod vector;
 pub use cholesky::CholeskyFactor;
 pub use dense::DenseMatrix;
 pub use lu::LuFactor;
-pub use pcg::{pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome};
+pub use pcg::{
+    pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome, PooledSymOperator,
+};
 pub use quadrature::GaussLegendre;
 pub use series::{KahanSum, SeriesOptions, SeriesResult};
-pub use symmetric::SymMatrix;
+pub use symmetric::{SymMatrix, SymRowsMut};
 
 /// Numerical tolerance used by the test-suites of this workspace when
 /// comparing floating point results that should agree to round-off.

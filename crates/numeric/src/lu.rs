@@ -4,6 +4,15 @@
 //! weighting) produces a *nonsymmetric* dense matrix; LU with partial
 //! pivoting is the appropriate direct solver for it. It also serves as an
 //! independent cross-check of the Cholesky path in the test-suite.
+//!
+//! [`LuFactor::factor_pooled`] runs the same right-looking elimination
+//! with each step's row updates — independent by construction — spread
+//! over a [`ThreadPool`]. Every row performs the identical scalar
+//! sequence as the sequential code, and pivot selection happens between
+//! parallel regions, so the pooled factor is bit-identical to
+//! [`LuFactor::factor`].
+
+use layerbem_parfor::{Schedule, ThreadPool};
 
 use crate::dense::DenseMatrix;
 
@@ -85,6 +94,100 @@ impl LuFactor {
                         lu.add(i, j, -m * lu.get(k, j));
                     }
                 }
+            }
+        }
+        Ok(LuFactor {
+            n,
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Factorization with each elimination step's row updates distributed
+    /// over the pool.
+    ///
+    /// Pivot search and the row swap are `O(N)` and stay sequential
+    /// between parallel regions; the `O(N²)` update of the trailing rows
+    /// — mutually independent — is partitioned into disjoint row blocks
+    /// (rows are contiguous in the row-major buffer) and dispatched under
+    /// `schedule`. Every row runs the identical scalar sequence as
+    /// [`factor`](Self::factor), so the result is **bit-identical** to the
+    /// sequential factorization for any thread count.
+    pub fn factor_pooled(
+        a: &DenseMatrix,
+        pool: &ThreadPool,
+        schedule: Schedule,
+    ) -> Result<Self, SingularMatrix> {
+        /// Trailing rows below which the update runs inline.
+        const PAR_CUTOFF: usize = 64;
+
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            let mut p = k;
+            let mut pmax = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(SingularMatrix { column: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, tmp);
+                }
+            }
+            let trailing = n - (k + 1);
+            if trailing == 0 {
+                continue;
+            }
+            // Pivot row columns k..n, copied so the parallel row updates
+            // share a read-only slice while mutating their own rows.
+            let prow: Vec<f64> = lu.row(k)[k..].to_vec();
+            let pivot = prow[0];
+            let eliminate = |row: &mut [f64]| {
+                let m = row[k] / pivot;
+                row[k] = m;
+                if m != 0.0 {
+                    for (v, pj) in row[(k + 1)..n].iter_mut().zip(&prow[1..]) {
+                        *v -= m * pj;
+                    }
+                }
+            };
+            if trailing < PAR_CUTOFF || pool.threads() == 1 {
+                for i in (k + 1)..n {
+                    eliminate(lu.row_mut(i));
+                }
+            } else {
+                // Same chunk floor as the other pooled paths: per-step
+                // partition count stays O(threads) under `dynamic,1`.
+                let step = schedule.with_min_chunk(trailing.div_ceil(4 * pool.threads()));
+                let tail = &mut lu.as_mut_slice()[(k + 1) * n..];
+                let mut parts: Vec<&mut [f64]> = Vec::new();
+                let mut rest = tail;
+                for (a2, b2) in step.chunk_ranges(trailing, pool.threads()) {
+                    let (chunk, r) = rest.split_at_mut((b2 - a2) * n);
+                    parts.push(chunk);
+                    rest = r;
+                }
+                pool.scoped_partition(&mut parts, step.partition_dispatch(), |_, block| {
+                    for row in block.chunks_mut(n) {
+                        eliminate(row);
+                    }
+                });
             }
         }
         Ok(LuFactor {
@@ -186,6 +289,67 @@ mod tests {
         let a = DenseMatrix::from_rows(3, 3, vec![2.0, 1.0, 1.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0]);
         let f = LuFactor::factor(&a).unwrap();
         assert!(approx_eq(f.det(), 24.0, 1e-12));
+    }
+
+    /// Deterministic pseudo-random dense matrix with a boosted diagonal.
+    fn random_matrix(n: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed;
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut vals = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let boost = if i == j { 2.0 } else { 0.0 };
+                vals.push(next() + boost);
+            }
+        }
+        DenseMatrix::from_rows(n, n, vals)
+    }
+
+    #[test]
+    fn pooled_factor_is_bit_identical_to_sequential() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let a = random_matrix(130, 0xDEADBEEF);
+        let serial = LuFactor::factor(&a).unwrap();
+        for threads in [1, 2, 4] {
+            for schedule in [
+                Schedule::static_blocked(),
+                Schedule::dynamic(16),
+                Schedule::guided(1),
+            ] {
+                let pooled =
+                    LuFactor::factor_pooled(&a, &ThreadPool::new(threads), schedule).unwrap();
+                assert_eq!(
+                    pooled.lu.as_slice(),
+                    serial.lu.as_slice(),
+                    "threads={threads} {}",
+                    schedule.label()
+                );
+                assert_eq!(pooled.perm, serial.perm);
+                assert_eq!(pooled.det(), serial.det());
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_factor_detects_singularity() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        // An exactly zero column is the one singularity floating point
+        // preserves bit-exactly through elimination.
+        let n = 100;
+        let mut a = random_matrix(n, 42);
+        for i in 0..n {
+            a.set(i, 0, 0.0);
+        }
+        let serial = LuFactor::factor(&a).unwrap_err();
+        let pooled =
+            LuFactor::factor_pooled(&a, &ThreadPool::new(4), Schedule::dynamic(8)).unwrap_err();
+        assert_eq!(serial, pooled);
+        assert_eq!(pooled.column, 0);
     }
 
     #[test]

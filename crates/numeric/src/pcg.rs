@@ -8,8 +8,10 @@
 //! computational cost in comparison with matrix generation".
 //!
 //! The solver is written against the [`LinearOperator`] trait so it works
-//! with the packed [`SymMatrix`](crate::SymMatrix), with matrix-free
+//! with the packed [`SymMatrix`], with matrix-free
 //! operators in tests, and with parallel matvec wrappers.
+
+use layerbem_parfor::{Schedule, ThreadPool};
 
 use crate::symmetric::SymMatrix;
 use crate::vector;
@@ -35,6 +37,84 @@ impl LinearOperator for SymMatrix {
     }
     fn diagonal(&self) -> Vec<f64> {
         self.diagonal()
+    }
+}
+
+/// A [`SymMatrix`] wrapped with a [`ThreadPool`]: the same operator, with
+/// the matvec — the `O(N²)` cost of every PCG iteration — computed in
+/// parallel over disjoint output rows.
+///
+/// Each output entry is computed by one thread as the *identical* sequence
+/// of floating-point operations the serial [`SymMatrix::matvec`] folds
+/// into it (row part in ascending column order, then the mirrored column
+/// part in ascending row order), so the pooled operator is **bit-identical**
+/// to the serial one: `pcg_solve` produces the same iterates, the same
+/// residual history, and the same iteration count for any thread count and
+/// schedule.
+///
+/// ```
+/// use layerbem_numeric::{pcg_solve, PcgOptions, PooledSymOperator, SymMatrix};
+/// use layerbem_parfor::{Schedule, ThreadPool};
+/// let mut a = SymMatrix::zeros(2);
+/// a.set(0, 0, 2.0);
+/// a.set(1, 1, 3.0);
+/// a.set(1, 0, 1.0);
+/// let op = PooledSymOperator::new(&a, ThreadPool::new(2), Schedule::static_blocked());
+/// let out = pcg_solve(&op, &[3.0, 5.0], PcgOptions::default());
+/// assert!(out.converged);
+/// assert!((out.x[0] - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PooledSymOperator<'a> {
+    matrix: &'a SymMatrix,
+    pool: ThreadPool,
+    schedule: Schedule,
+}
+
+impl<'a> PooledSymOperator<'a> {
+    /// Wraps a packed symmetric matrix with a pool and a schedule.
+    pub fn new(matrix: &'a SymMatrix, pool: ThreadPool, schedule: Schedule) -> Self {
+        PooledSymOperator {
+            matrix,
+            pool,
+            schedule,
+        }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &SymMatrix {
+        self.matrix
+    }
+}
+
+impl LinearOperator for PooledSymOperator<'_> {
+    fn order(&self) -> usize {
+        self.matrix.order()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.matrix.order();
+        assert_eq!(x.len(), n, "matvec: x length");
+        assert_eq!(y.len(), n, "matvec: y length");
+        let packed = self.matrix.packed();
+        self.pool.parallel_fill(y, self.schedule, |i| {
+            // Row part: packed row `i` is contiguous — entries (i, j≤i).
+            let row = &packed[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
+            let mut s = 0.0;
+            for (j, a) in row[..i].iter().enumerate() {
+                s += a * x[j];
+            }
+            s += row[i] * x[i];
+            // Mirrored column part: entries (k, i) for k > i, strided.
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s += packed[k * (k + 1) / 2 + i] * xk;
+            }
+            s
+        });
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        self.matrix.diagonal()
     }
 }
 
@@ -322,6 +402,40 @@ mod tests {
         a.set(1, 1, 1.0);
         a.set(2, 2, 1.0);
         pcg_solve(&a, &[1.0, 1.0, 1.0], PcgOptions::default());
+    }
+
+    #[test]
+    fn pooled_operator_matvec_is_bit_identical_to_serial() {
+        let a = spd(57);
+        let x: Vec<f64> = (0..57).map(|i| ((i * 31) % 13) as f64 - 6.0).collect();
+        let serial = a.matvec_alloc(&x);
+        for threads in [1, 2, 4] {
+            for schedule in [
+                Schedule::static_blocked(),
+                Schedule::dynamic(3),
+                Schedule::guided(1),
+            ] {
+                let op = PooledSymOperator::new(&a, ThreadPool::new(threads), schedule);
+                let mut y = vec![0.0; 57];
+                op.apply(&x, &mut y);
+                assert_eq!(serial, y, "threads={threads} {}", schedule.label());
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_solve_matches_serial_iterates_exactly() {
+        let a = spd(48);
+        let b: Vec<f64> = (0..48).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let serial = pcg_solve(&a, &b, PcgOptions::default());
+        let op = PooledSymOperator::new(&a, ThreadPool::new(4), Schedule::dynamic(2));
+        let pooled = pcg_solve(&op, &b, PcgOptions::default());
+        assert!(pooled.converged);
+        // Same matvec bits → same Krylov trajectory: iterate-for-iterate
+        // identical residual history and solution.
+        assert_eq!(serial.history.iterations(), pooled.history.iterations());
+        assert_eq!(serial.history.residual_norms, pooled.history.residual_norms);
+        assert_eq!(serial.x, pooled.x);
     }
 
     /// A matrix-free operator: the 1-D discrete Laplacian plus identity.

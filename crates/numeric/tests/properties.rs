@@ -28,7 +28,77 @@ fn spd_strategy(n: usize) -> impl Strategy<Value = SymMatrix> {
     })
 }
 
+/// Arbitrary disjoint ascending row ranges covering `0..n`: a boolean per
+/// interior row decides whether a split lands there.
+fn split_strategy(n: usize) -> impl Strategy<Value = Vec<std::ops::Range<usize>>> {
+    prop::collection::vec(any::<bool>(), n.saturating_sub(1)).prop_map(move |cuts| {
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        for (row, cut) in cuts.iter().enumerate() {
+            if *cut {
+                ranges.push(start..row + 1);
+                start = row + 1;
+            }
+        }
+        ranges.push(start..n);
+        ranges
+    })
+}
+
 proptest! {
+    #[test]
+    fn partitioned_adds_reproduce_whole_matrix_adds(
+        splits in split_strategy(12),
+        entries in prop::collection::vec((0usize..12, 0usize..12, -10.0f64..10.0), 0..60),
+    ) {
+        // Route every update through the owning row-range view; the
+        // result must be indistinguishable from updating the matrix
+        // directly — same packed bits, same get() on both triangles.
+        let n = 12;
+        let mut whole = SymMatrix::zeros(n);
+        let mut split = SymMatrix::zeros(n);
+        {
+            let mut views = split.partition_rows(&splits);
+            for &(i, j, v) in &entries {
+                whole.add(i, j, v);
+                let owner = views
+                    .iter_mut()
+                    .find(|w| w.owns(i, j))
+                    .expect("splits cover 0..n");
+                owner.add(i, j, v);
+            }
+        }
+        prop_assert_eq!(whole.packed(), split.packed());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(whole.get(i, j), split.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_set_matches_whole_matrix_set(
+        splits in split_strategy(9),
+        entries in prop::collection::vec((0usize..9, 0usize..9, -10.0f64..10.0), 0..40),
+    ) {
+        let mut whole = SymMatrix::zeros(9);
+        let mut split = SymMatrix::zeros(9);
+        {
+            let mut views = split.partition_rows(&splits);
+            for &(i, j, v) in &entries {
+                whole.set(i, j, v);
+                let owner = views
+                    .iter_mut()
+                    .find(|w| w.owns(i, j))
+                    .expect("splits cover the order");
+                owner.set(i, j, v);
+                prop_assert_eq!(owner.get(i, j), v);
+                prop_assert_eq!(owner.get(j, i), v);
+            }
+        }
+        prop_assert_eq!(whole.packed(), split.packed());
+    }
+
     #[test]
     fn cholesky_and_lu_agree_on_spd(a in spd_strategy(8), rhs in prop::collection::vec(-5.0f64..5.0, 8)) {
         let chol = CholeskyFactor::factor(&a).expect("SPD by construction");

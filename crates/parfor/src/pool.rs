@@ -12,7 +12,7 @@
 //! irrelevant; what matters — and what the paper studies — is the
 //! *iteration dispatch* strategy, which is implemented here with lock-free
 //! atomics exactly mirroring the schedule semantics of
-//! [`Schedule`](crate::Schedule).
+//! [`Schedule`].
 
 use std::cell::UnsafeCell;
 use std::ops::Range;
@@ -51,7 +51,15 @@ impl ThreadPool {
     }
 
     /// An executor sized to the machine (`available_parallelism`).
+    ///
+    /// The `LAYERBEM_THREADS` environment variable, when set to a positive
+    /// integer, overrides the detected core count — the knob CI uses to
+    /// pin thread counts for reproducible timings regardless of the
+    /// runner hardware. Unparsable or zero values are ignored.
     pub fn with_available_parallelism() -> Self {
+        if let Some(n) = thread_override(std::env::var("LAYERBEM_THREADS").ok().as_deref()) {
+            return ThreadPool::new(n);
+        }
         let n = std::thread::available_parallelism()
             .map(|v| v.get())
             .unwrap_or(1);
@@ -109,16 +117,47 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let n = out.len();
-        let slots = Slot::wrap_slice(out);
-        self.for_each_chunk(n, schedule, |_t, range| {
+        self.scoped_partition(out, schedule, |i, slot| *slot = f(i));
+    }
+
+    /// Hands out exclusive `&mut` access to each element of `parts`, one
+    /// invocation of `body(index, &mut parts[index])` per element,
+    /// dispatched across the pool under `schedule`.
+    ///
+    /// This is the generalization of [`parallel_fill`](Self::parallel_fill)
+    /// (which only *writes* each slot): the body may read **and** mutate
+    /// its element in place, so a partition element can be a whole owned
+    /// workspace — e.g. a disjoint row-range view of a shared matrix plus
+    /// its private accumulators — and the region stays race-free by
+    /// construction: ownership is settled by the partition, not by locks.
+    ///
+    /// Returns the per-thread [`ExecutionStats`] of the region (an
+    /// "iteration" is one partition element).
+    pub fn scoped_partition<T, F>(
+        &self,
+        parts: &mut [T],
+        schedule: Schedule,
+        body: F,
+    ) -> ExecutionStats
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = parts.len();
+        let slots = Slot::wrap_slice(parts);
+        let t0 = Instant::now();
+        let per_thread = self.run_region(n, schedule, &|_t, range: Range<usize>| {
             for i in range {
                 // SAFETY: schedules partition 0..n into disjoint chunks and
                 // each chunk is executed by exactly one thread, so slot `i`
-                // has a unique writer and no concurrent readers.
-                unsafe { *slots[i].0.get() = f(i) };
+                // has a unique borrower and no concurrent access.
+                body(i, unsafe { &mut *slots[i].0.get() });
             }
         });
+        ExecutionStats {
+            per_thread,
+            wall: t0.elapsed(),
+        }
     }
 
     /// Map-reduce over `0..n`: computes `f(i)` for every iteration and
@@ -168,20 +207,7 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let n = out.len();
-        let slots = Slot::wrap_slice(out);
-        let t0 = Instant::now();
-        let per_thread = self.run_region(n, schedule, &|_t, range: Range<usize>| {
-            for i in range {
-                // SAFETY: as in `parallel_fill` — disjoint chunks give
-                // each slot a unique writer.
-                unsafe { *slots[i].0.get() = f(i) };
-            }
-        });
-        ExecutionStats {
-            per_thread,
-            wall: t0.elapsed(),
-        }
+        self.scoped_partition(out, schedule, |i, slot| *slot = f(i))
     }
 
     /// Runs `chunk_body(thread_index, chunk_range)` for every chunk of the
@@ -253,24 +279,8 @@ where
     let chunks: Vec<(usize, usize)> = match schedule.kind {
         ScheduleKind::Static => schedule.static_chunks_for(n, p, t),
         // Inline (p == 1) execution of dynamic/guided: one thread claims
-        // every chunk in order.
-        ScheduleKind::Dynamic => {
-            let c = schedule.chunk_or_default();
-            (0..n.div_ceil(c))
-                .map(|k| (k * c, ((k + 1) * c).min(n)))
-                .collect()
-        }
-        ScheduleKind::Guided => {
-            let min = schedule.chunk_or_default();
-            let mut out = Vec::new();
-            let mut start = 0;
-            while start < n {
-                let size = Schedule::guided_next_size(n - start, p, min);
-                out.push((start, start + size));
-                start += size;
-            }
-            out
-        }
+        // every chunk in order — exactly the deterministic decomposition.
+        ScheduleKind::Dynamic | ScheduleKind::Guided => schedule.chunk_ranges(n, p),
     };
     let mut stats = ThreadStats::default();
     let t0 = Instant::now();
@@ -350,14 +360,25 @@ where
     stats
 }
 
+/// Interprets a `LAYERBEM_THREADS` value: a positive integer overrides
+/// thread-count detection; anything else (unset, unparsable, zero) is
+/// ignored. Pure so the rule is unit-testable without mutating the
+/// process environment (`setenv` racing any concurrent `getenv` — e.g.
+/// the panic hook reading `RUST_BACKTRACE` — is UB on glibc).
+fn thread_override(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 /// Interior-mutability wrapper that lets disjoint indices of a slice be
 /// written from different threads without locks.
 #[repr(transparent)]
 struct Slot<T>(UnsafeCell<T>);
 
-// SAFETY: `Slot` is only ever used through `parallel_fill`, which
-// guarantees each element has exactly one writing thread and no readers
-// until the region joins.
+// SAFETY: `Slot` is only ever used through `scoped_partition` (and the
+// `parallel_fill` wrappers built on it), which guarantees each element has
+// exactly one accessing thread and no others until the region joins.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 impl<T> Slot<T> {
@@ -440,6 +461,66 @@ mod tests {
         let mut one = vec![0.0f64];
         pool.parallel_fill(&mut one, Schedule::guided(1), |_| 42.0);
         assert_eq!(one[0], 42.0);
+    }
+
+    #[test]
+    fn scoped_partition_mutates_every_part_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for s in all_schedules() {
+            let mut parts: Vec<(usize, Vec<u64>)> =
+                (0..37).map(|i| (i, vec![0u64; i % 5])).collect();
+            let stats = pool.scoped_partition(&mut parts, s, |i, part| {
+                assert_eq!(part.0, i, "handed the right element");
+                part.0 += 100;
+                for v in part.1.iter_mut() {
+                    *v = i as u64;
+                }
+            });
+            for (i, part) in parts.iter().enumerate() {
+                assert_eq!(part.0, i + 100, "{}", s.label());
+                assert!(part.1.iter().all(|&v| v == i as u64));
+            }
+            assert_eq!(stats.total_iterations(), 37, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn scoped_partition_parts_may_borrow_disjoint_slices() {
+        // The intended use: pre-split a buffer into disjoint &mut slices,
+        // then let the pool mutate them concurrently.
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u32; 90];
+        let mut parts: Vec<&mut [u32]> = data.chunks_mut(7).collect();
+        pool.scoped_partition(&mut parts, Schedule::dynamic(1), |i, slice| {
+            for v in slice.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, (k / 7) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn scoped_partition_empty_is_benign() {
+        let pool = ThreadPool::new(2);
+        let mut parts: Vec<u64> = Vec::new();
+        let stats = pool.scoped_partition(&mut parts, Schedule::guided(1), |_, _| {});
+        assert_eq!(stats.total_iterations(), 0);
+    }
+
+    #[test]
+    fn layerbem_threads_override_parsing() {
+        // The pure rule behind the LAYERBEM_THREADS env override; the
+        // end-to-end path is exercised by CI (which sets the variable
+        // before the process starts) rather than by in-process set_var,
+        // whose environ reallocation races concurrent getenv callers.
+        assert_eq!(thread_override(Some("3")), Some(3));
+        assert_eq!(thread_override(Some(" 8 ")), Some(8));
+        assert_eq!(thread_override(Some("0")), None);
+        assert_eq!(thread_override(Some("not-a-number")), None);
+        assert_eq!(thread_override(Some("")), None);
+        assert_eq!(thread_override(None), None);
     }
 
     #[test]

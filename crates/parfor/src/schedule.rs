@@ -16,8 +16,9 @@
 //!   `⌈remaining/p⌉` and shrinks exponentially, never below `c`
 //!   ("pieces with size exponentially varying").
 //!
-//! The same [`Schedule`] value drives both the real [`ThreadPool`]
-//! (`crate::ThreadPool`) and the simulator ([`crate::sim`]), so measured
+//! The same [`Schedule`] value drives both the real
+//! [`ThreadPool`](crate::ThreadPool) and the simulator ([`crate::sim`]),
+//! so measured
 //! and simulated executions use *identical* decompositions.
 
 /// The three OpenMP schedule kinds.
@@ -137,6 +138,99 @@ impl Schedule {
                 out
             }
             _ => Vec::new(),
+        }
+    }
+
+    /// The deterministic chunk decomposition of `0..n` for `p` threads:
+    /// every chunk boundary this schedule would produce, in ascending
+    /// order, independent of which thread ends up claiming each chunk.
+    ///
+    /// * `static` (blocked): the `p` near-equal contiguous blocks.
+    /// * `static,c` / `dynamic,c`: `⌈n/c⌉` chunks of `c` iterations.
+    /// * `guided,c`: the shrinking sizes of [`Schedule::guided_next_size`].
+    ///
+    /// Chunk *boundaries* are deterministic even for the run-time
+    /// schedules: dynamic chunks start at multiples of `c`, and each
+    /// guided size depends only on how many iterations remain, not on
+    /// which thread claims them. This is what lets callers hand out
+    /// disjoint `&mut` sub-slices per chunk before the parallel region
+    /// starts (see `ThreadPool::scoped_partition`): ownership is settled
+    /// by the decomposition, and only the chunk→thread *assignment* is
+    /// resolved at run time. Empty chunks are omitted.
+    pub fn chunk_ranges(&self, n: usize, p: usize) -> Vec<(usize, usize)> {
+        assert!(p > 0, "thread count must be positive");
+        if n == 0 {
+            return Vec::new();
+        }
+        match (self.kind, self.chunk) {
+            (ScheduleKind::Static, None) => (0..p)
+                .flat_map(|t| self.static_chunks_for(n, p, t))
+                .collect(),
+            (ScheduleKind::Static, Some(c)) | (ScheduleKind::Dynamic, Some(c)) => (0..n
+                .div_ceil(c))
+                .map(|k| (k * c, ((k + 1) * c).min(n)))
+                .collect(),
+            (ScheduleKind::Dynamic, None) | (ScheduleKind::Guided, None) => {
+                // chunk_or_default() == 1 for the run-time schedules.
+                Schedule {
+                    kind: self.kind,
+                    chunk: Some(1),
+                }
+                .chunk_ranges(n, p)
+            }
+            (ScheduleKind::Guided, Some(min)) => {
+                let mut out = Vec::new();
+                let mut start = 0;
+                while start < n {
+                    let size = Schedule::guided_next_size(n - start, p, min);
+                    out.push((start, start + size));
+                    start += size;
+                }
+                out
+            }
+        }
+    }
+
+    /// This schedule with its effective chunk parameter raised to at
+    /// least `min` (itself floored at 1). Static *blocked* (`chunk:
+    /// None`) is returned unchanged — it already produces one block per
+    /// thread. Callers whose per-chunk cost is non-trivial (a partition
+    /// workspace, a scan, a dispatch claim) use this to keep a
+    /// fine-grained chunk request from degenerating into per-iteration
+    /// partitions while preserving the schedule kind's dispatch
+    /// semantics.
+    pub fn with_min_chunk(&self, min: usize) -> Schedule {
+        match (self.kind, self.chunk) {
+            (ScheduleKind::Static, None) => *self,
+            (kind, chunk) => {
+                let c = chunk.unwrap_or(1);
+                if c >= min {
+                    Schedule {
+                        kind,
+                        chunk: Some(c),
+                    }
+                } else {
+                    Schedule {
+                        kind,
+                        chunk: Some(min.max(1)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The schedule that assigns pre-materialized [`chunk_ranges`]
+    /// partitions to threads with the same semantics as this schedule
+    /// applied to raw iterations: static schedules keep their compile-time
+    /// round-robin ownership (partition `k` → thread `k mod p`), while
+    /// dynamic and guided partitions are claimed first-come-first-served
+    /// (the shrinking guided sizes are already baked into the ranges).
+    ///
+    /// [`chunk_ranges`]: Self::chunk_ranges
+    pub fn partition_dispatch(&self) -> Schedule {
+        match self.kind {
+            ScheduleKind::Static => Schedule::static_chunk(1),
+            ScheduleKind::Dynamic | ScheduleKind::Guided => Schedule::dynamic(1),
         }
     }
 
@@ -276,6 +370,116 @@ mod tests {
         assert_eq!(Schedule::guided_next_size(3, 4, 16), 3); // clamped to remaining
         assert_eq!(Schedule::guided_next_size(80, 4, 16), 16); // floor at min chunk
         assert_eq!(Schedule::guided_next_size(0, 4, 16), 0);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly_once() {
+        let schedules = [
+            Schedule::static_blocked(),
+            Schedule::static_chunk(1),
+            Schedule::static_chunk(5),
+            Schedule::dynamic(1),
+            Schedule::dynamic(7),
+            Schedule::guided(1),
+            Schedule::guided(16),
+        ];
+        for s in schedules {
+            for &(n, p) in &[(0usize, 3usize), (1, 4), (10, 3), (238, 8), (408, 2)] {
+                let ranges = s.chunk_ranges(n, p);
+                let mut covered = 0;
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "{} n={n} p={p}: contiguous", s.label());
+                }
+                for &(a, b) in &ranges {
+                    assert!(a < b, "{} n={n} p={p}: no empty chunks", s.label());
+                    covered += b - a;
+                }
+                assert_eq!(covered, n, "{} n={n} p={p}", s.label());
+                if n > 0 {
+                    assert_eq!(ranges[0].0, 0);
+                    assert_eq!(ranges.last().unwrap().1, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_match_schedule_shapes() {
+        // static blocked: p blocks.
+        assert_eq!(
+            Schedule::static_blocked().chunk_ranges(10, 3),
+            vec![(0, 4), (4, 7), (7, 10)]
+        );
+        // fixed-size chunks for static,c and dynamic,c.
+        assert_eq!(
+            Schedule::static_chunk(4).chunk_ranges(10, 2),
+            vec![(0, 4), (4, 8), (8, 10)]
+        );
+        assert_eq!(
+            Schedule::dynamic(4).chunk_ranges(10, 2),
+            Schedule::static_chunk(4).chunk_ranges(10, 2)
+        );
+        // guided: shrinking sizes, first is ⌈n/2p⌉.
+        let guided = Schedule::guided(1).chunk_ranges(100, 4);
+        assert_eq!(guided[0], (0, 13));
+        for w in guided.windows(2) {
+            assert!(w[1].1 - w[1].0 <= w[0].1 - w[0].0, "{guided:?}");
+        }
+        // more threads than iterations: short blocked decomposition.
+        assert_eq!(
+            Schedule::static_blocked().chunk_ranges(2, 8),
+            vec![(0, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn with_min_chunk_floors_every_kind_except_static_blocked() {
+        // Blocked static already yields p partitions: unchanged.
+        assert_eq!(
+            Schedule::static_blocked().with_min_chunk(50),
+            Schedule::static_blocked()
+        );
+        // Explicit chunks are floored, larger ones kept.
+        assert_eq!(Schedule::dynamic(1).with_min_chunk(8), Schedule::dynamic(8));
+        assert_eq!(
+            Schedule::dynamic(16).with_min_chunk(8),
+            Schedule::dynamic(16)
+        );
+        assert_eq!(
+            Schedule::static_chunk(2).with_min_chunk(5),
+            Schedule::static_chunk(5)
+        );
+        assert_eq!(Schedule::guided(1).with_min_chunk(4), Schedule::guided(4));
+        // The documented-legal None-chunk run-time schedules (default
+        // chunk 1) are floored too — the degenerate case the direct
+        // assembler must not hit.
+        let bare_dynamic = Schedule {
+            kind: ScheduleKind::Dynamic,
+            chunk: None,
+        };
+        assert_eq!(bare_dynamic.with_min_chunk(8), Schedule::dynamic(8));
+        // min 0 is treated as 1.
+        assert_eq!(bare_dynamic.with_min_chunk(0), Schedule::dynamic(1));
+    }
+
+    #[test]
+    fn partition_dispatch_keeps_kind_semantics() {
+        assert_eq!(
+            Schedule::static_blocked().partition_dispatch(),
+            Schedule::static_chunk(1)
+        );
+        assert_eq!(
+            Schedule::static_chunk(64).partition_dispatch(),
+            Schedule::static_chunk(1)
+        );
+        assert_eq!(
+            Schedule::dynamic(4).partition_dispatch(),
+            Schedule::dynamic(1)
+        );
+        assert_eq!(
+            Schedule::guided(16).partition_dispatch(),
+            Schedule::dynamic(1)
+        );
     }
 
     #[test]
