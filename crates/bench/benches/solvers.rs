@@ -89,8 +89,9 @@ fn matvec(c: &mut Criterion) {
 
 fn serial_vs_pooled(c: &mut Criterion) {
     // The solve-phase half of the tentpole: the previously 100%-serial
-    // solvers against their pool-parallel counterparts on one BEM system.
-    let (a, rhs) = bem_system(8);
+    // solvers against their pool-parallel counterparts on one BEM system
+    // large enough (225 dof) to clear the factorizations' serial cutoff.
+    let (a, rhs) = bem_system(14);
     let n = a.order();
     let pool = ThreadPool::with_available_parallelism();
     let schedule = Schedule::static_blocked();

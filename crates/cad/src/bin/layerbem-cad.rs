@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
-//!              [--assembly direct|outer|inner]
+//!              [--assembly direct|outer|inner] [--block N]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
 //!
@@ -13,7 +13,11 @@
 //! phases: matrix generation runs in the requested assembly mode
 //! (`direct` — the zero-staging in-place assembler — by default; `outer` /
 //! `inner` are the paper's staged baselines) and the linear solve runs on
-//! the same pool through [`SolveOptions::parallelism`].
+//! the same pool through [`SolveOptions::parallelism`] — pooled PCG, the
+//! blocked pooled direct factorizations, and (for collocation decks) the
+//! row-partitioned in-place collocation assembler. `--block` tunes the
+//! panel width of the blocked factorizations; every width produces
+//! bit-identical factors, so it is purely a performance knob.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -42,6 +46,9 @@ struct Args {
     threads: usize,
     schedule: Schedule,
     assembly: AssemblyChoice,
+    /// Panel width of the blocked pooled factorizations (`None` keeps the
+    /// workspace default).
+    block: Option<usize>,
     map: Option<(MapSpec, String)>,
     timing: bool,
 }
@@ -49,7 +56,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
-         \u{20}                [--assembly direct|outer|inner]\n\
+         \u{20}                [--assembly direct|outer|inner] [--block N]\n\
          \u{20}                [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
@@ -62,6 +69,7 @@ fn parse_args() -> Args {
     let mut threads = ThreadPool::with_available_parallelism().threads();
     let mut schedule = Schedule::dynamic(1);
     let mut assembly = AssemblyChoice::Direct;
+    let mut block = None;
     let mut map = None;
     let mut timing = false;
     while let Some(arg) = argv.next() {
@@ -86,6 +94,14 @@ fn parse_args() -> Args {
                     Some("inner") => AssemblyChoice::Inner,
                     _ => usage(),
                 };
+            }
+            "--block" => {
+                block = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b| b > 0)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--map" => {
                 let nums: Vec<String> = (0..6).filter_map(|_| argv.next()).collect();
@@ -118,6 +134,7 @@ fn parse_args() -> Args {
         threads: threads.max(1),
         schedule,
         assembly,
+        block,
         map,
         timing,
     }
@@ -157,7 +174,11 @@ fn main() -> ExitCode {
     let opts = if args.threads == 1 {
         SolveOptions::default()
     } else {
-        SolveOptions::default().with_parallelism(pool, args.schedule)
+        let opts = SolveOptions::default().with_parallelism(pool, args.schedule);
+        match args.block {
+            Some(b) => opts.with_factor_block(b),
+            None => opts,
+        }
     };
     let result = run_pipeline(&case, opts, &mode, input_seconds);
     print!("{}", result.report);

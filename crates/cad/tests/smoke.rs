@@ -102,3 +102,68 @@ fn parallel_direct_pipeline_reproduces_sequential_run() {
     );
     assert_eq!(serial.column_terms, parallel.column_terms);
 }
+
+#[test]
+fn factor_block_override_keeps_the_pipeline_bit_faithful() {
+    // Wiring-level check of the path `--block N` takes for a deck solved
+    // by a direct factorization: the block value must flow through
+    // SolveOptions into the solver without perturbing the serial
+    // solution. (This tiny deck sits below the factorizations'
+    // SERIAL_CUTOFF, so the panel logic itself is exercised end-to-end
+    // by tests/determinism.rs on the full-size paper grids, not here.)
+    use layerbem_parfor::{Schedule, ThreadPool};
+    let case = parse_case(&format!("{DECK}solver cholesky\n")).expect("deck parses");
+    let serial = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    let pool = ThreadPool::new(3);
+    let schedule = Schedule::guided(1);
+    for block in [1, 8, 64] {
+        let parallel = run_pipeline(
+            &case,
+            SolveOptions::default()
+                .with_parallelism(pool, schedule)
+                .with_factor_block(block),
+            &AssemblyMode::ParallelDirect(pool, schedule),
+            0.0,
+        );
+        assert_eq!(
+            serial.solution.leakage, parallel.solution.leakage,
+            "block={block}"
+        );
+    }
+}
+
+#[test]
+fn collocation_deck_runs_pooled_end_to_end() {
+    // A collocation deck with a pool configured takes the
+    // row-partitioned in-place assembler (which fans out at any size)
+    // and the pooled LU (serial fallback at this deck's size — the
+    // blocked path is covered by tests/determinism.rs): the solution
+    // must match the serial collocation run exactly.
+    use layerbem_parfor::{Schedule, ThreadPool};
+    let deck = format!("{DECK}formulation collocation\n");
+    let case = parse_case(&deck).expect("deck parses");
+    let serial = run_pipeline(
+        &case,
+        SolveOptions::default(),
+        &AssemblyMode::Sequential,
+        0.0,
+    );
+    let pool = ThreadPool::new(2);
+    let schedule = Schedule::dynamic(1);
+    let parallel = run_pipeline(
+        &case,
+        SolveOptions::default().with_parallelism(pool, schedule),
+        &AssemblyMode::ParallelDirect(pool, schedule),
+        0.0,
+    );
+    assert_eq!(serial.solution.leakage, parallel.solution.leakage);
+    assert_eq!(
+        serial.solution.equivalent_resistance,
+        parallel.solution.equivalent_resistance
+    );
+}

@@ -519,6 +519,38 @@ pub fn assemble_galerkin(
     }
 }
 
+/// Computes one collocation row: the potentials at node `p`'s collocation
+/// point due to every element, accumulated into `row`. Both the serial
+/// and the pooled assembler funnel every row through this function, so a
+/// row is the identical scalar sequence no matter which thread — or how
+/// many — computed it.
+fn collocation_row(
+    mesh: &Mesh,
+    geoms: &[ElementGeom],
+    kernel: &SoilKernel,
+    p: usize,
+    incident: &[usize],
+    row: &mut [f64],
+) {
+    // Collocation point: on the surface of the first incident element,
+    // a quarter length in from the node (avoids junction end effects).
+    let e = incident[0];
+    let g = &geoms[e];
+    let s = if mesh.elements[e].nodes[0] == p {
+        0.25 * g.length
+    } else {
+        0.75 * g.length
+    };
+    let (xp, xm) = g.surface_pair(s);
+    for (alpha, ga) in geoms.iter().enumerate() {
+        let (vp, _) = kernel.element_potential(xp, ga);
+        let (vm, _) = kernel.element_potential(xm, ga);
+        let na = mesh.elements[alpha].nodes;
+        row[na[0]] += 0.5 * (vp[0] + vm[0]);
+        row[na[1]] += 0.5 * (vp[1] + vm[1]);
+    }
+}
+
 /// Collocation matrix: row `p` states `V(x_p) = 1` at a surface point
 /// near node `p`. Nonsymmetric; solved by LU. Provided as the paper's
 /// "different formulations" alternative (§4.2) for cross-checks.
@@ -528,24 +560,44 @@ pub fn assemble_collocation(mesh: &Mesh, kernel: &SoilKernel) -> (DenseMatrix, V
     let adj = mesh.node_elements();
     let mut c = DenseMatrix::zeros(n, n);
     for (p, incident) in adj.iter().enumerate() {
-        // Collocation point: on the surface of the first incident element,
-        // a quarter length in from the node (avoids junction end effects).
-        let e = incident[0];
-        let g = &geoms[e];
-        let s = if mesh.elements[e].nodes[0] == p {
-            0.25 * g.length
-        } else {
-            0.75 * g.length
-        };
-        let (xp, xm) = g.surface_pair(s);
-        for (alpha, ga) in geoms.iter().enumerate() {
-            let (vp, _) = kernel.element_potential(xp, ga);
-            let (vm, _) = kernel.element_potential(xm, ga);
-            let na = mesh.elements[alpha].nodes;
-            c.add(p, na[0], 0.5 * (vp[0] + vm[0]));
-            c.add(p, na[1], 0.5 * (vp[1] + vm[1]));
-        }
+        collocation_row(mesh, &geoms, kernel, p, incident, c.row_mut(p));
     }
+    (c, vec![1.0; n])
+}
+
+/// Pooled collocation assembly — the dense-path equivalent of
+/// [`AssemblyMode::ParallelDirect`]: the matrix rows are partitioned into
+/// disjoint [`DenseRowsMut`](layerbem_numeric::DenseRowsMut) views by the
+/// schedule's deterministic chunk decomposition and each partition
+/// accumulates its own rows **in place** — no staging, no locks, 1×
+/// memory, exactly mirroring the symmetric path. Each row is one node's
+/// collocation equation and depends on nothing outside the mesh, so rows
+/// are the natural parallel unit and the result is **bit-identical** to
+/// [`assemble_collocation`] for every schedule and thread count.
+pub fn assemble_collocation_pooled(
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    pool: &ThreadPool,
+    schedule: Schedule,
+) -> (DenseMatrix, Vec<f64>) {
+    let geoms = element_geoms(mesh);
+    let n = mesh.dof();
+    let adj = mesh.node_elements();
+    let mut c = DenseMatrix::zeros(n, n);
+    let ranges: Vec<Range<usize>> = schedule
+        .chunk_ranges(n, pool.threads())
+        .into_iter()
+        .map(|(a, b)| a..b)
+        .collect();
+    let mut views = c.partition_rows(&ranges);
+    let geoms = &geoms;
+    let adj = &adj;
+    pool.scoped_partition(&mut views, schedule.partition_dispatch(), |_, view| {
+        for p in view.rows() {
+            collocation_row(mesh, geoms, kernel, p, &adj[p], view.row_mut(p));
+        }
+    });
+    drop(views);
     (c, vec![1.0; n])
 }
 
@@ -773,6 +825,40 @@ mod tests {
                 assert!(c.get(p, q) > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn pooled_collocation_is_bit_identical_to_serial() {
+        let mesh = barbera_style_mesh();
+        let k = uniform_kernel();
+        let (serial, rhs_serial) = assemble_collocation(&mesh, &k);
+        for threads in [1, 2, 3] {
+            let pool = ThreadPool::new(threads);
+            for schedule in [
+                Schedule::static_blocked(),
+                Schedule::static_chunk(2),
+                Schedule::dynamic(1),
+                Schedule::guided(1),
+            ] {
+                let (pooled, rhs_pooled) = assemble_collocation_pooled(&mesh, &k, &pool, schedule);
+                let label = format!("threads={threads} {}", schedule.label());
+                assert_eq!(serial.as_slice(), pooled.as_slice(), "{label}");
+                assert_eq!(rhs_serial, rhs_pooled, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_collocation_handles_layered_soil() {
+        // The layered kernel takes a different series path per
+        // evaluation; row-ownership must still reproduce the serial
+        // matrix exactly.
+        let mesh = small_mesh();
+        let k = SoilKernel::new(&SoilModel::two_layer(0.005, 0.016, 1.0));
+        let (serial, _) = assemble_collocation(&mesh, &k);
+        let (pooled, _) =
+            assemble_collocation_pooled(&mesh, &k, &ThreadPool::new(4), Schedule::dynamic(1));
+        assert_eq!(serial.as_slice(), pooled.as_slice());
     }
 
     #[test]

@@ -34,6 +34,48 @@ pub enum SolverChoice {
     Lu,
 }
 
+/// Pool, schedule and blocking parameters of the parallel solve phase.
+///
+/// One value of this struct is threaded from the CAD front-end through
+/// [`SolveOptions::parallelism`] into every pooled linear-algebra path:
+/// the in-place Galerkin assembler, the pooled collocation assembler, the
+/// blocked right-looking factorizations, and PCG's pooled matvec and
+/// vector reductions. Every one of those paths is bit-identical to its
+/// serial counterpart, so this struct decides *who computes*, never
+/// *what is computed*.
+#[derive(Clone, Copy, Debug)]
+pub struct Parallelism {
+    /// The worker pool every parallel region dispatches on.
+    pub pool: ThreadPool,
+    /// OpenMP-style schedule for those regions.
+    pub schedule: Schedule,
+    /// Panel width of the blocked right-looking Cholesky/LU
+    /// factorizations (columns per parallel region). Defaults to
+    /// [`layerbem_numeric::DEFAULT_FACTOR_BLOCK`]; the factorizations are
+    /// bit-identical for every width, so this is purely a performance
+    /// knob.
+    pub factor_block: usize,
+}
+
+impl Parallelism {
+    /// Pool + schedule with the default factorization panel width.
+    pub fn new(pool: ThreadPool, schedule: Schedule) -> Self {
+        Parallelism {
+            pool,
+            schedule,
+            factor_block: layerbem_numeric::DEFAULT_FACTOR_BLOCK,
+        }
+    }
+
+    /// Same parallelism with a different factorization panel width.
+    pub fn with_factor_block(self, factor_block: usize) -> Self {
+        Parallelism {
+            factor_block,
+            ..self
+        }
+    }
+}
+
 /// Options for a grounding solve.
 #[derive(Clone, Copy, Debug)]
 pub struct SolveOptions {
@@ -45,14 +87,16 @@ pub struct SolveOptions {
     pub outer_quadrature: usize,
     /// Relative tolerance of the iterative solver.
     pub cg_rel_tol: f64,
-    /// Pool and schedule for the **solve** phase (and the assembly mode
+    /// Parallelism of the **solve** phase (and the assembly mode
     /// front-ends derive from it): `None` runs the serial solvers, `Some`
-    /// switches PCG to the pooled matvec operator and the direct
-    /// factorizations to their pool-parallel right-looking variants. This
-    /// is the knob that threads one `ThreadPool` from the CAD pipeline
-    /// all the way into the linear-algebra layer, so the measured
-    /// speed-ups no longer stop at matrix generation.
-    pub parallelism: Option<(ThreadPool, Schedule)>,
+    /// switches PCG to the pooled matvec operator and pooled vector
+    /// reductions, the direct factorizations to their blocked
+    /// pool-parallel right-looking variants, and collocation assembly to
+    /// the row-partitioned in-place assembler. This is the knob that
+    /// threads one `ThreadPool` from the CAD pipeline all the way into
+    /// the linear-algebra layer, so the measured speed-ups no longer stop
+    /// at matrix generation.
+    pub parallelism: Option<Parallelism>,
 }
 
 impl Default for SolveOptions {
@@ -69,10 +113,21 @@ impl Default for SolveOptions {
 
 impl SolveOptions {
     /// Returns the options with the solve phase (and derived assembly
-    /// mode) running on `pool` under `schedule`.
+    /// mode) running on `pool` under `schedule`, with the default
+    /// factorization panel width.
     pub fn with_parallelism(self, pool: ThreadPool, schedule: Schedule) -> Self {
         SolveOptions {
-            parallelism: Some((pool, schedule)),
+            parallelism: Some(Parallelism::new(pool, schedule)),
+            ..self
+        }
+    }
+
+    /// Overrides the factorization panel width of an already-configured
+    /// parallelism; a no-op when the solve phase is serial (a serial
+    /// factorization has no panels to size).
+    pub fn with_factor_block(self, factor_block: usize) -> Self {
+        SolveOptions {
+            parallelism: self.parallelism.map(|p| p.with_factor_block(factor_block)),
             ..self
         }
     }
@@ -94,9 +149,21 @@ mod tests {
     #[test]
     fn with_parallelism_sets_only_the_knob() {
         let o = SolveOptions::default().with_parallelism(ThreadPool::new(4), Schedule::guided(1));
-        let (pool, schedule) = o.parallelism.expect("set");
-        assert_eq!(pool.threads(), 4);
-        assert_eq!(schedule, Schedule::guided(1));
+        let par = o.parallelism.expect("set");
+        assert_eq!(par.pool.threads(), 4);
+        assert_eq!(par.schedule, Schedule::guided(1));
+        assert_eq!(par.factor_block, layerbem_numeric::DEFAULT_FACTOR_BLOCK);
         assert_eq!(o.solver, SolverChoice::ConjugateGradient);
+    }
+
+    #[test]
+    fn factor_block_override_requires_a_pool() {
+        // Serial solves have no panels: the override is a no-op.
+        let serial = SolveOptions::default().with_factor_block(8);
+        assert!(serial.parallelism.is_none());
+        let pooled = SolveOptions::default()
+            .with_parallelism(ThreadPool::new(2), Schedule::dynamic(1))
+            .with_factor_block(8);
+        assert_eq!(pooled.parallelism.expect("set").factor_block, 8);
     }
 }

@@ -11,7 +11,10 @@ use layerbem_numeric::lu::LuFactor;
 use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
 use layerbem_soil::SoilModel;
 
-use crate::assembly::{assemble_collocation, assemble_galerkin, AssemblyMode, AssemblyReport};
+use crate::assembly::{
+    assemble_collocation, assemble_collocation_pooled, assemble_galerkin, AssemblyMode,
+    AssemblyReport,
+};
 use crate::formulation::{Formulation, SolveOptions, SolverChoice};
 use crate::kernel::SoilKernel;
 
@@ -82,7 +85,7 @@ impl GroundingSystem {
     /// configured, the sequential double loop otherwise.
     pub fn default_assembly_mode(&self) -> AssemblyMode {
         match self.opts.parallelism {
-            Some((pool, schedule)) => AssemblyMode::ParallelDirect(pool, schedule),
+            Some(par) => AssemblyMode::ParallelDirect(par.pool, par.schedule),
             None => AssemblyMode::Sequential,
         }
     }
@@ -91,9 +94,12 @@ impl GroundingSystem {
     ///
     /// With [`SolveOptions::parallelism`] set, the solve runs on the pool:
     /// PCG applies the matrix through the partitioned
-    /// [`PooledSymOperator`] (bit-identical iterates to the serial
-    /// operator), and the direct factorizations distribute their
-    /// right-looking trailing updates.
+    /// [`PooledSymOperator`] and folds its dot products and norms into
+    /// pooled fixed-partition reductions (bit-identical iterates to the
+    /// serial solver), and the direct factorizations run their blocked
+    /// right-looking trailing updates on the pool, one region per panel
+    /// of [`Parallelism::factor_block`](crate::formulation::Parallelism)
+    /// columns (bit-identical factors).
     ///
     /// # Panics
     /// Panics if the direct factorization fails (matrix not SPD) or the
@@ -104,11 +110,12 @@ impl GroundingSystem {
             SolverChoice::ConjugateGradient => {
                 let popts = PcgOptions {
                     rel_tol: self.opts.cg_rel_tol,
+                    vector_parallelism: self.opts.parallelism.map(|p| (p.pool, p.schedule)),
                     ..Default::default()
                 };
                 let out = match self.opts.parallelism {
-                    Some((pool, schedule)) => pcg_solve(
-                        &PooledSymOperator::new(&report.matrix, pool, schedule),
+                    Some(par) => pcg_solve(
+                        &PooledSymOperator::new(&report.matrix, par.pool, par.schedule),
                         &report.rhs,
                         popts,
                     ),
@@ -123,9 +130,12 @@ impl GroundingSystem {
             }
             SolverChoice::Cholesky => {
                 let f = match self.opts.parallelism {
-                    Some((pool, schedule)) => {
-                        CholeskyFactor::factor_pooled(&report.matrix, &pool, schedule)
-                    }
+                    Some(par) => CholeskyFactor::factor_pooled_blocked(
+                        &report.matrix,
+                        &par.pool,
+                        par.schedule,
+                        par.factor_block,
+                    ),
                     None => CholeskyFactor::factor(&report.matrix),
                 }
                 .expect("Galerkin matrix must be SPD");
@@ -134,7 +144,12 @@ impl GroundingSystem {
             SolverChoice::Lu => {
                 let dense = report.matrix.to_dense();
                 let f = match self.opts.parallelism {
-                    Some((pool, schedule)) => LuFactor::factor_pooled(&dense, &pool, schedule),
+                    Some(par) => LuFactor::factor_pooled_blocked(
+                        &dense,
+                        &par.pool,
+                        par.schedule,
+                        par.factor_block,
+                    ),
                     None => LuFactor::factor(&dense),
                 }
                 .expect("Galerkin matrix must be nonsingular");
@@ -152,9 +167,26 @@ impl GroundingSystem {
                 self.solve_assembled(&report, gpr)
             }
             Formulation::Collocation => {
-                let (c, rhs) = assemble_collocation(&self.mesh, &self.kernel);
+                // With a pool configured, both collocation phases run on
+                // it: the row-partitioned in-place assembler and the
+                // blocked pooled LU — each bit-identical to its serial
+                // counterpart.
+                let (c, rhs) = match self.opts.parallelism {
+                    Some(par) => assemble_collocation_pooled(
+                        &self.mesh,
+                        &self.kernel,
+                        &par.pool,
+                        par.schedule,
+                    ),
+                    None => assemble_collocation(&self.mesh, &self.kernel),
+                };
                 let f = match self.opts.parallelism {
-                    Some((pool, schedule)) => LuFactor::factor_pooled(&c, &pool, schedule),
+                    Some(par) => LuFactor::factor_pooled_blocked(
+                        &c,
+                        &par.pool,
+                        par.schedule,
+                        par.factor_block,
+                    ),
                     None => LuFactor::factor(&c),
                 }
                 .expect("collocation matrix must be nonsingular");
@@ -383,6 +415,34 @@ mod tests {
                 assert_eq!(schedule, Schedule::guided(1));
             }
             other => panic!("expected ParallelDirect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_collocation_solve_is_identical_to_serial() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        // Pooled assembler + blocked pooled LU are each bit-identical, so
+        // the whole collocation pipeline reproduces the serial solution
+        // exactly — not approximately.
+        let mesh = rod_mesh(8);
+        let soil = SoilModel::uniform(0.016);
+        let base = SolveOptions {
+            formulation: Formulation::Collocation,
+            ..Default::default()
+        };
+        let serial =
+            GroundingSystem::new(mesh.clone(), &soil, base).solve(&AssemblyMode::Sequential, 1.0);
+        for threads in [2, 4] {
+            let opts = base
+                .with_parallelism(ThreadPool::new(threads), Schedule::guided(1))
+                .with_factor_block(4);
+            let sys = GroundingSystem::new(mesh.clone(), &soil, opts);
+            let pooled = sys.solve(&sys.default_assembly_mode(), 1.0);
+            assert_eq!(serial.leakage, pooled.leakage, "threads={threads}");
+            assert_eq!(
+                serial.equivalent_resistance, pooled.equivalent_resistance,
+                "threads={threads}"
+            );
         }
     }
 

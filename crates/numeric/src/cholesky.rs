@@ -8,11 +8,18 @@
 //! that certifies positive-definiteness of the assembled Galerkin matrix
 //! (factorization succeeds ⇔ SPD up to round-off).
 //!
-//! Two algorithms produce the same factor: the sequential row-oriented
-//! Cholesky–Crout ([`CholeskyFactor::factor`]) and a **right-looking**
-//! variant ([`CholeskyFactor::factor_pooled`]) whose trailing-submatrix
+//! Two algorithms produce the same factor — **bit for bit**: the
+//! sequential row-oriented Cholesky–Crout ([`CholeskyFactor::factor`])
+//! and a **blocked right-looking** variant
+//! ([`CholeskyFactor::factor_pooled`] /
+//! [`CholeskyFactor::factor_pooled_blocked`]) whose trailing-submatrix
 //! update — the `O(N³)` bulk of the work — is distributed over a
-//! [`ThreadPool`] by disjoint row partitions of the packed triangle.
+//! [`ThreadPool`] by disjoint row partitions of the packed triangle,
+//! one parallel region per *panel* of columns instead of one per column.
+//! Both orderings apply, to every entry, the identical ascending-column
+//! sequence of subtractions on identical finalized operands, so the
+//! factors agree exactly for every schedule, thread count and block
+//! size.
 
 use layerbem_parfor::{Schedule, ThreadPool};
 
@@ -78,82 +85,156 @@ impl CholeskyFactor {
         Ok(CholeskyFactor { n, l })
     }
 
-    /// Right-looking factorization with the trailing update parallelized
-    /// over the pool.
+    /// Orders below which [`factor_pooled`](Self::factor_pooled) runs the
+    /// sequential [`factor`](Self::factor) outright: at `O(N³) ≈ 10⁶`
+    /// flops the factorization is microseconds of work, and even one
+    /// parallel-region launch per panel costs more than it saves. The
+    /// fallback is exact, not approximate — the blocked pooled algorithm
+    /// is bit-identical to the sequential one — so crossing the threshold
+    /// never changes a result, only a thread count.
+    pub const SERIAL_CUTOFF: usize = 128;
+
+    /// Blocked right-looking factorization with the trailing update
+    /// parallelized over the pool, using the workspace default panel
+    /// width ([`DEFAULT_FACTOR_BLOCK`](crate::DEFAULT_FACTOR_BLOCK)).
     ///
-    /// At step `k` the column `l_·k` is finalized and every remaining row
-    /// `i > k` is updated as `l_ij -= l_ik·l_jk` (`k < j ≤ i`) — rows are
-    /// independent, so they are partitioned into disjoint
-    /// [`SymRowsMut`](crate::symmetric::SymRowsMut) views and dispatched
-    /// under `schedule`. Row updates are identical scalar sequences
-    /// regardless of the executing thread, so the factor is deterministic
-    /// (it differs from [`factor`](Self::factor) only by the usual
-    /// left-vs-right-looking round-off reordering).
-    ///
-    /// Trailing blocks narrower than an internal cutoff are updated
-    /// inline: a parallel region per column is only worth its spawn cost
-    /// while the update is `O(N²)`.
+    /// See [`factor_pooled_blocked`](Self::factor_pooled_blocked).
     pub fn factor_pooled(
         a: &SymMatrix,
         pool: &ThreadPool,
         schedule: Schedule,
     ) -> Result<Self, NotPositiveDefinite> {
-        /// Trailing rows below which the update runs inline.
+        Self::factor_pooled_blocked(a, pool, schedule, crate::DEFAULT_FACTOR_BLOCK)
+    }
+
+    /// Blocked right-looking factorization: panels of `block` columns are
+    /// factorized sequentially, then the panel's whole contribution to
+    /// the trailing submatrix — `l_ij -= Σ_c l_ic·l_jc` over the panel
+    /// columns `c` — is applied in **one** parallel region, with the
+    /// trailing rows partitioned into disjoint
+    /// [`SymRowsMut`](crate::symmetric::SymRowsMut) views dispatched
+    /// under `schedule`. Batching columns amortizes the region-launch
+    /// cost that made the per-column variant lose to the sequential
+    /// solver below ~500 unknowns.
+    ///
+    /// The result is **bit-identical** to [`factor`](Self::factor) for
+    /// every thread count, schedule and block size: each entry `(i, j)`
+    /// receives the same subtractions `l_ik·l_jk` on the same finalized
+    /// operands in the same ascending-`k` order whether they are applied
+    /// one column at a time (Crout accumulates them into a scalar in
+    /// exactly this order), per column (the old per-column right-looking
+    /// sweep, reproduced by `block = 1`), or per panel. Orders below
+    /// [`SERIAL_CUTOFF`](Self::SERIAL_CUTOFF) — and 1-thread pools — run
+    /// the sequential code directly.
+    ///
+    /// A zero `block` is treated as 1; a `block ≥ n` degenerates to the
+    /// fully sequential factorization (one all-covering panel).
+    pub fn factor_pooled_blocked(
+        a: &SymMatrix,
+        pool: &ThreadPool,
+        schedule: Schedule,
+        block: usize,
+    ) -> Result<Self, NotPositiveDefinite> {
+        /// Trailing rows below which a panel's update runs inline.
         const PAR_CUTOFF: usize = 64;
 
         let n = a.order();
+        if n < Self::SERIAL_CUTOFF || pool.threads() == 1 {
+            return Self::factor(a);
+        }
+        // Clamp to [1, n]: a wider panel than the matrix is already the
+        // fully sequential degenerate case, and the cache below is sized
+        // by the clamped width.
+        let block = block.clamp(1, n);
         let mut l = SymMatrix::from_packed(n, a.packed().to_vec());
-        // `col[i]` caches the finalized l_ik of step k for i ≥ k+1: the
-        // strided column read happens once, and the parallel row updates
-        // then only touch their own packed rows plus this shared cache.
-        let mut col = vec![0.0; n];
-        for k in 0..n {
-            let s = l.get(k, k);
-            if s <= 0.0 || !s.is_finite() {
-                return Err(NotPositiveDefinite { pivot: k });
-            }
-            let lkk = s.sqrt();
-            l.set(k, k, lkk);
-            for (off, c) in col[(k + 1)..n].iter_mut().enumerate() {
-                let i = k + 1 + off;
-                let v = l.get(i, k) / lkk;
-                l.set(i, k, v);
-                *c = v;
-            }
-            let rows = n - (k + 1);
-            if rows == 0 {
-                continue;
-            }
-            if rows < PAR_CUTOFF || pool.threads() == 1 {
+        // Column-major cache of the finalized panel block l_ic (trailing
+        // rows i, panel columns c): the strided packed-column reads happen
+        // once per panel, and the parallel row updates then touch only
+        // their own packed rows plus this shared read-only cache. The
+        // first panel's trailing block — (n − block) rows × block columns
+        // — is the widest; later panels only shrink, so one allocation
+        // serves them all (and a block ≥ n request allocates nothing).
+        let mut cache = vec![0.0; (n - block) * block];
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + block).min(n);
+            // Panel factorization (sequential): steps k0..k1 of the
+            // right-looking sweep, with each step's trailing update
+            // restricted to the panel columns (j < k1). Columns ≥ k1 get
+            // the deferred updates in the panel's single trailing region
+            // below, entry-wise in the same ascending-k order.
+            for k in k0..k1 {
+                let p = l.packed_mut();
+                let rk = k * (k + 1) / 2;
+                let s = p[rk + k];
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(NotPositiveDefinite { pivot: k });
+                }
+                let lkk = s.sqrt();
+                p[rk + k] = lkk;
                 for i in (k + 1)..n {
-                    let ci = col[i];
-                    let row = &mut l.packed_mut()[i * (i + 1) / 2..];
-                    for (j, cj) in col[(k + 1)..=i].iter().enumerate() {
-                        row[k + 1 + j] -= ci * cj;
+                    let ri = i * (i + 1) / 2;
+                    let lik = p[ri + k] / lkk;
+                    p[ri + k] = lik;
+                    for j in (k + 1)..=(k1 - 1).min(i) {
+                        let ljk = p[j * (j + 1) / 2 + k];
+                        p[ri + j] -= lik * ljk;
                     }
                 }
+            }
+            let rows = n - k1;
+            if rows == 0 {
+                break;
+            }
+            let nb = k1 - k0;
+            {
+                let p = l.packed();
+                for (c, col) in cache[..rows * nb].chunks_mut(rows).enumerate() {
+                    for (off, v) in col.iter_mut().enumerate() {
+                        let i = k1 + off;
+                        *v = p[i * (i + 1) / 2 + k0 + c];
+                    }
+                }
+            }
+            let cache = &cache[..rows * nb];
+            // One row's deferred panel update: entry (i, j) receives
+            // `-l_ic·l_jc` for the panel columns c in ascending order —
+            // the identical per-entry sequence the sequential sweep
+            // applies one step at a time.
+            let update_row = |i: usize, tail: &mut [f64]| {
+                for c in 0..nb {
+                    let col = &cache[c * rows..(c + 1) * rows];
+                    let lic = col[i - k1];
+                    for (rj, ljc) in tail.iter_mut().zip(&col[..i - k1 + 1]) {
+                        *rj -= lic * ljc;
+                    }
+                }
+            };
+            if rows < PAR_CUTOFF {
+                let p = l.packed_mut();
+                for i in k1..n {
+                    let ri = i * (i + 1) / 2;
+                    update_row(i, &mut p[ri + k1..=ri + i]);
+                }
             } else {
-                // Floor the chunk so per-step partition bookkeeping (one
+                // Floor the chunk so per-panel partition bookkeeping (one
                 // view + one dispatch claim each) stays O(threads), even
                 // for a `dynamic,1` schedule request.
                 let step = schedule.with_min_chunk(rows.div_ceil(4 * pool.threads()));
                 let ranges: Vec<std::ops::Range<usize>> = step
                     .chunk_ranges(rows, pool.threads())
                     .into_iter()
-                    .map(|(a, b)| (k + 1 + a)..(k + 1 + b))
+                    .map(|(a, b)| (k1 + a)..(k1 + b))
                     .collect();
                 let mut views = l.partition_rows(&ranges);
-                let col = &col;
                 pool.scoped_partition(&mut views, step.partition_dispatch(), |_, view| {
                     for i in view.rows() {
-                        let ci = col[i];
                         let row = view.row_mut(i);
-                        for (j, cj) in col[(k + 1)..=i].iter().enumerate() {
-                            row[k + 1 + j] -= ci * cj;
-                        }
+                        update_row(i, &mut row[k1..]);
                     }
                 });
             }
+            k0 = k1;
         }
         Ok(CholeskyFactor {
             n,
@@ -206,6 +287,12 @@ impl CholeskyFactor {
             .map(|i| self.l[i * (i + 1) / 2 + i].ln())
             .sum::<f64>()
             * 2.0
+    }
+
+    /// The packed lower triangle of `L`, row-major — exposed so
+    /// cross-crate tests can compare factors bit for bit.
+    pub fn packed_l(&self) -> &[f64] {
+        &self.l
     }
 
     /// Entry `(i, j)` of `L` (zero above the diagonal).
@@ -312,7 +399,7 @@ mod tests {
     }
 
     #[test]
-    fn pooled_factor_matches_crout_factor() {
+    fn pooled_factor_is_bit_identical_to_crout_factor() {
         let a = spd_large(150);
         let crout = CholeskyFactor::factor(&a).unwrap();
         let pool = ThreadPool::new(4);
@@ -322,30 +409,59 @@ mod tests {
             Schedule::guided(1),
         ] {
             let pooled = CholeskyFactor::factor_pooled(&a, &pool, schedule).unwrap();
-            for i in 0..a.order() {
-                for j in 0..=i {
-                    assert!(
-                        approx_eq(pooled.l_entry(i, j), crout.l_entry(i, j), 1e-11),
-                        "({i},{j}) {} vs {} [{}]",
-                        pooled.l_entry(i, j),
-                        crout.l_entry(i, j),
-                        schedule.label()
-                    );
-                }
+            assert_eq!(pooled.l, crout.l, "{}", schedule.label());
+        }
+    }
+
+    #[test]
+    fn blocked_factor_is_bit_identical_for_every_block_size() {
+        // block = 1 is the old per-column sweep, block ≥ n the fully
+        // sequential degenerate panel; everything in between must agree
+        // with Crout exactly.
+        let a = spd_large(161);
+        let serial = CholeskyFactor::factor(&a).unwrap();
+        let pool = ThreadPool::new(3);
+        for block in [0, 1, 7, 32, 64, 161, 1000] {
+            for schedule in [Schedule::static_blocked(), Schedule::dynamic(2)] {
+                let pooled =
+                    CholeskyFactor::factor_pooled_blocked(&a, &pool, schedule, block).unwrap();
+                assert_eq!(pooled.l, serial.l, "block={block} {}", schedule.label());
             }
         }
     }
 
     #[test]
     fn pooled_factor_is_deterministic_across_thread_counts() {
-        let a = spd_large(100);
-        let reference =
-            CholeskyFactor::factor_pooled(&a, &ThreadPool::new(1), Schedule::dynamic(4)).unwrap();
-        for threads in [2, 3, 8] {
+        let a = spd_large(150);
+        let reference = CholeskyFactor::factor(&a).unwrap();
+        for threads in [1, 2, 3, 8] {
             let f =
                 CholeskyFactor::factor_pooled(&a, &ThreadPool::new(threads), Schedule::dynamic(4))
                     .unwrap();
             assert_eq!(f.l, reference.l, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_systems_take_the_serial_path_and_match_it_exactly() {
+        // The small-matrix regression guard: below SERIAL_CUTOFF the
+        // pooled entry point must not pay any parallel-region launches —
+        // it runs `factor` outright — and since the blocked algorithm is
+        // bit-identical anyway, the fallback is unobservable in the
+        // output. The cutoff itself is pinned so a change to it is a
+        // deliberate decision, not an accident.
+        assert_eq!(CholeskyFactor::SERIAL_CUTOFF, 128);
+        for n in [1, 2, 17, CholeskyFactor::SERIAL_CUTOFF - 1] {
+            let a = spd_large(n);
+            let serial = CholeskyFactor::factor(&a).unwrap();
+            let pooled = CholeskyFactor::factor_pooled_blocked(
+                &a,
+                &ThreadPool::new(8),
+                Schedule::dynamic(1),
+                3,
+            )
+            .unwrap();
+            assert_eq!(pooled.l, serial.l, "n={n}");
         }
     }
 
@@ -364,13 +480,14 @@ mod tests {
 
     #[test]
     fn pooled_factor_reports_failing_pivot() {
-        let mut a = spd_large(80);
-        a.set(40, 40, -1.0);
+        // Large enough to take the blocked parallel path; the panel sweep
+        // reaches the poisoned diagonal at its own step and Crout agrees
+        // on the pivot index (the updated values match bit for bit).
+        let mut a = spd_large(160);
+        a.set(90, 90, -1.0);
         let err = CholeskyFactor::factor_pooled(&a, &ThreadPool::new(2), Schedule::dynamic(1))
             .unwrap_err();
-        // The right-looking sweep reaches the poisoned diagonal at its
-        // own step; Crout agrees on the pivot index.
-        assert_eq!(err.pivot, 40);
-        assert_eq!(CholeskyFactor::factor(&a).unwrap_err().pivot, 40);
+        assert_eq!(err.pivot, 90);
+        assert_eq!(CholeskyFactor::factor(&a).unwrap_err().pivot, 90);
     }
 }

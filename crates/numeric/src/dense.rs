@@ -3,6 +3,14 @@
 //! Used by the collocation BEM formulation (whose matrix is *not*
 //! symmetric) and as an expansion target for cross-checking the packed
 //! symmetric path.
+//!
+//! [`DenseMatrix::partition_rows`] extends the ownership-partition
+//! architecture of [`SymMatrix`](crate::SymMatrix) to the dense path:
+//! disjoint row-range views ([`DenseRowsMut`]) of the row-major buffer
+//! that different threads may write without locks — the substrate of the
+//! pooled collocation assembler and the blocked pooled factorizations.
+
+use std::ops::Range;
 
 /// Row-major dense matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -97,6 +105,62 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Splits the matrix into disjoint mutable row-range views.
+    ///
+    /// Rows are contiguous `cols`-length runs of the row-major buffer, so
+    /// a row range is a plain sub-slice borrow: the split is zero-copy
+    /// and the views are race-free by construction — the dense mirror of
+    /// [`SymMatrix::partition_rows`](crate::SymMatrix::partition_rows),
+    /// with the simpler ownership rule that a view owns entry `(i, j)`
+    /// exactly when it owns row `i`.
+    ///
+    /// `ranges` must be sorted ascending and pairwise disjoint; gaps are
+    /// allowed (rows not covered by any range are simply not mutable
+    /// through the returned views). Empty ranges yield views that own no
+    /// entry.
+    ///
+    /// # Panics
+    /// Panics if a range exceeds the row count, ranges overlap, or they
+    /// are not sorted ascending.
+    ///
+    /// ```
+    /// use layerbem_numeric::DenseMatrix;
+    /// let mut a = DenseMatrix::zeros(4, 3);
+    /// let mut views = a.partition_rows(&[0..2, 2..4]);
+    /// assert!(views[1].owns(3));
+    /// views[1].add(3, 1, 2.5); // row 3 belongs to the second view
+    /// views[0].set(0, 2, -1.0);
+    /// drop(views);
+    /// assert_eq!(a.get(3, 1), 2.5);
+    /// assert_eq!(a.get(0, 2), -1.0);
+    /// ```
+    pub fn partition_rows(&mut self, ranges: &[Range<usize>]) -> Vec<DenseRowsMut<'_>> {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut views = Vec::with_capacity(ranges.len());
+        let mut consumed = 0; // buffer entries already handed out
+        let mut rest: &mut [f64] = &mut self.data;
+        for r in ranges {
+            assert!(
+                r.end <= rows,
+                "partition_rows: range {r:?} exceeds row count {rows}"
+            );
+            assert!(
+                r.start * cols >= consumed,
+                "partition_rows: ranges must be sorted ascending and disjoint"
+            );
+            let (_, tail) = rest.split_at_mut(r.start * cols - consumed);
+            let (owned, tail) = tail.split_at_mut((r.end - r.start) * cols);
+            views.push(DenseRowsMut {
+                rows: r.clone(),
+                cols,
+                data: owned,
+            });
+            consumed = r.end * cols;
+            rest = tail;
+        }
+        views
+    }
+
     /// `y = A·x`.
     ///
     /// # Panics
@@ -174,6 +238,96 @@ impl DenseMatrix {
     }
 }
 
+/// Exclusive view of a contiguous row range of a [`DenseMatrix`].
+///
+/// A view *owns* entry `(i, j)` when row `i` falls inside the view's
+/// range; views over disjoint ranges own disjoint sub-slices of the
+/// row-major buffer and may be written from different threads without
+/// synchronization (see [`DenseMatrix::partition_rows`]).
+#[derive(Debug)]
+pub struct DenseRowsMut<'a> {
+    rows: Range<usize>,
+    cols: usize,
+    /// Rows `rows.start..rows.end` of the parent buffer.
+    data: &'a mut [f64],
+}
+
+impl DenseRowsMut<'_> {
+    /// The row range this view owns.
+    #[inline]
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Number of columns (same as the parent matrix).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether row `i` (and therefore every entry `(i, ·)`) is owned by
+    /// this view.
+    #[inline]
+    pub fn owns(&self, i: usize) -> bool {
+        self.rows.contains(&i)
+    }
+
+    /// Local offset of entry `(i, j)`; row `i` must be owned.
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(self.rows.contains(&i), "row {i} not in {:?}", self.rows);
+        debug_assert!(j < self.cols, "column {j} out of range");
+        (i - self.rows.start) * self.cols + j
+    }
+
+    /// Returns entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics (in debug) or misindexes if row `i` is not owned; check
+    /// with [`owns`](Self::owns) first.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Sets entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let k = self.idx(i, j);
+        self.data[k] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)` — the in-place assembly primitive of
+    /// the pooled collocation assembler.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        let k = self.idx(i, j);
+        self.data[k] += v;
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the view's range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(self.rows.contains(&i), "row {i} not in {:?}", self.rows);
+        let start = (i - self.rows.start) * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the view's range.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(self.rows.contains(&i), "row {i} not in {:?}", self.rows);
+        let start = (i - self.rows.start) * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +381,87 @@ mod tests {
     #[should_panic(expected = "rows*cols")]
     fn from_rows_validates() {
         DenseMatrix::from_rows(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn partition_rows_views_cover_disjoint_slices() {
+        let mut a = DenseMatrix::zeros(6, 4);
+        let views = a.partition_rows(&[0..2, 2..3, 3..6]);
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[0].rows(), 0..2);
+        assert_eq!(views[1].rows(), 2..3);
+        assert_eq!(views[2].rows(), 3..6);
+        assert_eq!(views[0].data.len(), 8);
+        assert_eq!(views[1].data.len(), 4);
+        assert_eq!(views[2].data.len(), 12);
+        assert!(views.iter().all(|v| v.cols() == 4));
+    }
+
+    #[test]
+    fn partition_writes_land_in_the_parent_matrix() {
+        let mut whole = DenseMatrix::zeros(5, 3);
+        let mut split = DenseMatrix::zeros(5, 3);
+        let entries = [(0, 0, 1.0), (2, 1, 2.0), (4, 2, -3.0), (2, 1, 0.5)];
+        {
+            let mut views = split.partition_rows(&[0..2, 2..5]);
+            for &(i, j, v) in &entries {
+                whole.add(i, j, v);
+                let owner = views.iter_mut().find(|w| w.owns(i)).expect("covered");
+                owner.add(i, j, v);
+            }
+        }
+        assert_eq!(whole.as_slice(), split.as_slice());
+    }
+
+    #[test]
+    fn partition_allows_gaps_and_empty_ranges() {
+        let mut a = DenseMatrix::zeros(5, 2);
+        let mut views = a.partition_rows(&[1..2, 3..3, 4..5]);
+        assert!(views[0].owns(1));
+        assert!(!views[0].owns(0));
+        assert!(!views[1].owns(3)); // empty range owns nothing
+        assert_eq!(views[1].rows(), 3..3);
+        views[2].set(4, 1, 9.0);
+        drop(views);
+        assert_eq!(a.get(4, 1), 9.0);
+    }
+
+    #[test]
+    // A one-element range slice is exactly what's meant here, not a
+    // range-to-Vec collect.
+    #[allow(clippy::single_range_in_vec_init)]
+    fn partition_view_rows_read_and_write() {
+        let mut a = DenseMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        {
+            let mut views = a.partition_rows(&[1..3]);
+            assert_eq!(views[0].row(1), &[3.0, 4.0]);
+            assert_eq!(views[0].get(2, 0), 5.0);
+            views[0].row_mut(2)[1] = -6.0;
+        }
+        assert_eq!(a.get(2, 1), -6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn partition_rejects_overlap() {
+        let mut a = DenseMatrix::zeros(6, 2);
+        a.partition_rows(&[0..3, 2..6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds row count")]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn partition_rejects_out_of_range() {
+        let mut a = DenseMatrix::zeros(4, 4);
+        a.partition_rows(&[2..5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 1..3")]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn view_row_access_is_range_checked() {
+        let mut a = DenseMatrix::zeros(4, 2);
+        let mut views = a.partition_rows(&[1..3]);
+        views[0].row_mut(0);
     }
 }

@@ -22,13 +22,21 @@
 //!   assembled matrices and matrix-free operators can be solved.
 //!
 //! The **pooled layer** makes the solve phase scale with the same
-//! `layerbem-parfor` runtime the assembler uses: [`SymMatrix::partition_rows`]
-//! splits the packed triangle into disjoint row-range views
-//! ([`symmetric::SymRowsMut`]) that different threads may write without
-//! locks, [`PooledSymOperator`] runs the PCG matvec in parallel
-//! (bit-identical to the serial operator), and
-//! [`CholeskyFactor::factor_pooled`] / [`LuFactor::factor_pooled`]
-//! distribute the right-looking trailing updates of the direct solvers.
+//! `layerbem-parfor` runtime the assembler uses — and every pooled path
+//! is **bit-identical** to its serial counterpart, so the pool decides
+//! who computes, never what: [`SymMatrix::partition_rows`] and
+//! [`DenseMatrix::partition_rows`] split the packed triangle and the
+//! row-major dense buffer into disjoint row-range views
+//! ([`symmetric::SymRowsMut`], [`dense::DenseRowsMut`]) that different
+//! threads may write without locks; [`PooledSymOperator`] runs the PCG
+//! matvec in parallel while [`PcgOptions::vector_parallelism`]
+//! ([`pcg::PcgOptions`]) folds the solver's dot products and norms into
+//! pooled fixed-partition reductions ([`vector::pooled_dot`] and
+//! friends); and [`CholeskyFactor::factor_pooled_blocked`] /
+//! [`LuFactor::factor_pooled_blocked`] run **blocked** right-looking
+//! factorizations — sequential panels, one parallel region per
+//! [`DEFAULT_FACTOR_BLOCK`]-column panel, serial fallback below
+//! `SERIAL_CUTOFF` unknowns.
 //! * [`quadrature`] — Gauss–Legendre rules computed to machine precision,
 //!   used for the outer element integrals.
 //! * [`series`] — compensated (Kahan) summation and tolerance-controlled
@@ -47,7 +55,7 @@ pub mod symmetric;
 pub mod vector;
 
 pub use cholesky::CholeskyFactor;
-pub use dense::DenseMatrix;
+pub use dense::{DenseMatrix, DenseRowsMut};
 pub use lu::LuFactor;
 pub use pcg::{
     pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome, PooledSymOperator,
@@ -59,6 +67,14 @@ pub use symmetric::{SymMatrix, SymRowsMut};
 /// Numerical tolerance used by the test-suites of this workspace when
 /// comparing floating point results that should agree to round-off.
 pub const TEST_EPS: f64 = 1e-10;
+
+/// Default panel width of the blocked right-looking factorizations
+/// ([`CholeskyFactor::factor_pooled_blocked`] and
+/// [`LuFactor::factor_pooled_blocked`]): wide enough to amortize one
+/// parallel-region launch over a block of column updates, narrow enough
+/// that the serial panel work stays a small fraction of the `O(N³)`
+/// trailing update.
+pub const DEFAULT_FACTOR_BLOCK: usize = 32;
 
 /// Returns `true` when `a` and `b` agree to tolerance `tol`, measured
 /// relative to `max(|a|, |b|, 1)` — i.e. relative comparison for large

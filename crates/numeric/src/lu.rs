@@ -5,12 +5,16 @@
 //! pivoting is the appropriate direct solver for it. It also serves as an
 //! independent cross-check of the Cholesky path in the test-suite.
 //!
-//! [`LuFactor::factor_pooled`] runs the same right-looking elimination
-//! with each step's row updates — independent by construction — spread
-//! over a [`ThreadPool`]. Every row performs the identical scalar
-//! sequence as the sequential code, and pivot selection happens between
-//! parallel regions, so the pooled factor is bit-identical to
-//! [`LuFactor::factor`].
+//! [`LuFactor::factor_pooled`] / [`LuFactor::factor_pooled_blocked`] run
+//! a **blocked** right-looking elimination: a panel of columns is
+//! factorized sequentially (pivot search, row swaps, and the
+//! panel-internal updates), then the panel's whole contribution to the
+//! trailing columns is applied in one parallel region over disjoint row
+//! blocks of the row-major buffer. Every entry receives the identical
+//! ascending-column sequence of updates on identical operands as the
+//! sequential elimination, and pivot selection sees identical column
+//! values, so the pooled factor is **bit-identical** to
+//! [`LuFactor::factor`] for every schedule, thread count and block size.
 
 use layerbem_parfor::{Schedule, ThreadPool};
 
@@ -104,91 +108,168 @@ impl LuFactor {
         })
     }
 
-    /// Factorization with each elimination step's row updates distributed
-    /// over the pool.
+    /// Orders below which [`factor_pooled`](Self::factor_pooled) runs the
+    /// sequential [`factor`](Self::factor) outright — the same
+    /// small-matrix guard as
+    /// [`CholeskyFactor::SERIAL_CUTOFF`](crate::CholeskyFactor::SERIAL_CUTOFF),
+    /// and equally unobservable in the output since the blocked pooled
+    /// elimination is bit-identical to the sequential one.
+    pub const SERIAL_CUTOFF: usize = 128;
+
+    /// Blocked pooled factorization with the workspace default panel
+    /// width ([`DEFAULT_FACTOR_BLOCK`](crate::DEFAULT_FACTOR_BLOCK)).
     ///
-    /// Pivot search and the row swap are `O(N)` and stay sequential
-    /// between parallel regions; the `O(N²)` update of the trailing rows
-    /// — mutually independent — is partitioned into disjoint row blocks
-    /// (rows are contiguous in the row-major buffer) and dispatched under
-    /// `schedule`. Every row runs the identical scalar sequence as
-    /// [`factor`](Self::factor), so the result is **bit-identical** to the
-    /// sequential factorization for any thread count.
+    /// See [`factor_pooled_blocked`](Self::factor_pooled_blocked).
     pub fn factor_pooled(
         a: &DenseMatrix,
         pool: &ThreadPool,
         schedule: Schedule,
     ) -> Result<Self, SingularMatrix> {
-        /// Trailing rows below which the update runs inline.
+        Self::factor_pooled_blocked(a, pool, schedule, crate::DEFAULT_FACTOR_BLOCK)
+    }
+
+    /// Blocked right-looking elimination with each panel's trailing
+    /// update distributed over the pool in a single parallel region.
+    ///
+    /// A panel of `block` columns is factorized sequentially: pivot
+    /// search, full-row swap, multiplier column, and the elimination
+    /// restricted to the panel columns. Pivot search sees bit-identical
+    /// column values to the sequential elimination (a panel column is
+    /// only ever updated by earlier columns, all already applied), so the
+    /// permutation is identical. The deferred update of the trailing
+    /// columns is then applied per entry in ascending panel-column order
+    /// — first to the panel's own rows (sequential, `O(block²·N)`), then
+    /// to the rows below the panel, which are mutually independent,
+    /// partitioned into disjoint row blocks of the row-major buffer, and
+    /// dispatched under `schedule` while the finalized panel rows are
+    /// read through a shared split of the buffer. Every entry ends up
+    /// receiving the same updates on the same operands in the same order
+    /// as [`factor`](Self::factor), so the result is **bit-identical**
+    /// for every thread count, schedule and block size (`block = 1`
+    /// reproduces the old one-region-per-column behavior). Orders below
+    /// [`SERIAL_CUTOFF`](Self::SERIAL_CUTOFF) — and 1-thread pools — run
+    /// the sequential code directly.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn factor_pooled_blocked(
+        a: &DenseMatrix,
+        pool: &ThreadPool,
+        schedule: Schedule,
+        block: usize,
+    ) -> Result<Self, SingularMatrix> {
+        /// Rows below the panel under which the update runs inline.
         const PAR_CUTOFF: usize = 64;
 
         assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
         let n = a.rows();
+        if n < Self::SERIAL_CUTOFF || pool.threads() == 1 {
+            return Self::factor(a);
+        }
+        let block = block.max(1);
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
 
-        for k in 0..n {
-            let mut p = k;
-            let mut pmax = lu.get(k, k).abs();
-            for i in (k + 1)..n {
-                let v = lu.get(i, k).abs();
-                if v > pmax {
-                    pmax = v;
-                    p = i;
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + block).min(n);
+            // Panel factorization (sequential): steps k0..k1 with the
+            // elimination restricted to the panel columns. Trailing
+            // columns (≥ k1) receive the deferred updates below, per
+            // entry in the same ascending-column order.
+            for k in k0..k1 {
+                let mut p = k;
+                let mut pmax = lu.get(k, k).abs();
+                for i in (k + 1)..n {
+                    let v = lu.get(i, k).abs();
+                    if v > pmax {
+                        pmax = v;
+                        p = i;
+                    }
+                }
+                if pmax == 0.0 || !pmax.is_finite() {
+                    return Err(SingularMatrix { column: k });
+                }
+                if p != k {
+                    perm.swap(p, k);
+                    perm_sign = -perm_sign;
+                    for j in 0..n {
+                        let tmp = lu.get(k, j);
+                        lu.set(k, j, lu.get(p, j));
+                        lu.set(p, j, tmp);
+                    }
+                }
+                let pivot = lu.get(k, k);
+                for i in (k + 1)..n {
+                    let m = lu.get(i, k) / pivot;
+                    lu.set(i, k, m);
+                    if m != 0.0 {
+                        for j in (k + 1)..k1 {
+                            lu.add(i, j, -m * lu.get(k, j));
+                        }
+                    }
                 }
             }
-            if pmax == 0.0 || !pmax.is_finite() {
-                return Err(SingularMatrix { column: k });
+            if k1 == n {
+                break;
             }
-            if p != k {
-                perm.swap(p, k);
-                perm_sign = -perm_sign;
-                for j in 0..n {
-                    let tmp = lu.get(k, j);
-                    lu.set(k, j, lu.get(p, j));
-                    lu.set(p, j, tmp);
+            // Finalize the trailing columns of the panel's own rows
+            // (sequential, ascending row then ascending panel column, so
+            // each pivot row is complete before a later row reads it).
+            for i in (k0 + 1)..k1 {
+                for c in k0..i {
+                    let m = lu.get(i, c);
+                    if m != 0.0 {
+                        for j in k1..n {
+                            lu.add(i, j, -m * lu.get(c, j));
+                        }
+                    }
                 }
             }
-            let trailing = n - (k + 1);
-            if trailing == 0 {
-                continue;
-            }
-            // Pivot row columns k..n, copied so the parallel row updates
-            // share a read-only slice while mutating their own rows.
-            let prow: Vec<f64> = lu.row(k)[k..].to_vec();
-            let pivot = prow[0];
-            let eliminate = |row: &mut [f64]| {
-                let m = row[k] / pivot;
-                row[k] = m;
-                if m != 0.0 {
-                    for (v, pj) in row[(k + 1)..n].iter_mut().zip(&prow[1..]) {
-                        *v -= m * pj;
+            // Deferred trailing update of the rows below the panel: the
+            // buffer splits into the finalized head (shared, read-only
+            // pivot rows) and the tail, whose rows are partitioned into
+            // disjoint blocks. Each row applies the panel columns in
+            // ascending order — the identical per-entry sequence of the
+            // sequential elimination.
+            let rows = n - k1;
+            let nb = k1 - k0;
+            let (head, tail) = lu.as_mut_slice().split_at_mut(k1 * n);
+            let pivot_rows = &head[k0 * n..];
+            let update_row = |row: &mut [f64]| {
+                for c in 0..nb {
+                    let m = row[k0 + c];
+                    if m != 0.0 {
+                        let prow = &pivot_rows[c * n + k1..(c + 1) * n];
+                        for (v, pj) in row[k1..].iter_mut().zip(prow) {
+                            *v -= m * pj;
+                        }
                     }
                 }
             };
-            if trailing < PAR_CUTOFF || pool.threads() == 1 {
-                for i in (k + 1)..n {
-                    eliminate(lu.row_mut(i));
+            if rows < PAR_CUTOFF {
+                for row in tail.chunks_mut(n) {
+                    update_row(row);
                 }
             } else {
-                // Same chunk floor as the other pooled paths: per-step
+                // Same chunk floor as the other pooled paths: per-panel
                 // partition count stays O(threads) under `dynamic,1`.
-                let step = schedule.with_min_chunk(trailing.div_ceil(4 * pool.threads()));
-                let tail = &mut lu.as_mut_slice()[(k + 1) * n..];
+                let step = schedule.with_min_chunk(rows.div_ceil(4 * pool.threads()));
                 let mut parts: Vec<&mut [f64]> = Vec::new();
                 let mut rest = tail;
-                for (a2, b2) in step.chunk_ranges(trailing, pool.threads()) {
+                for (a2, b2) in step.chunk_ranges(rows, pool.threads()) {
                     let (chunk, r) = rest.split_at_mut((b2 - a2) * n);
                     parts.push(chunk);
                     rest = r;
                 }
-                pool.scoped_partition(&mut parts, step.partition_dispatch(), |_, block| {
-                    for row in block.chunks_mut(n) {
-                        eliminate(row);
+                pool.scoped_partition(&mut parts, step.partition_dispatch(), |_, rows_block| {
+                    for row in rows_block.chunks_mut(n) {
+                        update_row(row);
                     }
                 });
             }
+            k0 = k1;
         }
         Ok(LuFactor {
             n,
@@ -228,6 +309,18 @@ impl LuFactor {
             x[i] = s / self.lu.get(i, i);
         }
         x
+    }
+
+    /// The combined `L\U` storage (strict lower triangle holds the
+    /// multipliers of `L`, upper triangle holds `U`), row-major — exposed
+    /// so cross-crate tests can compare factorizations bit for bit.
+    pub fn lu_entries(&self) -> &[f64] {
+        self.lu.as_slice()
+    }
+
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
     }
 
     /// Determinant of `A` (product of `U` pivots times permutation sign).
@@ -339,17 +432,56 @@ mod tests {
     fn pooled_factor_detects_singularity() {
         use layerbem_parfor::{Schedule, ThreadPool};
         // An exactly zero column is the one singularity floating point
-        // preserves bit-exactly through elimination.
-        let n = 100;
+        // preserves bit-exactly through elimination: updates into it are
+        // `-m·0`, so it stays zero through any number of panels. Column 5
+        // with block 4 puts the breakdown in the *second* panel, after
+        // real parallel trailing updates have run.
+        let n = 150;
         let mut a = random_matrix(n, 42);
         for i in 0..n {
-            a.set(i, 0, 0.0);
+            a.set(i, 5, 0.0);
         }
         let serial = LuFactor::factor(&a).unwrap_err();
         let pooled =
-            LuFactor::factor_pooled(&a, &ThreadPool::new(4), Schedule::dynamic(8)).unwrap_err();
+            LuFactor::factor_pooled_blocked(&a, &ThreadPool::new(4), Schedule::dynamic(8), 4)
+                .unwrap_err();
         assert_eq!(serial, pooled);
-        assert_eq!(pooled.column, 0);
+        assert_eq!(pooled.column, 5);
+    }
+
+    #[test]
+    fn blocked_factor_is_bit_identical_for_every_block_size() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let a = random_matrix(157, 0xC0FFEE);
+        let serial = LuFactor::factor(&a).unwrap();
+        let pool = ThreadPool::new(3);
+        for block in [0, 1, 7, 32, 64, 157, 999] {
+            for schedule in [Schedule::static_blocked(), Schedule::guided(1)] {
+                let pooled = LuFactor::factor_pooled_blocked(&a, &pool, schedule, block).unwrap();
+                let label = format!("block={block} {}", schedule.label());
+                assert_eq!(pooled.lu.as_slice(), serial.lu.as_slice(), "{label}");
+                assert_eq!(pooled.perm, serial.perm, "{label}");
+                assert_eq!(pooled.perm_sign, serial.perm_sign, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_systems_take_the_serial_path_and_match_it_exactly() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        // The small-matrix regression guard, mirroring the Cholesky pin:
+        // below SERIAL_CUTOFF the pooled entry point runs `factor`
+        // outright, paying zero parallel-region launches.
+        assert_eq!(LuFactor::SERIAL_CUTOFF, 128);
+        for n in [1, 2, 23, LuFactor::SERIAL_CUTOFF - 1] {
+            let a = random_matrix(n, 7 + n as u64);
+            let serial = LuFactor::factor(&a).unwrap();
+            let pooled =
+                LuFactor::factor_pooled_blocked(&a, &ThreadPool::new(8), Schedule::dynamic(1), 5)
+                    .unwrap();
+            assert_eq!(pooled.lu.as_slice(), serial.lu.as_slice(), "n={n}");
+            assert_eq!(pooled.perm, serial.perm, "n={n}");
+        }
     }
 
     #[test]

@@ -10,6 +10,17 @@
 //! The solver is written against the [`LinearOperator`] trait so it works
 //! with the packed [`SymMatrix`], with matrix-free
 //! operators in tests, and with parallel matvec wrappers.
+//!
+//! Every reduction inside the iteration (the dot products and the
+//! residual norm) uses the deterministic fixed-partition order of
+//! [`vector::dot_blocked`] / [`vector::norm2_blocked`], whether it runs
+//! serially or — with [`PcgOptions::vector_parallelism`] set — on a
+//! [`ThreadPool`] via the pooled reductions. The partition is a pure
+//! function of the vector length, so the pooled vector ops are
+//! bit-identical to the serial ones for every schedule and thread count:
+//! combined with a bit-identical matvec (e.g. [`PooledSymOperator`]),
+//! the whole Krylov trajectory — iterates, residual history, iteration
+//! count — is independent of the execution resources.
 
 use layerbem_parfor::{Schedule, ThreadPool};
 
@@ -129,6 +140,14 @@ pub struct PcgOptions {
     /// When `true`, disables the Jacobi preconditioner (plain CG). Used by
     /// ablation benches to quantify what the diagonal scaling buys.
     pub unpreconditioned: bool,
+    /// Pool and schedule for the solver's own vector operations
+    /// (dot/axpy/norm/preconditioner application): `None` runs them
+    /// serially. The pooled ops reproduce the serial fixed-partition
+    /// reductions bit for bit, so setting this never changes an iterate —
+    /// only who computes it. Irrelevant next to the `O(N²)` matvec until
+    /// matrices reach `O(10⁴)`, at which point the `O(N)` level-1 ops
+    /// stop being free.
+    pub vector_parallelism: Option<(ThreadPool, Schedule)>,
 }
 
 impl Default for PcgOptions {
@@ -137,6 +156,53 @@ impl Default for PcgOptions {
             rel_tol: 1e-10,
             max_iter: 0,
             unpreconditioned: false,
+            vector_parallelism: None,
+        }
+    }
+}
+
+/// The solver's level-1 kernels, dispatched serially or over a pool.
+/// Both arms execute the identical fixed-partition scalar sequences
+/// (see [`vector`] module docs), so the choice is invisible in the bits.
+#[derive(Clone, Copy, Debug)]
+enum VecOps {
+    Serial,
+    Pooled(ThreadPool, Schedule),
+}
+
+impl VecOps {
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        match self {
+            VecOps::Serial => vector::dot_blocked(x, y),
+            VecOps::Pooled(pool, s) => vector::pooled_dot(pool, *s, x, y),
+        }
+    }
+
+    fn norm2(&self, x: &[f64]) -> f64 {
+        match self {
+            VecOps::Serial => vector::norm2_blocked(x),
+            VecOps::Pooled(pool, s) => vector::pooled_norm2(pool, *s, x),
+        }
+    }
+
+    fn axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
+        match self {
+            VecOps::Serial => vector::axpy(a, x, y),
+            VecOps::Pooled(pool, s) => vector::pooled_axpy(pool, *s, a, x, y),
+        }
+    }
+
+    fn xpby(&self, x: &[f64], b: f64, y: &mut [f64]) {
+        match self {
+            VecOps::Serial => vector::xpby(x, b, y),
+            VecOps::Pooled(pool, s) => vector::pooled_xpby(pool, *s, x, b, y),
+        }
+    }
+
+    fn hadamard(&self, x: &[f64], y: &[f64], z: &mut [f64]) {
+        match self {
+            VecOps::Serial => vector::hadamard(x, y, z),
+            VecOps::Pooled(pool, s) => vector::pooled_hadamard(pool, *s, x, y, z),
         }
     }
 }
@@ -199,6 +265,10 @@ pub struct PcgOutcome {
 pub fn pcg_solve<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: PcgOptions) -> PcgOutcome {
     let n = a.order();
     assert_eq!(b.len(), n, "pcg: rhs length");
+    let ops = match opts.vector_parallelism {
+        Some((pool, schedule)) => VecOps::Pooled(pool, schedule),
+        None => VecOps::Serial,
+    };
     let max_iter = if opts.max_iter == 0 {
         2 * n + 10
     } else {
@@ -225,13 +295,13 @@ pub fn pcg_solve<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: PcgOptions)
     let mut x = vec![0.0; n];
     let mut r = b.to_vec(); // r = b − A·0 = b
     let mut z = vec![0.0; n];
-    vector::hadamard(&minv, &r, &mut z);
+    ops.hadamard(&minv, &r, &mut z);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
 
-    let b_norm = vector::norm2(b);
+    let b_norm = ops.norm2(b);
     let mut history = ConvergenceHistory::default();
-    history.residual_norms.push(vector::norm2(&r));
+    history.residual_norms.push(ops.norm2(&r));
 
     if b_norm == 0.0 {
         // Trivial system: x = 0 is exact.
@@ -242,7 +312,7 @@ pub fn pcg_solve<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: PcgOptions)
         };
     }
     let target = opts.rel_tol * b_norm;
-    let mut rz = vector::dot(&r, &z);
+    let mut rz = ops.dot(&r, &z);
     let mut converged = history.residual_norms[0] <= target;
 
     for _ in 0..max_iter {
@@ -250,26 +320,26 @@ pub fn pcg_solve<A: LinearOperator + ?Sized>(a: &A, b: &[f64], opts: PcgOptions)
             break;
         }
         a.apply(&p, &mut ap);
-        let pap = vector::dot(&p, &ap);
+        let pap = ops.dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Operator is not SPD in the Krylov space explored (or we hit
             // round-off stagnation); stop with the best iterate so far.
             break;
         }
         let alpha = rz / pap;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
-        let r_norm = vector::norm2(&r);
+        ops.axpy(alpha, &p, &mut x);
+        ops.axpy(-alpha, &ap, &mut r);
+        let r_norm = ops.norm2(&r);
         history.residual_norms.push(r_norm);
         if r_norm <= target {
             converged = true;
             break;
         }
-        vector::hadamard(&minv, &r, &mut z);
-        let rz_new = vector::dot(&r, &z);
+        ops.hadamard(&minv, &r, &mut z);
+        let rz_new = ops.dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        vector::xpby(&z, beta, &mut p);
+        ops.xpby(&z, beta, &mut p);
     }
 
     PcgOutcome {
@@ -436,6 +506,42 @@ mod tests {
         assert_eq!(serial.history.iterations(), pooled.history.iterations());
         assert_eq!(serial.history.residual_norms, pooled.history.residual_norms);
         assert_eq!(serial.x, pooled.x);
+    }
+
+    #[test]
+    fn pooled_vector_ops_leave_the_krylov_trajectory_bit_identical() {
+        // Large enough that the fixed reduction partition has several
+        // runs (n > REDUCE_CHUNK), so the pooled dot/norm genuinely fan
+        // out — and must still replay the serial trajectory exactly.
+        let n = crate::vector::REDUCE_CHUNK + 300;
+        let a = spd(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let serial = pcg_solve(&a, &b, PcgOptions::default());
+        assert!(serial.converged);
+        for threads in [1, 2, 4] {
+            for schedule in [
+                Schedule::static_blocked(),
+                Schedule::dynamic(1),
+                Schedule::guided(1),
+            ] {
+                let pool = ThreadPool::new(threads);
+                let op = PooledSymOperator::new(&a, pool, schedule);
+                let pooled = pcg_solve(
+                    &op,
+                    &b,
+                    PcgOptions {
+                        vector_parallelism: Some((pool, schedule)),
+                        ..Default::default()
+                    },
+                );
+                let label = format!("threads={threads} {}", schedule.label());
+                assert_eq!(
+                    serial.history.residual_norms, pooled.history.residual_norms,
+                    "{label}"
+                );
+                assert_eq!(serial.x, pooled.x, "{label}");
+            }
+        }
     }
 
     /// A matrix-free operator: the 1-D discrete Laplacian plus identity.

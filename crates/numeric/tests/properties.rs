@@ -100,6 +100,74 @@ proptest! {
     }
 
     #[test]
+    fn dense_partition_covers_rows_disjointly(splits in split_strategy(11)) {
+        // Coverage + disjointness: with splits covering 0..n, every row
+        // is owned by exactly one view, and the views' buffer lengths sum
+        // to the whole matrix.
+        let n = 11;
+        let cols = 5;
+        let mut a = DenseMatrix::zeros(n, cols);
+        let views = a.partition_rows(&splits);
+        let mut owners = vec![0usize; n];
+        let mut covered = 0usize;
+        for v in &views {
+            prop_assert_eq!(v.cols(), cols);
+            for i in v.rows() {
+                owners[i] += 1;
+                prop_assert!(v.owns(i));
+            }
+            covered += v.rows().len() * cols;
+        }
+        prop_assert!(owners.iter().all(|&c| c == 1));
+        prop_assert_eq!(covered, n * cols);
+    }
+
+    #[test]
+    fn dense_partitioned_writes_reproduce_whole_matrix_writes(
+        splits in split_strategy(10),
+        entries in prop::collection::vec((0usize..10, 0usize..6, -10.0f64..10.0), 0..50),
+    ) {
+        // Route every update through the owning row view; the result must
+        // be indistinguishable from updating the matrix directly.
+        let mut whole = DenseMatrix::zeros(10, 6);
+        let mut split = DenseMatrix::zeros(10, 6);
+        {
+            let mut views = split.partition_rows(&splits);
+            for &(i, j, v) in &entries {
+                whole.add(i, j, v);
+                let owner = views
+                    .iter_mut()
+                    .find(|w| w.owns(i))
+                    .expect("splits cover 0..n");
+                owner.add(i, j, v);
+                prop_assert_eq!(owner.get(i, j), whole.get(i, j));
+            }
+        }
+        prop_assert_eq!(whole.as_slice(), split.as_slice());
+    }
+
+    #[test]
+    fn dense_partition_row_round_trip_reconstructs_the_matrix(
+        splits in split_strategy(9),
+        vals in prop::collection::vec(-3.0f64..3.0, 9 * 4),
+    ) {
+        // Writing whole rows through the views reconstructs exactly the
+        // matrix built directly from the same buffer.
+        let direct = DenseMatrix::from_rows(9, 4, vals.clone());
+        let mut rebuilt = DenseMatrix::zeros(9, 4);
+        {
+            let mut views = rebuilt.partition_rows(&splits);
+            for view in views.iter_mut() {
+                for i in view.rows() {
+                    view.row_mut(i).copy_from_slice(&vals[i * 4..(i + 1) * 4]);
+                    prop_assert_eq!(view.row(i), direct.row(i));
+                }
+            }
+        }
+        prop_assert_eq!(rebuilt, direct);
+    }
+
+    #[test]
     fn cholesky_and_lu_agree_on_spd(a in spd_strategy(8), rhs in prop::collection::vec(-5.0f64..5.0, 8)) {
         let chol = CholeskyFactor::factor(&a).expect("SPD by construction");
         let x1 = chol.solve(&rhs);

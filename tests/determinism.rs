@@ -1,0 +1,263 @@
+//! Cross-crate determinism suite: every pooled linear-algebra path must
+//! be **bit-identical** to its serial counterpart on real BEM systems,
+//! for every schedule × thread count × block size exercised here.
+//!
+//! PR 2 established the guarantee for the in-place Galerkin assembler and
+//! the pooled PCG matvec; this suite locks it down for the rest of the
+//! solve phase — blocked pooled Cholesky/LU factors, pooled PCG iterates
+//! (matvec *and* vector reductions on the pool), and the row-partitioned
+//! pooled collocation assembler — on the paper's Barberá (238 dof) and
+//! Balaidos (201 dof) grids.
+//!
+//! Grid selection honors the `LAYERBEM_DETERMINISM_GRID` environment
+//! variable: `tiny` substitutes a 2×2-cell yard (the CI smoke
+//! configuration, paired with `LAYERBEM_THREADS=4`); anything else — and
+//! the default — runs both paper grids. The wide thread count follows
+//! `LAYERBEM_THREADS` through `ThreadPool::with_available_parallelism`,
+//! so the pinned CI run and a developer's 128-core box assert the same
+//! invariants over different pools.
+
+use layerbem_core::assembly::{
+    assemble_collocation, assemble_collocation_pooled, assemble_galerkin, AssemblyMode,
+};
+use layerbem_core::formulation::{SolveOptions, SolverChoice};
+use layerbem_core::kernel::SoilKernel;
+use layerbem_core::system::GroundingSystem;
+use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
+use layerbem_geometry::{grids, Mesh, Mesher};
+use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
+use layerbem_numeric::{CholeskyFactor, DenseMatrix, LuFactor, SymMatrix, DEFAULT_FACTOR_BLOCK};
+use layerbem_parfor::{Schedule, ThreadPool};
+use layerbem_soil::SoilModel;
+
+/// One grid under test: name, mesh, and its uniform soil model.
+fn grid_cases() -> Vec<(&'static str, Mesh, SoilModel)> {
+    let selector = std::env::var("LAYERBEM_DETERMINISM_GRID").unwrap_or_default();
+    if selector == "tiny" {
+        let net = rectangular_grid(RectGridSpec {
+            origin: (0.0, 0.0),
+            width: 20.0,
+            height: 20.0,
+            nx: 2,
+            ny: 2,
+            depth: 0.8,
+            radius: 0.006,
+        });
+        return vec![(
+            "tiny 2x2 yard",
+            Mesher::default().mesh(&net),
+            SoilModel::uniform(0.016),
+        )];
+    }
+    vec![
+        (
+            "Barbera",
+            Mesher::default().mesh(&grids::barbera()),
+            SoilModel::uniform(0.016),
+        ),
+        (
+            "Balaidos",
+            Mesher::default().mesh(&grids::balaidos()),
+            SoilModel::uniform(0.020),
+        ),
+    ]
+}
+
+/// Thread counts under test: a small fixed pool plus the environment's
+/// pool (the `LAYERBEM_THREADS` pin in CI), floored at 3 so two distinct
+/// counts survive on small machines.
+fn thread_counts() -> Vec<usize> {
+    let wide = ThreadPool::with_available_parallelism().threads().max(3);
+    vec![2, wide]
+}
+
+fn schedules() -> [Schedule; 4] {
+    [
+        Schedule::static_blocked(),
+        Schedule::static_chunk(3),
+        Schedule::dynamic(1),
+        Schedule::guided(1),
+    ]
+}
+
+/// Block sizes under test for the factorizations: the per-column
+/// degenerate, a narrow panel, the default, and one larger than the
+/// matrix (fully sequential panel).
+fn block_sizes(n: usize) -> [usize; 4] {
+    [1, 8, DEFAULT_FACTOR_BLOCK, n + 13]
+}
+
+/// The assembled Galerkin system of a grid (sequential reference).
+fn galerkin_system(mesh: &Mesh, soil: &SoilModel) -> (SymMatrix, Vec<f64>) {
+    let kernel = SoilKernel::new(soil);
+    let rep = assemble_galerkin(
+        mesh,
+        &kernel,
+        &SolveOptions::default(),
+        &AssemblyMode::Sequential,
+    );
+    (rep.matrix, rep.rhs)
+}
+
+#[test]
+fn blocked_pooled_cholesky_factors_are_bit_identical_to_serial() {
+    for (grid, mesh, soil) in grid_cases() {
+        let (a, _) = galerkin_system(&mesh, &soil);
+        let serial = CholeskyFactor::factor(&a).expect("Galerkin matrix is SPD");
+        for threads in thread_counts() {
+            let pool = ThreadPool::new(threads);
+            for schedule in schedules() {
+                for block in block_sizes(a.order()) {
+                    let pooled = CholeskyFactor::factor_pooled_blocked(&a, &pool, schedule, block)
+                        .expect("pooled factorization succeeds");
+                    assert_eq!(
+                        pooled.packed_l(),
+                        serial.packed_l(),
+                        "{grid}: threads={threads} {} block={block}",
+                        schedule.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_pooled_lu_factors_are_bit_identical_to_serial() {
+    // LU runs on the collocation matrix — dense, nonsymmetric, and with
+    // genuine partial pivoting to keep deterministic across panels.
+    for (grid, mesh, soil) in grid_cases() {
+        let kernel = SoilKernel::new(&soil);
+        let (c, _) = assemble_collocation(&mesh, &kernel);
+        let serial = LuFactor::factor(&c).expect("collocation matrix is nonsingular");
+        for threads in thread_counts() {
+            let pool = ThreadPool::new(threads);
+            for schedule in schedules() {
+                for block in block_sizes(c.rows()) {
+                    let pooled = LuFactor::factor_pooled_blocked(&c, &pool, schedule, block)
+                        .expect("pooled factorization succeeds");
+                    let label = format!(
+                        "{grid}: threads={threads} {} block={block}",
+                        schedule.label()
+                    );
+                    assert_eq!(pooled.lu_entries(), serial.lu_entries(), "{label}");
+                    assert_eq!(pooled.permutation(), serial.permutation(), "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_pcg_iterates_are_bit_identical_to_serial() {
+    // Matvec on the pooled operator + dot/axpy/norm folded into pooled
+    // fixed-partition reductions: the whole Krylov trajectory — every
+    // residual norm, the iterate, the iteration count — must replay the
+    // serial solve exactly.
+    for (grid, mesh, soil) in grid_cases() {
+        let (a, rhs) = galerkin_system(&mesh, &soil);
+        let serial = pcg_solve(&a, &rhs, PcgOptions::default());
+        assert!(serial.converged, "{grid}: serial PCG converges");
+        for threads in thread_counts() {
+            let pool = ThreadPool::new(threads);
+            for schedule in schedules() {
+                let op = PooledSymOperator::new(&a, pool, schedule);
+                let pooled = pcg_solve(
+                    &op,
+                    &rhs,
+                    PcgOptions {
+                        vector_parallelism: Some((pool, schedule)),
+                        ..Default::default()
+                    },
+                );
+                let label = format!("{grid}: threads={threads} {}", schedule.label());
+                assert_eq!(
+                    serial.history.residual_norms, pooled.history.residual_norms,
+                    "{label}"
+                );
+                assert_eq!(serial.x, pooled.x, "{label}");
+                assert_eq!(serial.converged, pooled.converged, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_collocation_matrices_are_bit_identical_to_serial() {
+    for (grid, mesh, soil) in grid_cases() {
+        let kernel = SoilKernel::new(&soil);
+        let (serial, rhs_serial) = assemble_collocation(&mesh, &kernel);
+        for threads in thread_counts() {
+            let pool = ThreadPool::new(threads);
+            for schedule in schedules() {
+                let (pooled, rhs_pooled) =
+                    assemble_collocation_pooled(&mesh, &kernel, &pool, schedule);
+                let label = format!("{grid}: threads={threads} {}", schedule.label());
+                assert_eq!(serial.as_slice(), pooled.as_slice(), "{label}");
+                assert_eq!(rhs_serial, rhs_pooled, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_solves_through_grounding_system_are_bit_identical() {
+    // The wiring layer: SolveOptions::parallelism (pool + schedule +
+    // factor block) must reach every solver without perturbing a bit of
+    // the solution.
+    for (grid, mesh, soil) in grid_cases() {
+        for solver in [
+            SolverChoice::ConjugateGradient,
+            SolverChoice::Cholesky,
+            SolverChoice::Lu,
+        ] {
+            let base = SolveOptions {
+                solver,
+                ..Default::default()
+            };
+            let serial_sys = GroundingSystem::new(mesh.clone(), &soil, base);
+            let report = serial_sys.assemble(&AssemblyMode::Sequential);
+            let serial = serial_sys.solve_assembled(&report, 10_000.0);
+            for threads in thread_counts() {
+                let opts = base
+                    .with_parallelism(ThreadPool::new(threads), Schedule::guided(1))
+                    .with_factor_block(16);
+                let pooled_sys = GroundingSystem::new(mesh.clone(), &soil, opts);
+                let pooled = pooled_sys.solve_assembled(&report, 10_000.0);
+                let label = format!("{grid}: {solver:?} threads={threads}");
+                assert_eq!(serial.leakage, pooled.leakage, "{label}");
+                assert_eq!(
+                    serial.solver_iterations, pooled.solver_iterations,
+                    "{label}"
+                );
+                assert_eq!(
+                    serial.equivalent_resistance, pooled.equivalent_resistance,
+                    "{label}"
+                );
+            }
+        }
+    }
+}
+
+/// LU must also stay bit-identical when the matrix is the (SPD, but
+/// treated as general) dense expansion of the Galerkin system — the path
+/// `SolverChoice::Lu` takes for Galerkin decks.
+#[test]
+fn blocked_pooled_lu_on_dense_galerkin_expansion_is_bit_identical() {
+    for (grid, mesh, soil) in grid_cases() {
+        let (a, _) = galerkin_system(&mesh, &soil);
+        let dense: DenseMatrix = a.to_dense();
+        let serial = LuFactor::factor(&dense).expect("nonsingular");
+        let pool = ThreadPool::new(thread_counts().pop().expect("non-empty"));
+        for block in block_sizes(dense.rows()) {
+            let pooled =
+                LuFactor::factor_pooled_blocked(&dense, &pool, Schedule::dynamic(2), block)
+                    .expect("nonsingular");
+            assert_eq!(
+                pooled.lu_entries(),
+                serial.lu_entries(),
+                "{grid}: block={block}"
+            );
+        }
+    }
+}
