@@ -135,6 +135,55 @@ fn staged_vs_direct(c: &mut Criterion) {
     g.finish();
 }
 
+fn scan_vs_worklist(c: &mut Criterion) {
+    // The PR-4 tentpole comparison: the worklist-driven direct assembler
+    // (one O(M²) integer pass emits exact per-partition pair candidates)
+    // against the retained envelope-scan engine (every partition rescans
+    // the pair triangle). Output is bit-identical; only candidate
+    // discovery differs, so any gap is pure dispatch overhead.
+    let mesh = bench_mesh();
+    let opts = SolveOptions::default();
+    let k = SoilKernel::new(&SoilModel::two_layer(0.005, 0.016, 1.0));
+    let pool = ThreadPool::with_available_parallelism();
+    let mut g = c.benchmark_group("scan-vs-worklist");
+    g.sample_size(10);
+    for schedule in [
+        Schedule::static_blocked(),
+        Schedule::dynamic(1),
+        Schedule::guided(1),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("worklist", schedule.label()),
+            &schedule,
+            |b, s| {
+                b.iter(|| {
+                    black_box(assemble_galerkin(
+                        &mesh,
+                        &k,
+                        &opts,
+                        &AssemblyMode::ParallelDirect(pool, *s),
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scan", schedule.label()),
+            &schedule,
+            |b, s| {
+                b.iter(|| {
+                    black_box(assemble_galerkin(
+                        &mesh,
+                        &k,
+                        &opts,
+                        &AssemblyMode::ParallelDirectScan(pool, *s),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn quadrature_ablation(c: &mut Criterion) {
     // Cost of the outer-quadrature order — the accuracy/cost lever of
     // SolveOptions::outer_quadrature.
@@ -166,6 +215,7 @@ criterion_group!(
     soil_models,
     parallel_modes,
     staged_vs_direct,
+    scan_vs_worklist,
     quadrature_ablation
 );
 criterion_main!(benches);

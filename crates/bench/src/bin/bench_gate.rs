@@ -1,0 +1,234 @@
+//! CI performance gate: worklist-driven direct assembly must not be
+//! slower than the retained envelope-scan engine.
+//!
+//! Runs both direct engines (plus the sequential baseline) on one grid
+//! across the three OpenMP schedule kinds, takes the **best of `--reps`
+//! repetitions** per configuration (minimum wall time — the standard way
+//! to suppress scheduler noise on shared CI runners), verifies every
+//! parallel run is bit-identical to the sequential baseline, writes every
+//! best observation as machine-readable rows (the `BENCH_pr.json`
+//! artifact CI uploads, recording the benchmark trajectory per PR), and
+//! **exits nonzero** if the worklist engine is slower than the scan
+//! engine beyond `--tolerance` on any schedule.
+//!
+//! ```text
+//! bench_gate [--grid tiny|barbera|balaidos] [--reps N]
+//!            [--tolerance F] [--json NAME.json]
+//! ```
+//!
+//! Thread count follows the environment pool (`LAYERBEM_THREADS`, which
+//! CI pins to 4 so the gate compares the engines at the documented
+//! 4-thread point). The default tolerance of 1.15 absorbs residual
+//! runner noise: the two engines do identical floating-point work, so a
+//! genuine regression (the scan's `O(partitions × M²)` overhead creeping
+//! back into the default path) shows up far above 15%.
+
+use std::time::Instant;
+
+use layerbem_bench::{
+    balaidos_mesh, barbera_mesh, render_table, soils, write_bench_json, BenchRecord,
+};
+use layerbem_core::assembly::{assemble_galerkin, AssemblyMode, AssemblyReport};
+use layerbem_core::formulation::SolveOptions;
+use layerbem_core::kernel::SoilKernel;
+use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
+use layerbem_geometry::{Mesh, Mesher};
+use layerbem_parfor::{Schedule, ThreadPool};
+use layerbem_soil::SoilModel;
+
+fn tiny_mesh() -> Mesh {
+    Mesher::default().mesh(&rectangular_grid(RectGridSpec {
+        origin: (0.0, 0.0),
+        width: 20.0,
+        height: 20.0,
+        nx: 2,
+        ny: 2,
+        depth: 0.8,
+        radius: 0.006,
+    }))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate [--grid tiny|barbera|balaidos] [--reps N] \
+         [--tolerance F] [--json NAME.json]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    grid: String,
+    reps: usize,
+    tolerance: f64,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        grid: "tiny".into(),
+        reps: 7,
+        tolerance: 1.15,
+        json: "BENCH_pr.json".into(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--grid" => args.grid = argv.next().unwrap_or_else(|| usage()),
+            "--reps" => {
+                args.reps = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--tolerance" => {
+                args.tolerance = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => args.json = argv.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn check_identical(label: &str, seq: &AssemblyReport, other: &AssemblyReport) {
+    assert_eq!(
+        seq.matrix.packed(),
+        other.matrix.packed(),
+        "{label}: matrix differs from sequential"
+    );
+    assert_eq!(seq.rhs, other.rhs, "{label}: rhs differs");
+    assert_eq!(
+        seq.column_terms, other.column_terms,
+        "{label}: column_terms differ"
+    );
+}
+
+/// Best-of-`reps` wall seconds for one assembly mode (also returns the
+/// last report, for the identity check and the terms column).
+fn best_of(
+    reps: usize,
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    opts: &SolveOptions,
+    mode: &AssemblyMode,
+) -> (f64, AssemblyReport) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let rep = assemble_galerkin(mesh, kernel, opts, mode);
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(rep);
+    }
+    (best, report.expect("reps > 0"))
+}
+
+fn main() {
+    let args = parse_args();
+    let (grid, mesh, soil): (&str, Mesh, SoilModel) = match args.grid.as_str() {
+        "tiny" => ("tiny 2x2 yard", tiny_mesh(), SoilModel::uniform(0.016)),
+        "barbera" => ("Barbera", barbera_mesh(), soils::barbera_uniform()),
+        "balaidos" => ("Balaidos A", balaidos_mesh(), soils::balaidos_a()),
+        _ => usage(),
+    };
+    let kernel = SoilKernel::new(&soil);
+    let opts = SolveOptions::default();
+    let threads = ThreadPool::with_available_parallelism().threads();
+    let pool = ThreadPool::new(threads);
+
+    let (seq_best, seq) = best_of(args.reps, &mesh, &kernel, &opts, &AssemblyMode::Sequential);
+    let mut records = vec![BenchRecord {
+        grid: grid.into(),
+        mode: "sequential".into(),
+        schedule: "-".into(),
+        threads: 1,
+        wall_seconds: seq_best,
+        series_terms: seq.total_terms(),
+    }];
+
+    let schedules = [
+        Schedule::static_blocked(),
+        Schedule::dynamic(1),
+        Schedule::guided(1),
+    ];
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for schedule in schedules {
+        let mut best = [0.0f64; 2];
+        for (slot, (engine, mode)) in [
+            ("worklist", AssemblyMode::ParallelDirect(pool, schedule)),
+            ("scan", AssemblyMode::ParallelDirectScan(pool, schedule)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (wall, rep) = best_of(args.reps, &mesh, &kernel, &opts, &mode);
+            check_identical(
+                &format!("{grid} {engine} {} p={threads}", schedule.label()),
+                &seq,
+                &rep,
+            );
+            best[slot] = wall;
+            records.push(BenchRecord {
+                grid: grid.into(),
+                mode: engine.into(),
+                schedule: schedule.label(),
+                threads,
+                wall_seconds: wall,
+                series_terms: rep.total_terms(),
+            });
+        }
+        let [worklist, scan] = best;
+        let ratio = worklist / scan;
+        let ok = worklist <= scan * args.tolerance;
+        if !ok {
+            failures.push(format!(
+                "{}: worklist {worklist:.6}s vs scan {scan:.6}s \
+                 (ratio {ratio:.3} > tolerance {:.3})",
+                schedule.label(),
+                args.tolerance
+            ));
+        }
+        rows.push(vec![
+            schedule.label(),
+            format!("{worklist:.6}"),
+            format!("{scan:.6}"),
+            format!("{ratio:.3}"),
+            if ok { "ok".into() } else { "FAIL".into() },
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "schedule",
+                "worklist best (s)",
+                "scan best (s)",
+                "ratio",
+                "gate",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "{grid}, {threads} threads, best of {} repetitions per configuration; \
+         every parallel run verified bit-identical to the sequential baseline.",
+        args.reps
+    );
+    write_bench_json(&args.json, &records);
+
+    if !failures.is_empty() {
+        eprintln!("bench gate FAILED: worklist assembly slower than the scan path");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench gate passed: worklist >= scan-path speed at {threads} threads");
+}

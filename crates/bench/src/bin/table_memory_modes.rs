@@ -10,16 +10,22 @@
 //! terms — for two thread counts and all three OpenMP schedule kinds.
 //!
 //! ```text
-//! table_memory_modes [--grid tiny|barbera|balaidos|all]
+//! table_memory_modes [--grid tiny|barbera|balaidos|all] [--json NAME.json]
 //! ```
 //!
 //! `--grid tiny` runs a 2×2-cell yard for CI smoke; the default `all`
 //! covers the Barberá (408 elements) and Balaidos (241 elements) grids
-//! with their uniform soil models.
+//! with their uniform soil models. Both direct engines are measured —
+//! `worklist` (the default `ParallelDirect`) and the retained envelope
+//! `scan` baseline — and `--json` additionally writes every timed row as
+//! machine-readable [`BenchRecord`]s under `results/`, the format the CI
+//! bench artifacts use.
 
 use std::time::Instant;
 
-use layerbem_bench::{balaidos_mesh, barbera_mesh, render_table, soils, write_artifact};
+use layerbem_bench::{
+    balaidos_mesh, barbera_mesh, render_table, soils, write_artifact, write_bench_json, BenchRecord,
+};
 use layerbem_core::assembly::{assemble_galerkin, AssemblyMode, AssemblyReport};
 use layerbem_core::formulation::SolveOptions;
 use layerbem_core::kernel::SoilKernel;
@@ -91,12 +97,23 @@ fn mb(bytes: usize) -> String {
 
 fn main() {
     let mut selector = String::from("all");
+    let mut json: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--grid" => selector = argv.next().unwrap_or_default(),
+            "--json" => match argv.next().filter(|n| !n.is_empty()) {
+                Some(name) => json = Some(name),
+                None => {
+                    eprintln!("error: --json requires a file name");
+                    std::process::exit(2);
+                }
+            },
             _ => {
-                eprintln!("usage: table_memory_modes [--grid tiny|barbera|balaidos|all]");
+                eprintln!(
+                    "usage: table_memory_modes [--grid tiny|barbera|balaidos|all] \
+                     [--json NAME.json]"
+                );
                 std::process::exit(2);
             }
         }
@@ -114,6 +131,7 @@ fn main() {
     let thread_counts = [2usize, wide];
 
     let mut rows = Vec::new();
+    let mut records: Vec<BenchRecord> = Vec::new();
     for (grid, mesh, soil) in cases(&selector) {
         let kernel = SoilKernel::new(&soil);
         let opts = SolveOptions::default();
@@ -133,6 +151,14 @@ fn main() {
             format!("{:.1}x", 1.0),
             "baseline".into(),
         ]);
+        records.push(BenchRecord {
+            grid: grid.into(),
+            mode: "sequential".into(),
+            schedule: "-".into(),
+            threads: 1,
+            wall_seconds: seq_s,
+            series_terms: seq.total_terms(),
+        });
 
         // The paper's staged scheme: one run for the memory column.
         let t0 = Instant::now();
@@ -154,33 +180,59 @@ fn main() {
             format!("{:.1}x", (tri + staged) as f64 / tri as f64),
             "identical".into(),
         ]);
+        records.push(BenchRecord {
+            grid: grid.into(),
+            mode: "staged-outer".into(),
+            schedule: "Dynamic,1".into(),
+            threads: wide,
+            wall_seconds: outer_s,
+            series_terms: outer.total_terms(),
+        });
 
-        // The zero-staging direct mode across thread counts × schedules.
+        // The zero-staging direct engines (worklist default + retained
+        // envelope scan) across thread counts × schedules.
         for &threads in &thread_counts {
             for schedule in schedules {
-                let t0 = Instant::now();
-                let direct = assemble_galerkin(
-                    &mesh,
-                    &kernel,
-                    &opts,
-                    &AssemblyMode::ParallelDirect(ThreadPool::new(threads), schedule),
-                );
-                let direct_s = t0.elapsed().as_secs_f64();
-                check_identical(
-                    &format!("{grid} direct {} p={threads}", schedule.label()),
-                    &seq,
-                    &direct,
-                );
-                rows.push(vec![
-                    grid.to_string(),
-                    "ParallelDirect".into(),
-                    schedule.label(),
-                    threads.to_string(),
-                    format!("{direct_s:.3}"),
-                    mb(tri),
-                    format!("{:.1}x", 1.0),
-                    "identical".into(),
-                ]);
+                let pool = ThreadPool::new(threads);
+                for (engine, label, mode) in [
+                    (
+                        "worklist",
+                        "ParallelDirect (worklist)",
+                        AssemblyMode::ParallelDirect(pool, schedule),
+                    ),
+                    (
+                        "scan",
+                        "ParallelDirectScan (envelope)",
+                        AssemblyMode::ParallelDirectScan(pool, schedule),
+                    ),
+                ] {
+                    let t0 = Instant::now();
+                    let direct = assemble_galerkin(&mesh, &kernel, &opts, &mode);
+                    let direct_s = t0.elapsed().as_secs_f64();
+                    check_identical(
+                        &format!("{grid} {engine} {} p={threads}", schedule.label()),
+                        &seq,
+                        &direct,
+                    );
+                    rows.push(vec![
+                        grid.to_string(),
+                        label.into(),
+                        schedule.label(),
+                        threads.to_string(),
+                        format!("{direct_s:.3}"),
+                        mb(tri),
+                        format!("{:.1}x", 1.0),
+                        "identical".into(),
+                    ]);
+                    records.push(BenchRecord {
+                        grid: grid.into(),
+                        mode: engine.into(),
+                        schedule: schedule.label(),
+                        threads,
+                        wall_seconds: direct_s,
+                        series_terms: direct.total_terms(),
+                    });
+                }
             }
         }
 
@@ -214,9 +266,13 @@ fn main() {
     println!(
         "Staged modes hold the full elemental-block triangle (one 2x2 block\n\
          per element pair, {BLOCK_BYTES} B each) on top of the packed global\n\
-         triangle; the direct mode assembles in place and stages nothing.\n\
-         All parallel runs above were verified bit-identical to the\n\
-         sequential baseline (matrix, rhs, and per-column series terms)."
+         triangle; the direct engines assemble in place and stage nothing\n\
+         (worklist = precomputed pair candidates, scan = retained envelope\n\
+         baseline). All parallel runs above were verified bit-identical to\n\
+         the sequential baseline (matrix, rhs, and per-column series terms)."
     );
     write_artifact("table_memory_modes.txt", &table);
+    if let Some(name) = json {
+        write_bench_json(&name, &records);
+    }
 }

@@ -152,6 +152,67 @@ pub fn write_artifact(name: &str, content: &str) -> PathBuf {
     path
 }
 
+/// One machine-readable benchmark observation — the row schema of the CI
+/// bench artifacts (`BENCH_pr.json` and friends): which grid, which
+/// assembly mode, which schedule, how many threads, how long, and how many
+/// series terms the run consumed (the deterministic, machine-independent
+/// work proxy that lets two runs be compared for *equal work* before their
+/// wall clocks are compared for speed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Grid label (`tiny 2x2 yard`, `Barbera`, …).
+    pub grid: String,
+    /// Assembly mode label (`sequential`, `worklist`, `scan`, …).
+    pub mode: String,
+    /// Schedule label in the paper's notation (`Dynamic,1`, …).
+    pub schedule: String,
+    /// Worker threads of the run (1 for sequential).
+    pub threads: usize,
+    /// Best observed wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Total series terms consumed (identical across modes by the
+    /// bit-identity guarantee; recorded so the artifact proves it).
+    pub series_terms: u64,
+}
+
+/// Minimal JSON string escaping for the label fields of [`BenchRecord`].
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders benchmark records as a JSON array (no external serializer: the
+/// workspace is registry-free, and the schema is six flat fields).
+pub fn bench_records_json(records: &[BenchRecord]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"grid\": \"{}\", \"mode\": \"{}\", \"schedule\": \"{}\", \
+             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}}}{}\n",
+            json_escape(&r.grid),
+            json_escape(&r.mode),
+            json_escape(&r.schedule),
+            r.threads,
+            r.wall_seconds,
+            r.series_terms,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Writes benchmark records as a JSON artifact under `results/`.
+pub fn write_bench_json(name: &str, records: &[BenchRecord]) -> PathBuf {
+    write_artifact(name, &bench_records_json(records))
+}
+
 /// Formats a relative deviation as a percentage string.
 pub fn pct_dev(ours: f64, paper: f64) -> String {
     format!("{:+.1}%", 100.0 * (ours - paper) / paper)
@@ -189,6 +250,39 @@ mod tests {
     fn pct_dev_formats() {
         assert_eq!(pct_dev(1.1, 1.0), "+10.0%");
         assert_eq!(pct_dev(0.95, 1.0), "-5.0%");
+    }
+
+    #[test]
+    fn bench_records_render_as_json_rows() {
+        let rows = vec![
+            BenchRecord {
+                grid: "tiny 2x2 yard".into(),
+                mode: "worklist".into(),
+                schedule: "Dynamic,1".into(),
+                threads: 4,
+                wall_seconds: 0.012345,
+                series_terms: 98765,
+            },
+            BenchRecord {
+                grid: "tiny \"q\" yard".into(),
+                mode: "scan".into(),
+                schedule: "Static".into(),
+                threads: 1,
+                wall_seconds: 1.5,
+                series_terms: 7,
+            },
+        ];
+        let json = bench_records_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"mode\": \"worklist\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"wall_seconds\": 0.012345"));
+        assert!(json.contains("\"series_terms\": 98765"));
+        // Quotes in labels are escaped; exactly one separating comma.
+        assert!(json.contains("tiny \\\"q\\\" yard"));
+        assert_eq!(json.matches("},").count(), 1);
+        assert_eq!(bench_records_json(&[]), "[\n]\n");
     }
 
     #[test]

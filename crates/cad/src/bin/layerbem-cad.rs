@@ -4,15 +4,18 @@
 //!
 //! ```text
 //! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
-//!              [--assembly direct|outer|inner] [--block N]
+//!              [--assembly direct|direct-scan|outer|inner] [--block N]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
 //!
 //! `--threads` defaults to the machine's available parallelism (overridable
 //! via the `LAYERBEM_THREADS` environment variable) and drives **both**
 //! phases: matrix generation runs in the requested assembly mode
-//! (`direct` — the zero-staging in-place assembler — by default; `outer` /
-//! `inner` are the paper's staged baselines) and the linear solve runs on
+//! (`direct` — the zero-staging in-place assembler on precomputed pair
+//! worklists — by default; `direct-scan` is the same in-place assembler
+//! with the older per-partition envelope scan, kept benchmarkable;
+//! `outer` / `inner` are the paper's staged baselines) and the linear
+//! solve runs on
 //! the same pool through [`SolveOptions::parallelism`] — pooled PCG, the
 //! blocked pooled direct factorizations, and (for collocation decks) the
 //! row-partitioned in-place collocation assembler. `--block` tunes the
@@ -33,8 +36,12 @@ use layerbem_parfor::{Schedule, ThreadPool};
 /// Which matrix-generation strategy `--assembly` selects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum AssemblyChoice {
-    /// Zero-staging in-place assembly (1× memory) — the default.
+    /// Zero-staging in-place assembly on precomputed pair worklists
+    /// (1× memory, no per-partition triangle scan) — the default.
     Direct,
+    /// The in-place assembler with the retained envelope-scan candidate
+    /// discovery — the baseline the `scan-vs-worklist` bench compares.
+    DirectScan,
     /// Staged outer-loop parallelism (the paper's preferred variant, ~2×).
     Outer,
     /// Staged inner-loop parallelism (the paper's comparison variant).
@@ -56,7 +63,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
-         \u{20}                [--assembly direct|outer|inner] [--block N]\n\
+         \u{20}                [--assembly direct|direct-scan|outer|inner] [--block N]\n\
          \u{20}                [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
@@ -90,6 +97,7 @@ fn parse_args() -> Args {
             "--assembly" => {
                 assembly = match argv.next().as_deref() {
                     Some("direct") => AssemblyChoice::Direct,
+                    Some("direct-scan") => AssemblyChoice::DirectScan,
                     Some("outer") => AssemblyChoice::Outer,
                     Some("inner") => AssemblyChoice::Inner,
                     _ => usage(),
@@ -165,6 +173,7 @@ fn main() -> ExitCode {
     } else {
         match args.assembly {
             AssemblyChoice::Direct => AssemblyMode::ParallelDirect(pool, args.schedule),
+            AssemblyChoice::DirectScan => AssemblyMode::ParallelDirectScan(pool, args.schedule),
             AssemblyChoice::Outer => AssemblyMode::ParallelOuter(pool, args.schedule),
             AssemblyChoice::Inner => AssemblyMode::ParallelInner(pool, args.schedule),
         }

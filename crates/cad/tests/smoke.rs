@@ -104,6 +104,37 @@ fn parallel_direct_pipeline_reproduces_sequential_run() {
 }
 
 #[test]
+fn direct_scan_pipeline_matches_the_worklist_engine() {
+    // The path `--assembly direct-scan` takes: the retained envelope-scan
+    // engine must carry the pipeline to the same bits as the default
+    // worklist engine (both are bit-faithful to the sequential loop, so
+    // they must also agree with each other).
+    use layerbem_parfor::{Schedule, ThreadPool};
+    let case = parse_case(DECK).expect("deck parses");
+    let pool = ThreadPool::new(2);
+    let schedule = Schedule::guided(1);
+    let opts = SolveOptions::default().with_parallelism(pool, schedule);
+    let worklist = run_pipeline(
+        &case,
+        opts,
+        &AssemblyMode::ParallelDirect(pool, schedule),
+        0.0,
+    );
+    let scan = run_pipeline(
+        &case,
+        opts,
+        &AssemblyMode::ParallelDirectScan(pool, schedule),
+        0.0,
+    );
+    assert_eq!(worklist.solution.leakage, scan.solution.leakage);
+    assert_eq!(
+        worklist.solution.solver_iterations,
+        scan.solution.solver_iterations
+    );
+    assert_eq!(worklist.column_terms, scan.column_terms);
+}
+
+#[test]
 fn factor_block_override_keeps_the_pipeline_bit_faithful() {
     // Wiring-level check of the path `--block N` takes for a deck solved
     // by a direct factorization: the block value must flow through

@@ -8,7 +8,7 @@
 //! analytically integrated source potentials) and assembled into the
 //! packed symmetric global matrix.
 //!
-//! Three assembly modes share the pair-block computation:
+//! Four assembly modes share the pair-block computation:
 //!
 //! * **Staged** ([`AssemblyMode::ParallelOuter`] /
 //!   [`AssemblyMode::ParallelInner`]) — the paper's scheme, kept as the
@@ -26,29 +26,44 @@
 //! * **Direct** ([`AssemblyMode::ParallelDirect`]) — the production path:
 //!   the global packed triangle is split into disjoint row-range views
 //!   ([`SymRowsMut`](layerbem_numeric::SymRowsMut)), one per
-//!   schedule-determined row chunk, and each partition walks the pair
-//!   triangle accumulating **in place** the contributions that land in
-//!   its rows. Ownership is settled by the partition (the packed storage
-//!   is row-major, so a row range is a contiguous slice), which replaces
-//!   the paper's coordination-by-copying with coordination-by-ownership:
-//!   no staging, no locks, peak memory = the 1× global triangle. Each
-//!   packed entry receives its contributions from exactly one thread in
-//!   the sequential pair order, so the result is **bit-identical** to
+//!   schedule-determined row chunk, and each partition accumulates **in
+//!   place** the pairs whose target entries land in its rows. Ownership
+//!   is settled by the partition (the packed storage is row-major, so a
+//!   row range is a contiguous slice), which replaces the paper's
+//!   coordination-by-copying with coordination-by-ownership: no staging,
+//!   no locks, peak memory = the 1× global triangle. Each partition's
+//!   candidate pairs come from a precomputed [`worklist`] — one `O(M²)`
+//!   integer pass over the triangle, driven by the mesh's
+//!   [`ElementRowMap`], performed once
+//!   before the parallel region — so no partition ever rescans the pair
+//!   triangle. Each packed entry receives its contributions in the
+//!   sequential pair order, so the result is **bit-identical** to
 //!   [`AssemblyMode::Sequential`] for every schedule and thread count
 //!   (pairs whose targets straddle a partition boundary are recomputed by
-//!   both sides — a `O(boundary)` compute overlap instead of an `O(M²)`
+//!   each side — a `O(boundary)` compute overlap instead of an `O(M²)`
 //!   memory copy).
+//! * **Direct, envelope scan** ([`AssemblyMode::ParallelDirectScan`]) —
+//!   the pre-worklist direct engine, retained as a benchmarkable
+//!   baseline (`--assembly direct-scan` in layerbem-cad, the
+//!   `scan-vs-worklist` bench group): identical ownership and output,
+//!   but every partition discovers its pairs by scanning the whole
+//!   triangle with an envelope reject plus per-pair ownership test —
+//!   `O(partitions × M²)` integer work that grows with thread count,
+//!   which is what the worklists exist to remove.
 
-use std::ops::Range;
 use std::time::Instant;
 
-use layerbem_geometry::Mesh;
+use layerbem_geometry::{ElementRowMap, Mesh};
 use layerbem_numeric::{DenseMatrix, SymMatrix};
 use layerbem_parfor::{ExecutionStats, Schedule, ThreadPool};
 
 use crate::formulation::SolveOptions;
 use crate::integration::ElementGeom;
 use crate::kernel::SoilKernel;
+
+pub mod worklist;
+
+use worklist::PairWorklist;
 
 /// How to run matrix generation.
 #[derive(Clone, Copy, Debug)]
@@ -62,16 +77,31 @@ pub enum AssemblyMode {
     /// each column's rows are distributed (the paper's granularity-losing
     /// comparison variant, Fig 6.1 dashed line).
     ParallelInner(ThreadPool, Schedule),
-    /// Zero-staging in-place assembly: the packed global triangle is
-    /// partitioned into disjoint row-range views by the schedule's chunk
-    /// decomposition and every partition accumulates its own rows
-    /// directly — no elemental-block staging, 1× memory, bit-identical
-    /// to [`Sequential`](Self::Sequential). The schedule's chunk
-    /// parameter applies to **matrix rows** (the unit of ownership), not
-    /// pair columns, and is floored so at most ~4 partitions per thread
-    /// exist (each partition scans the pair triangle once, so unbounded
-    /// partition counts would trade the staging memory for scan time).
+    /// Zero-staging in-place assembly driven by precomputed pair
+    /// [`worklist`]s — the default direct engine: the packed global
+    /// triangle is partitioned into disjoint row-range views by the
+    /// schedule's chunk decomposition and every partition accumulates its
+    /// own rows directly, executing exactly the candidate pairs its
+    /// worklist lists — no elemental-block staging, no per-partition
+    /// triangle scan, 1× memory, bit-identical to
+    /// [`Sequential`](Self::Sequential). The schedule's chunk parameter
+    /// applies to **matrix rows** (the unit of ownership), not pair
+    /// columns. The scan engine's ~4-partitions-per-thread cap is lifted;
+    /// the chunk is only floored at the mesh's mean element row spread
+    /// ([`worklist::locality_min_chunk`]), which bounds boundary-pair
+    /// recompute by geometry instead of bounding partitions by thread
+    /// count.
     ParallelDirect(ThreadPool, Schedule),
+    /// The retained pre-worklist direct engine: same ownership
+    /// partitioning and bit-identical output as
+    /// [`ParallelDirect`](Self::ParallelDirect), but each partition
+    /// discovers its pairs with an `O(M²)` envelope scan of the pair
+    /// triangle plus a per-pair ownership test. Kept benchmarkable
+    /// (`--assembly direct-scan`, the `scan-vs-worklist` bench group) as
+    /// the baseline the worklists are measured against; its row chunk is
+    /// floored so at most ~4 partitions per thread exist, because here
+    /// every extra partition pays another full triangle scan.
+    ParallelDirectScan(ThreadPool, Schedule),
 }
 
 /// Output of matrix generation.
@@ -300,7 +330,7 @@ fn assemble_columns(mesh: &Mesh, columns: &[Column]) -> SymMatrix {
     m
 }
 
-/// One partition's workspace for the zero-staging direct assembly: an
+/// One partition's workspace for the scan-engine direct assembly: an
 /// exclusively owned row-range view of the global triangle plus private
 /// per-column accumulators (merged after the region joins, so no shared
 /// counters are contended during assembly).
@@ -312,19 +342,20 @@ struct DirectPart<'a> {
     seconds: Vec<f64>,
 }
 
-/// In-place parallel assembly: no staged blocks, 1× memory, bit-identical
-/// to the sequential double loop.
+/// In-place parallel assembly, envelope-scan candidate discovery — the
+/// retained baseline of [`assemble_direct_pooled`]: no staged blocks, 1×
+/// memory, bit-identical to the sequential double loop.
 ///
 /// The matrix rows are partitioned by the schedule's deterministic chunk
 /// decomposition ([`Schedule::chunk_ranges`]); each partition walks the
-/// pair triangle in sequential order, computes the pairs whose targets
-/// intersect its rows, and accumulates straight into its
+/// **whole** pair triangle in sequential order, computes the pairs whose
+/// targets intersect its rows, and accumulates straight into its
 /// [`SymRowsMut`](layerbem_numeric::SymRowsMut) view. A pair's series
 /// terms are attributed to the single partition owning the pair's highest
 /// target row (which always computes it), so `column_terms` sums to
 /// exactly the sequential count even when a boundary pair is recomputed
 /// by two partitions.
-fn assemble_direct(
+fn assemble_direct_scan(
     mesh: &Mesh,
     geoms: &[ElementGeom],
     kernel: &SoilKernel,
@@ -335,20 +366,17 @@ fn assemble_direct(
     let n = mesh.dof();
     let m = geoms.len();
     let mut matrix = SymMatrix::zeros(n);
-    // Every partition pays an O(M²) envelope scan of the pair triangle
-    // plus two length-M accumulators, so a fine-grained chunk request
-    // (e.g. `dynamic,1` over 10⁴ rows) must not degenerate into one
-    // partition per row — that would reintroduce memory of the staging
-    // buffer's order and let scan overhead dominate. Raise the row-chunk
-    // floor so at most ~4 partitions per thread exist: the schedule kind
-    // keeps its dispatch semantics (round-robin / first-come / shrinking
-    // sizes) and the result is partition-independent anyway.
+    // In this engine every partition pays an O(M²) envelope scan of the
+    // pair triangle plus two length-M accumulators, so a fine-grained
+    // chunk request (e.g. `dynamic,1` over 10⁴ rows) must not degenerate
+    // into one partition per row — that would let scan overhead dominate.
+    // Raise the row-chunk floor so at most ~4 partitions per thread
+    // exist: the schedule kind keeps its dispatch semantics (round-robin
+    // / first-come / shrinking sizes) and the result is
+    // partition-independent anyway. (The worklist engine has no scans and
+    // therefore no such cap — see `assemble_direct_pooled`.)
     let dispatch_schedule = schedule.with_min_chunk(n.div_ceil(4 * pool.threads()));
-    let ranges: Vec<Range<usize>> = dispatch_schedule
-        .chunk_ranges(n, pool.threads())
-        .into_iter()
-        .map(|(a, b)| a..b)
-        .collect();
+    let ranges = dispatch_schedule.partition_ranges(n, pool.threads());
     let elem_nodes: Vec<[usize; 2]> = mesh.elements.iter().map(|e| e.nodes).collect();
     // Per-element node extremes: target rows of pair (β, α) all lie in
     // [max(lo_β, lo_α), max(hi_β, hi_α)], giving an exact upper envelope
@@ -425,6 +453,115 @@ fn assemble_direct(
     (matrix, column_seconds, column_terms, stats)
 }
 
+/// One partition's workspace for the worklist-engine direct assembly: an
+/// exclusively owned row-range view of the global triangle, the
+/// partition's precomputed pair worklist, and compact per-column
+/// accumulators sized by the columns the worklist actually visits.
+struct WorklistPart<'a> {
+    view: layerbem_numeric::SymRowsMut<'a>,
+    work: &'a PairWorklist,
+    /// `(β, series terms, seconds)` for each visited column, ascending β
+    /// (worklist runs arrive in sequential pair order, so a plain
+    /// append-or-accumulate keeps this sorted).
+    cols: Vec<(u32, u64, f64)>,
+}
+
+/// In-place parallel assembly on precomputed pair worklists — the default
+/// direct engine: no staged blocks, no per-partition triangle scan, 1×
+/// memory, bit-identical to the sequential double loop.
+///
+/// The matrix rows are partitioned by the schedule's deterministic chunk
+/// decomposition ([`Schedule::partition_ranges`]), the per-partition
+/// candidate pairs are emitted once by [`worklist::build_worklists`] from
+/// the mesh's [`ElementRowMap`], and each partition then executes exactly
+/// its own worklist — in sequential pair order, accumulating straight
+/// into its [`SymRowsMut`](layerbem_numeric::SymRowsMut) view — with no
+/// envelope scan and no per-pair ownership test. A pair's series terms
+/// are attributed to the single partition owning the pair's highest
+/// target row (which always computes it), so `column_terms` sums to
+/// exactly the sequential count even when a boundary pair is recomputed
+/// by several partitions.
+fn assemble_direct_pooled(
+    mesh: &Mesh,
+    geoms: &[ElementGeom],
+    kernel: &SoilKernel,
+    quad: &OuterQuadrature,
+    pool: &ThreadPool,
+    schedule: Schedule,
+) -> (SymMatrix, Vec<f64>, Vec<u64>, ExecutionStats) {
+    let n = mesh.dof();
+    let m = geoms.len();
+    let map = ElementRowMap::from_mesh(mesh);
+    // No partitions-per-thread cap here: a partition's candidate set is
+    // its worklist, so partition count no longer multiplies an O(M²)
+    // scan. The chunk is floored only at the mesh's mean element row
+    // spread, which keeps a typical pair's target rows co-located in one
+    // partition and thereby bounds boundary-pair recompute by mesh
+    // locality rather than by thread count.
+    let dispatch_schedule = schedule.with_min_chunk(worklist::locality_min_chunk(&map));
+    let ranges = dispatch_schedule.partition_ranges(n, pool.threads());
+    let worklists = worklist::build_worklists(&map, &ranges);
+    let mut matrix = SymMatrix::zeros(n);
+
+    let mut parts: Vec<WorklistPart> = matrix
+        .partition_rows(&ranges)
+        .into_iter()
+        .zip(&worklists)
+        .map(|(view, work)| WorklistPart {
+            view,
+            work,
+            cols: Vec::new(),
+        })
+        .collect();
+
+    let map_ref = &map;
+    let stats = pool.scoped_partition(
+        &mut parts,
+        dispatch_schedule.partition_dispatch(),
+        |_, part| {
+            let WorklistPart { view, work, cols } = part;
+            let rows = view.rows();
+            for run in work.runs() {
+                let beta = run.beta as usize;
+                let nb = map_ref.element_nodes(beta);
+                let t0 = Instant::now();
+                let mut terms = 0u64;
+                for alpha in run.alphas() {
+                    let na = map_ref.element_nodes(alpha);
+                    let (b, t) = pair_block(&geoms[beta], &geoms[alpha], kernel, quad);
+                    scatter_pair(nb, na, alpha == beta, &b, &mut |p, q, v| {
+                        if view.owns(p, q) {
+                            view.add(p, q, v);
+                        }
+                    });
+                    if rows.contains(&map_ref.pair_hi(beta, alpha)) {
+                        terms += t as u64;
+                    }
+                }
+                let seconds = t0.elapsed().as_secs_f64();
+                match cols.last_mut() {
+                    Some(last) if last.0 == run.beta => {
+                        last.1 += terms;
+                        last.2 += seconds;
+                    }
+                    _ => cols.push((run.beta, terms, seconds)),
+                }
+            }
+        },
+    );
+
+    let mut column_terms = vec![0u64; m];
+    let mut column_seconds = vec![0.0; m];
+    for part in &parts {
+        for &(beta, terms, seconds) in &part.cols {
+            column_terms[beta as usize] += terms;
+            column_seconds[beta as usize] += seconds;
+        }
+    }
+    drop(parts);
+    (matrix, column_seconds, column_terms, stats)
+}
+
 /// Galerkin right-hand side for unit GPR: `ν_p = Σ_{e ∋ p} L_e / 2`.
 pub fn galerkin_rhs(mesh: &Mesh) -> Vec<f64> {
     let mut rhs = vec![0.0; mesh.dof()];
@@ -448,12 +585,19 @@ pub fn assemble_galerkin(
     let m = geoms.len();
     let t0 = Instant::now();
 
-    // The direct mode writes the global triangle in place and stages
+    // The direct modes write the global triangle in place and stage
     // nothing; the staged modes below produce a `Vec<Column>` (the
     // paper's ~2× staging buffer) assembled sequentially afterwards.
-    if let AssemblyMode::ParallelDirect(pool, schedule) = mode {
-        let (matrix, column_seconds, column_terms, stats) =
-            assemble_direct(mesh, &geoms, kernel, &quad, pool, *schedule);
+    let direct = match mode {
+        AssemblyMode::ParallelDirect(pool, schedule) => Some(assemble_direct_pooled(
+            mesh, &geoms, kernel, &quad, pool, *schedule,
+        )),
+        AssemblyMode::ParallelDirectScan(pool, schedule) => Some(assemble_direct_scan(
+            mesh, &geoms, kernel, &quad, pool, *schedule,
+        )),
+        _ => None,
+    };
+    if let Some((matrix, column_seconds, column_terms, stats)) = direct {
         let rhs = galerkin_rhs(mesh);
         return AssemblyReport {
             matrix,
@@ -504,7 +648,9 @@ pub fn assemble_galerkin(
             }
             (cols, None)
         }
-        AssemblyMode::ParallelDirect(..) => unreachable!("handled above"),
+        AssemblyMode::ParallelDirect(..) | AssemblyMode::ParallelDirectScan(..) => {
+            unreachable!("handled above")
+        }
     };
 
     let matrix = assemble_columns(mesh, &columns);
@@ -557,10 +703,13 @@ fn collocation_row(
 pub fn assemble_collocation(mesh: &Mesh, kernel: &SoilKernel) -> (DenseMatrix, Vec<f64>) {
     let geoms = element_geoms(mesh);
     let n = mesh.dof();
-    let adj = mesh.node_elements();
+    // The rows → owning-elements CSR half of the map: flat arrays, no
+    // per-node allocation, same ascending element order as
+    // `Mesh::node_elements`.
+    let map = ElementRowMap::from_mesh(mesh);
     let mut c = DenseMatrix::zeros(n, n);
-    for (p, incident) in adj.iter().enumerate() {
-        collocation_row(mesh, &geoms, kernel, p, incident, c.row_mut(p));
+    for p in 0..n {
+        collocation_row(mesh, &geoms, kernel, p, map.row_elements(p), c.row_mut(p));
     }
     (c, vec![1.0; n])
 }
@@ -582,19 +731,17 @@ pub fn assemble_collocation_pooled(
 ) -> (DenseMatrix, Vec<f64>) {
     let geoms = element_geoms(mesh);
     let n = mesh.dof();
-    let adj = mesh.node_elements();
+    let map = ElementRowMap::from_mesh(mesh);
     let mut c = DenseMatrix::zeros(n, n);
-    let ranges: Vec<Range<usize>> = schedule
-        .chunk_ranges(n, pool.threads())
-        .into_iter()
-        .map(|(a, b)| a..b)
-        .collect();
+    // The same (schedule, n, threads) → row-range decomposition the
+    // worklist assembler and the pooled PCG matvec use.
+    let ranges = schedule.partition_ranges(n, pool.threads());
     let mut views = c.partition_rows(&ranges);
     let geoms = &geoms;
-    let adj = &adj;
+    let map = &map;
     pool.scoped_partition(&mut views, schedule.partition_dispatch(), |_, view| {
         for p in view.rows() {
-            collocation_row(mesh, geoms, kernel, p, &adj[p], view.row_mut(p));
+            collocation_row(mesh, geoms, kernel, p, map.row_elements(p), view.row_mut(p));
         }
     });
     drop(views);
@@ -690,7 +837,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_direct_is_bit_identical_to_sequential() {
+    fn parallel_direct_engines_are_bit_identical_to_sequential() {
         let mesh = barbera_style_mesh();
         let k = uniform_kernel();
         let opts = SolveOptions::default();
@@ -704,17 +851,17 @@ mod tests {
                 Schedule::dynamic(4),
                 Schedule::guided(1),
             ] {
-                let direct = assemble_galerkin(
-                    &mesh,
-                    &k,
-                    &opts,
-                    &AssemblyMode::ParallelDirect(pool, schedule),
-                );
-                let label = format!("threads={threads} {}", schedule.label());
-                assert_eq!(seq.matrix.packed(), direct.matrix.packed(), "{label}");
-                assert_eq!(seq.rhs, direct.rhs, "{label}");
-                assert_eq!(seq.column_terms, direct.column_terms, "{label}");
-                assert!(direct.stats.is_some(), "{label}");
+                for (engine, mode) in [
+                    ("worklist", AssemblyMode::ParallelDirect(pool, schedule)),
+                    ("scan", AssemblyMode::ParallelDirectScan(pool, schedule)),
+                ] {
+                    let direct = assemble_galerkin(&mesh, &k, &opts, &mode);
+                    let label = format!("{engine} threads={threads} {}", schedule.label());
+                    assert_eq!(seq.matrix.packed(), direct.matrix.packed(), "{label}");
+                    assert_eq!(seq.rhs, direct.rhs, "{label}");
+                    assert_eq!(seq.column_terms, direct.column_terms, "{label}");
+                    assert!(direct.stats.is_some(), "{label}");
+                }
             }
         }
     }
@@ -722,20 +869,22 @@ mod tests {
     #[test]
     fn parallel_direct_matches_sequential_on_two_layer_soil() {
         // The layered kernel consumes far more series terms per pair;
-        // the per-pair term attribution must still sum exactly.
+        // the per-pair term attribution must still sum exactly, for both
+        // direct engines.
         let mesh = small_mesh();
         let k = SoilKernel::new(&SoilModel::two_layer(0.005, 0.016, 1.0));
         let opts = SolveOptions::default();
         let seq = assemble_galerkin(&mesh, &k, &opts, &AssemblyMode::Sequential);
-        let direct = assemble_galerkin(
-            &mesh,
-            &k,
-            &opts,
-            &AssemblyMode::ParallelDirect(ThreadPool::new(2), Schedule::guided(1)),
-        );
-        assert_eq!(seq.matrix.packed(), direct.matrix.packed());
-        assert_eq!(seq.column_terms, direct.column_terms);
-        assert_eq!(seq.total_terms(), direct.total_terms());
+        let pool = ThreadPool::new(2);
+        for mode in [
+            AssemblyMode::ParallelDirect(pool, Schedule::guided(1)),
+            AssemblyMode::ParallelDirectScan(pool, Schedule::guided(1)),
+        ] {
+            let direct = assemble_galerkin(&mesh, &k, &opts, &mode);
+            assert_eq!(seq.matrix.packed(), direct.matrix.packed());
+            assert_eq!(seq.column_terms, direct.column_terms);
+            assert_eq!(seq.total_terms(), direct.total_terms());
+        }
     }
 
     #[test]

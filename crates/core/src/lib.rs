@@ -13,10 +13,12 @@
 //!   evaluates elemental potentials with whatever strategy fits the
 //!   model: closed-form images (uniform), image series (two-layer), or
 //!   quadrature over the Hankel-inverted kernel (N-layer).
-//! * [`assembly`] — Galerkin matrix generation: sequential, and the
-//!   paper's two parallel variants (outer-loop / inner-loop over the
+//! * [`assembly`] — Galerkin matrix generation: sequential, the paper's
+//!   two staged parallel variants (outer-loop / inner-loop over the
 //!   triangular element-pair iteration) on the OpenMP-style runtime,
-//!   with per-column cost capture feeding the schedule simulator.
+//!   and the zero-staging in-place direct engines — worklist-driven
+//!   ([`assembly::worklist`], the default) and the retained envelope
+//!   scan — with per-column cost capture feeding the schedule simulator.
 //! * [`system`] — the high-level driver: mesh + soil model + GPR in,
 //!   leakage distribution, total current, equivalent resistance out.
 //! * [`post`] — surface potential maps (Figs 5.2/5.4) and touch/step/mesh

@@ -18,6 +18,9 @@
 //!   elements with endpoint merging, producing the node/element structure
 //!   the Galerkin BEM needs (elements share nodes at grid crossings, so
 //!   the paper's "408 segments … 238 degrees of freedom" arises naturally).
+//! * [`rowmap`] — CSR map between elements and the Galerkin matrix rows
+//!   they target (element → row extremes, rows → owning elements), the
+//!   substrate of the assembly layer's precomputed pair worklists.
 //! * [`grids`] — parametric generators for rectangular and right-triangle
 //!   grids with vertical rods, including reconstructions of the two
 //!   substation geometries evaluated in the paper (Barberá, Fig 5.1, and
@@ -28,9 +31,11 @@ pub mod grids;
 pub mod mesh;
 pub mod network;
 pub mod point;
+pub mod rowmap;
 pub mod svg;
 
 pub use conductor::Conductor;
 pub use mesh::{Element, Mesh, MeshOptions, Mesher};
 pub use network::ConductorNetwork;
 pub use point::{Point3, Segment};
+pub use rowmap::ElementRowMap;

@@ -53,9 +53,14 @@ impl LinearOperator for SymMatrix {
 
 /// A [`SymMatrix`] wrapped with a [`ThreadPool`]: the same operator, with
 /// the matvec — the `O(N²)` cost of every PCG iteration — computed in
-/// parallel over disjoint output rows.
+/// parallel over disjoint output-row ranges.
 ///
-/// Each output entry is computed by one thread as the *identical* sequence
+/// The row decomposition is the workspace-wide one —
+/// [`Schedule::partition_ranges`] for the operator's `(schedule, order,
+/// threads)` — computed **once** at construction and reused by every
+/// `apply`, exactly the ranges the worklist-driven Galerkin assembler and
+/// the pooled collocation assembler partition their matrices by. Each
+/// output entry is computed by one thread as the *identical* sequence
 /// of floating-point operations the serial [`SymMatrix::matvec`] folds
 /// into it (row part in ascending column order, then the mirrored column
 /// part in ascending row order), so the pooled operator is **bit-identical**
@@ -75,26 +80,37 @@ impl LinearOperator for SymMatrix {
 /// assert!(out.converged);
 /// assert!((out.x[0] - 0.8).abs() < 1e-9);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PooledSymOperator<'a> {
     matrix: &'a SymMatrix,
     pool: ThreadPool,
-    schedule: Schedule,
+    /// Disjoint output-row ranges tiling `0..order`, precomputed from the
+    /// construction schedule.
+    ranges: Vec<std::ops::Range<usize>>,
+    /// How the precomputed partitions are claimed by threads.
+    dispatch: Schedule,
 }
 
 impl<'a> PooledSymOperator<'a> {
-    /// Wraps a packed symmetric matrix with a pool and a schedule.
+    /// Wraps a packed symmetric matrix with a pool and a schedule; the
+    /// schedule's row-range decomposition is materialized here, once.
     pub fn new(matrix: &'a SymMatrix, pool: ThreadPool, schedule: Schedule) -> Self {
         PooledSymOperator {
             matrix,
             pool,
-            schedule,
+            ranges: schedule.partition_ranges(matrix.order(), pool.threads()),
+            dispatch: schedule.partition_dispatch(),
         }
     }
 
     /// The wrapped matrix.
     pub fn matrix(&self) -> &SymMatrix {
         self.matrix
+    }
+
+    /// The precomputed output-row ranges one `apply` dispatches over.
+    pub fn row_ranges(&self) -> &[std::ops::Range<usize>] {
+        &self.ranges
     }
 }
 
@@ -108,20 +124,35 @@ impl LinearOperator for PooledSymOperator<'_> {
         assert_eq!(x.len(), n, "matvec: x length");
         assert_eq!(y.len(), n, "matvec: y length");
         let packed = self.matrix.packed();
-        self.pool.parallel_fill(y, self.schedule, |i| {
-            // Row part: packed row `i` is contiguous — entries (i, j≤i).
-            let row = &packed[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
-            let mut s = 0.0;
-            for (j, a) in row[..i].iter().enumerate() {
-                s += a * x[j];
-            }
-            s += row[i] * x[i];
-            // Mirrored column part: entries (k, i) for k > i, strided.
-            for (k, xk) in x.iter().enumerate().skip(i + 1) {
-                s += packed[k * (k + 1) / 2 + i] * xk;
-            }
-            s
-        });
+        // Split y into the precomputed disjoint row ranges (they tile
+        // 0..n ascending) and hand each partition to the pool.
+        let mut parts: Vec<(std::ops::Range<usize>, &mut [f64])> =
+            Vec::with_capacity(self.ranges.len());
+        let mut rest = y;
+        for r in &self.ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            parts.push((r.clone(), head));
+            rest = tail;
+        }
+        self.pool
+            .scoped_partition(&mut parts, self.dispatch, |_, (range, ys)| {
+                for (yi, i) in ys.iter_mut().zip(range.clone()) {
+                    // Row part: packed row `i` is contiguous — entries
+                    // (i, j≤i).
+                    let row = &packed[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
+                    let mut s = 0.0;
+                    for (j, a) in row[..i].iter().enumerate() {
+                        s += a * x[j];
+                    }
+                    s += row[i] * x[i];
+                    // Mirrored column part: entries (k, i) for k > i,
+                    // strided.
+                    for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                        s += packed[k * (k + 1) / 2 + i] * xk;
+                    }
+                    *yi = s;
+                }
+            });
     }
 
     fn diagonal(&self) -> Vec<f64> {

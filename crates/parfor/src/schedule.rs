@@ -191,6 +191,19 @@ impl Schedule {
         }
     }
 
+    /// [`chunk_ranges`](Self::chunk_ranges) as `Range<usize>` values — the
+    /// form every row-partitioned pooled path consumes. The assembly
+    /// worklists, the pooled collocation assembler and the pooled PCG
+    /// matvec all derive their disjoint row ownership from this one
+    /// function, so a `(schedule, n, p)` triple decides a single
+    /// decomposition shared across the whole solve pipeline.
+    pub fn partition_ranges(&self, n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
+        self.chunk_ranges(n, p)
+            .into_iter()
+            .map(|(a, b)| a..b)
+            .collect()
+    }
+
     /// This schedule with its effective chunk parameter raised to at
     /// least `min` (itself floored at 1). Static *blocked* (`chunk:
     /// None`) is returned unchanged — it already produces one block per
@@ -430,6 +443,25 @@ mod tests {
             Schedule::static_blocked().chunk_ranges(2, 8),
             vec![(0, 1), (1, 2)]
         );
+    }
+
+    #[test]
+    fn partition_ranges_mirror_chunk_ranges() {
+        for s in [
+            Schedule::static_blocked(),
+            Schedule::static_chunk(4),
+            Schedule::dynamic(1),
+            Schedule::guided(2),
+        ] {
+            for &(n, p) in &[(0usize, 2usize), (10, 3), (238, 8)] {
+                let pairs = s.chunk_ranges(n, p);
+                let ranges = s.partition_ranges(n, p);
+                assert_eq!(pairs.len(), ranges.len(), "{} n={n} p={p}", s.label());
+                for ((a, b), r) in pairs.into_iter().zip(ranges) {
+                    assert_eq!(a..b, r, "{} n={n} p={p}", s.label());
+                }
+            }
+        }
     }
 
     #[test]

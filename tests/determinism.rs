@@ -7,7 +7,11 @@
 //! solve phase — blocked pooled Cholesky/LU factors, pooled PCG iterates
 //! (matvec *and* vector reductions on the pool), and the row-partitioned
 //! pooled collocation assembler — on the paper's Barberá (238 dof) and
-//! Balaidos (201 dof) grids.
+//! Balaidos (201 dof) grids. PR 4 adds the worklist-driven direct
+//! assembly engine (the `ParallelDirect` default) and its retained
+//! envelope-scan baseline (`ParallelDirectScan`): both must reproduce the
+//! sequential double loop bit for bit — matrix, right-hand side, and
+//! per-column series terms — for every schedule × thread count.
 //!
 //! Grid selection honors the `LAYERBEM_DETERMINISM_GRID` environment
 //! variable: `tiny` substitutes a 2×2-cell yard (the CI smoke
@@ -97,6 +101,37 @@ fn galerkin_system(mesh: &Mesh, soil: &SoilModel) -> (SymMatrix, Vec<f64>) {
         &AssemblyMode::Sequential,
     );
     (rep.matrix, rep.rhs)
+}
+
+#[test]
+fn worklist_and_scan_direct_assembly_are_bit_identical_to_sequential() {
+    // The PR-4 tentpole invariant: the worklist engine (no per-partition
+    // triangle scan) and the retained scan engine agree with the
+    // sequential double loop to the bit, on the paper grids, for every
+    // schedule × thread count — including the per-column series-term
+    // attribution, which sums exactly even when boundary pairs are
+    // recomputed by several partitions.
+    for (grid, mesh, soil) in grid_cases() {
+        let kernel = SoilKernel::new(&soil);
+        let opts = SolveOptions::default();
+        let seq = assemble_galerkin(&mesh, &kernel, &opts, &AssemblyMode::Sequential);
+        for threads in thread_counts() {
+            let pool = ThreadPool::new(threads);
+            for schedule in schedules() {
+                for (engine, mode) in [
+                    ("worklist", AssemblyMode::ParallelDirect(pool, schedule)),
+                    ("scan", AssemblyMode::ParallelDirectScan(pool, schedule)),
+                ] {
+                    let direct = assemble_galerkin(&mesh, &kernel, &opts, &mode);
+                    let label = format!("{grid}: {engine} threads={threads} {}", schedule.label());
+                    assert_eq!(seq.matrix.packed(), direct.matrix.packed(), "{label}");
+                    assert_eq!(seq.rhs, direct.rhs, "{label}");
+                    assert_eq!(seq.column_terms, direct.column_terms, "{label}");
+                    assert_eq!(seq.total_terms(), direct.total_terms(), "{label}");
+                }
+            }
+        }
+    }
 }
 
 #[test]
