@@ -9,7 +9,6 @@
 //! cost per refinement level.
 
 use layerbem_bench::{render_table, write_artifact};
-use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 use layerbem_core::system::GroundingSystem;
 use layerbem_geometry::grids;
@@ -31,7 +30,11 @@ fn main() {
         .mesh(&net);
         let t0 = std::time::Instant::now();
         let sys = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default());
-        let sol = sys.solve(&AssemblyMode::Sequential, 10_000.0);
+        let sol = sys
+            .prepare()
+            .expect("prepare")
+            .solve(&layerbem_core::study::Scenario::gpr(10_000.0))
+            .expect("solve");
         let secs = t0.elapsed().as_secs_f64();
         let delta = prev_req.map(|p| (sol.equivalent_resistance - p).abs());
         rows.push(vec![

@@ -37,7 +37,11 @@ fn main() {
         );
         let secs = t0.elapsed().as_secs_f64();
         let sys = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default());
-        let sol = sys.solve_assembled(&report, 10_000.0);
+        let sol = sys
+            .prepare_assembled(&report)
+            .expect("prepare")
+            .solve(&layerbem_core::study::Scenario::gpr(10_000.0))
+            .expect("solve");
         let req = sol.equivalent_resistance;
         if rel_tol <= 1e-11 {
             reference = Some(req);

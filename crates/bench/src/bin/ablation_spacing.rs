@@ -8,7 +8,6 @@
 //! design rule.
 
 use layerbem_bench::{render_table, write_artifact};
-use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 use layerbem_core::post::{voltage_extrema, MapSpec, PotentialMap};
 use layerbem_core::system::GroundingSystem;
@@ -42,7 +41,11 @@ fn main() {
         let net = compressed_grid(spec, compression);
         let mesh = Mesher::default().mesh(&net);
         let sys = GroundingSystem::new(mesh, &soil, SolveOptions::default());
-        let sol = sys.solve(&AssemblyMode::Sequential, gpr);
+        let sol = sys
+            .prepare()
+            .expect("prepare")
+            .solve(&layerbem_core::study::Scenario::gpr(gpr))
+            .expect("solve");
         let map = PotentialMap::compute(
             sys.mesh(),
             sys.kernel(),

@@ -1,27 +1,39 @@
-//! CI performance gate: worklist-driven direct assembly must not be
-//! slower than the retained envelope-scan engine.
+//! CI performance gates around the default engines.
 //!
-//! Runs both direct engines (plus the sequential baseline) on one grid
-//! across the three OpenMP schedule kinds, takes the **best of `--reps`
-//! repetitions** per configuration (minimum wall time — the standard way
-//! to suppress scheduler noise on shared CI runners), verifies every
-//! parallel run is bit-identical to the sequential baseline, writes every
-//! best observation as machine-readable rows (the `BENCH_pr.json`
-//! artifact CI uploads, recording the benchmark trajectory per PR), and
-//! **exits nonzero** if the worklist engine is slower than the scan
-//! engine beyond `--tolerance` on any schedule.
+//! **Gate 1 — worklist vs scan assembly:** runs both direct engines
+//! (plus the sequential baseline) on one grid across the three OpenMP
+//! schedule kinds, takes the **best of `--reps` repetitions** per
+//! configuration (minimum wall time — the standard way to suppress
+//! scheduler noise on shared CI runners), verifies every parallel run is
+//! bit-identical to the sequential baseline, and **exits nonzero** if
+//! the worklist engine is slower than the scan engine beyond
+//! `--tolerance` on any schedule.
+//!
+//! **Gate 2 — prepare-once vs re-solve-each:** answers a 16-scenario GPR
+//! sweep twice — through one staged `prepare()` + `solve_batch` (one
+//! assembly, one factorization) and through 16 fresh legacy `solve`
+//! calls — verifies the sweep is bit-identical to the legacy answers,
+//! and **exits nonzero** unless the staged study is at least
+//! `--sweep-speedup` (default 2×) faster. This pins the whole point of
+//! the staged API: amortizing the Table-6.1 matrix-generation cost
+//! across scenarios.
+//!
+//! Every best observation is written as machine-readable rows (the
+//! `BENCH_pr.json` artifact CI uploads, recording the benchmark
+//! trajectory per PR) — gate 2 adds rows with modes `prepare_once` and
+//! `resolve_each`.
 //!
 //! ```text
 //! bench_gate [--grid tiny|barbera|balaidos] [--reps N]
-//!            [--tolerance F] [--json NAME.json]
+//!            [--tolerance F] [--sweep-speedup F] [--json NAME.json]
 //! ```
 //!
 //! Thread count follows the environment pool (`LAYERBEM_THREADS`, which
-//! CI pins to 4 so the gate compares the engines at the documented
-//! 4-thread point). The default tolerance of 1.15 absorbs residual
-//! runner noise: the two engines do identical floating-point work, so a
-//! genuine regression (the scan's `O(partitions × M²)` overhead creeping
-//! back into the default path) shows up far above 15%.
+//! CI pins to 4 so the gates compare at the documented 4-thread point).
+//! The default tolerance of 1.15 absorbs residual runner noise: the two
+//! assembly engines do identical floating-point work, so a genuine
+//! regression (the scan's `O(partitions × M²)` overhead creeping back
+//! into the default path) shows up far above 15%.
 
 use std::time::Instant;
 
@@ -29,8 +41,10 @@ use layerbem_bench::{
     balaidos_mesh, barbera_mesh, render_table, soils, write_bench_json, BenchRecord,
 };
 use layerbem_core::assembly::{assemble_galerkin, AssemblyMode, AssemblyReport};
-use layerbem_core::formulation::SolveOptions;
+use layerbem_core::formulation::{SolveOptions, SolverChoice};
 use layerbem_core::kernel::SoilKernel;
+use layerbem_core::study::Scenario;
+use layerbem_core::system::GroundingSystem;
 use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
 use layerbem_geometry::{Mesh, Mesher};
 use layerbem_parfor::{Schedule, ThreadPool};
@@ -51,7 +65,7 @@ fn tiny_mesh() -> Mesh {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--grid tiny|barbera|balaidos] [--reps N] \
-         [--tolerance F] [--json NAME.json]"
+         [--tolerance F] [--sweep-speedup F] [--json NAME.json]"
     );
     std::process::exit(2);
 }
@@ -60,6 +74,9 @@ struct Args {
     grid: String,
     reps: usize,
     tolerance: f64,
+    /// Minimum speedup gate 2 demands of the staged sweep over the
+    /// legacy per-scenario re-solve loop.
+    sweep_speedup: f64,
     json: String,
 }
 
@@ -68,6 +85,7 @@ fn parse_args() -> Args {
         grid: "tiny".into(),
         reps: 7,
         tolerance: 1.15,
+        sweep_speedup: 2.0,
         json: "BENCH_pr.json".into(),
     };
     let mut argv = std::env::args().skip(1);
@@ -86,6 +104,13 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&t: &f64| t.is_finite() && t > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--sweep-speedup" => {
+                args.sweep_speedup = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 1.0)
                     .unwrap_or_else(|| usage());
             }
             "--json" => args.json = argv.next().unwrap_or_else(|| usage()),
@@ -221,14 +246,142 @@ fn main() {
          every parallel run verified bit-identical to the sequential baseline.",
         args.reps
     );
+
+    // ---- Gate 2: prepare-once vs re-solve-each scenario sweep. ----
+    //
+    // A 16-scenario GPR sweep answered through one staged study must be
+    // at least `--sweep-speedup`× faster than 16 fresh legacy solves:
+    // the staged path pays matrix generation + factorization once, the
+    // legacy loop pays them per scenario. Cholesky keeps the retained
+    // factor on the direct path (the staged API's headline case).
+    const SWEEP_SCENARIOS: usize = 16;
+    let schedule = Schedule::dynamic(1);
+    let base = SolveOptions {
+        solver: SolverChoice::Cholesky,
+        ..SolveOptions::default()
+    };
+    let opts = if threads > 1 {
+        base.with_parallelism(pool, schedule)
+    } else {
+        base
+    };
+    let system = GroundingSystem::new(mesh.clone(), &soil, opts);
+    let mode = system.default_assembly_mode();
+    let scenarios: Vec<Scenario> = (1..=SWEEP_SCENARIOS)
+        .map(|i| Scenario::gpr(625.0 * i as f64))
+        .collect();
+
+    // Identity check once: the staged sweep must be bit-identical to the
+    // legacy per-scenario answers. The study is kept alive for its
+    // series-term count (no extra assembly just for accounting).
+    let reference_study = system.prepare().expect("bench grid is well-posed");
+    let staged = reference_study
+        .solve_batch(&scenarios)
+        .expect("sweep scenarios are positive");
+    #[allow(deprecated)] // the resolve-each baseline IS the legacy wrapper
+    let legacy: Vec<_> = scenarios
+        .iter()
+        .map(|s| system.solve(&mode, s.drive()))
+        .collect();
+    for (i, (a, b)) in legacy.iter().zip(&staged).enumerate() {
+        assert_eq!(
+            a.leakage, b.leakage,
+            "{grid}: staged sweep differs from legacy solve at scenario {i}"
+        );
+        assert_eq!(a.equivalent_resistance, b.equivalent_resistance);
+    }
+
+    // Fewer reps than gate 1: every resolve-each rep pays 16 assemblies.
+    let sweep_reps = args.reps.min(3);
+    let mut best_prepare = f64::INFINITY;
+    let mut best_resolve = f64::INFINITY;
+    for _ in 0..sweep_reps {
+        let t0 = Instant::now();
+        let study = system.prepare().expect("bench grid is well-posed");
+        let sols = study
+            .solve_batch(&scenarios)
+            .expect("sweep scenarios are positive");
+        assert_eq!(sols.len(), SWEEP_SCENARIOS);
+        let profile = study.profile();
+        assert_eq!(profile.assemblies, 1, "staged sweep must assemble once");
+        assert_eq!(
+            profile.factorizations, 1,
+            "staged sweep must factorize once"
+        );
+        best_prepare = best_prepare.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        #[allow(deprecated)]
+        for s in &scenarios {
+            let _ = system.solve(&mode, s.drive());
+        }
+        best_resolve = best_resolve.min(t0.elapsed().as_secs_f64());
+    }
+    let terms_once = reference_study.total_terms();
+    records.push(BenchRecord {
+        grid: grid.into(),
+        mode: "prepare_once".into(),
+        schedule: schedule.label(),
+        threads,
+        wall_seconds: best_prepare,
+        series_terms: terms_once,
+    });
+    records.push(BenchRecord {
+        grid: grid.into(),
+        mode: "resolve_each".into(),
+        schedule: schedule.label(),
+        threads,
+        wall_seconds: best_resolve,
+        series_terms: terms_once * SWEEP_SCENARIOS as u64,
+    });
+    let speedup = best_resolve / best_prepare;
+    let sweep_ok = speedup >= args.sweep_speedup;
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["sweep mode", "best (s)", "speedup", "gate"],
+            &[
+                vec![
+                    "prepare_once".into(),
+                    format!("{best_prepare:.6}"),
+                    format!("{speedup:.2}x"),
+                    if sweep_ok { "ok".into() } else { "FAIL".into() },
+                ],
+                vec![
+                    "resolve_each".into(),
+                    format!("{best_resolve:.6}"),
+                    "1.00x".into(),
+                    "-".into(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "{grid}, {SWEEP_SCENARIOS}-scenario GPR sweep, {threads} threads, best of \
+         {sweep_reps} repetitions; staged sweep verified bit-identical to \
+         {SWEEP_SCENARIOS} legacy solves."
+    );
+    if !sweep_ok {
+        failures.push(format!(
+            "prepare-once sweep only {speedup:.2}x faster than resolve-each \
+             (gate requires {:.2}x)",
+            args.sweep_speedup
+        ));
+    }
+
     write_bench_json(&args.json, &records);
 
     if !failures.is_empty() {
-        eprintln!("bench gate FAILED: worklist assembly slower than the scan path");
+        eprintln!("bench gate FAILED:");
         for f in &failures {
             eprintln!("  {f}");
         }
         std::process::exit(1);
     }
-    println!("bench gate passed: worklist >= scan-path speed at {threads} threads");
+    println!(
+        "bench gates passed: worklist >= scan-path speed and staged sweep >= \
+         {:.1}x resolve-each at {threads} threads",
+        args.sweep_speedup
+    );
 }

@@ -7,7 +7,6 @@
 use layerbem_bench::{paper, render_table, write_artifact};
 use layerbem_cad::input::parse_case;
 use layerbem_cad::pipeline::{run_pipeline, Phase};
-use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 use std::time::Instant;
 
@@ -24,12 +23,8 @@ fn main() {
     let case = parse_case(&deck).expect("generated deck parses");
     let input_seconds = t0.elapsed().as_secs_f64();
 
-    let result = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        input_seconds,
-    );
+    let result =
+        run_pipeline(&case, SolveOptions::default(), input_seconds).expect("pipeline succeeds");
 
     let mut rows = Vec::new();
     for ((phase, ours), (plabel, psecs)) in Phase::all()

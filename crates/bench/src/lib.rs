@@ -128,7 +128,11 @@ pub fn solve_case(
 ) -> (GroundingSystem, AssemblyReport, GroundingSolution) {
     let system = GroundingSystem::new(mesh, soil, SolveOptions::default());
     let report = system.assemble(&AssemblyMode::Sequential);
-    let solution = system.solve_assembled(&report, gpr);
+    let solution = system
+        .prepare_assembled(&report)
+        .expect("prepare")
+        .solve(&layerbem_core::study::Scenario::gpr(gpr))
+        .expect("solve");
     (system, report, solution)
 }
 

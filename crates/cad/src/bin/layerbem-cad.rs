@@ -5,8 +5,15 @@
 //! ```text
 //! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
 //!              [--assembly direct|direct-scan|outer|inner] [--block N]
+//!              [--gpr-sweep LO:HI:N]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
+//!
+//! `--gpr-sweep LO:HI:N` appends `N` linearly spaced prescribed-GPR
+//! scenarios to the deck's sweep; together with the deck's own
+//! `scenario` stanzas they are all answered from **one** prepared study
+//! (one assembly, one factorization — the staged `prepare` API), with a
+//! self-describing row per scenario in the report.
 //!
 //! `--threads` defaults to the machine's available parallelism (overridable
 //! via the `LAYERBEM_THREADS` environment variable) and drives **both**
@@ -26,10 +33,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use layerbem_cad::input::parse_case;
-use layerbem_cad::pipeline::run_pipeline;
+use layerbem_cad::pipeline::run_pipeline_with_assembly;
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 use layerbem_core::post::{MapSpec, PotentialMap};
+use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
 use layerbem_parfor::{Schedule, ThreadPool};
 
@@ -56,6 +64,8 @@ struct Args {
     /// Panel width of the blocked pooled factorizations (`None` keeps the
     /// workspace default).
     block: Option<usize>,
+    /// Additional prescribed-GPR scenarios from `--gpr-sweep LO:HI:N`.
+    gpr_sweep: Vec<Scenario>,
     map: Option<(MapSpec, String)>,
     timing: bool,
 }
@@ -64,9 +74,35 @@ fn usage() -> ! {
     eprintln!(
         "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
          \u{20}                [--assembly direct|direct-scan|outer|inner] [--block N]\n\
-         \u{20}                [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
+         \u{20}                [--gpr-sweep LO:HI:N] [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
+}
+
+/// Parses `LO:HI:N` into `N` linearly spaced prescribed-GPR scenarios.
+fn parse_gpr_sweep(spec: &str) -> Option<Vec<Scenario>> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [lo, hi, n] = parts.as_slice() else {
+        return None;
+    };
+    let lo: f64 = lo.parse().ok()?;
+    let hi: f64 = hi.parse().ok()?;
+    let n: usize = n.parse().ok()?;
+    if !(lo > 0.0 && hi >= lo && lo.is_finite() && hi.is_finite() && n >= 1) {
+        return None;
+    }
+    Some(
+        (0..n)
+            .map(|i| {
+                let t = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                Scenario::gpr(lo + (hi - lo) * t)
+            })
+            .collect(),
+    )
 }
 
 fn parse_args() -> Args {
@@ -77,6 +113,7 @@ fn parse_args() -> Args {
     let mut schedule = Schedule::dynamic(1);
     let mut assembly = AssemblyChoice::Direct;
     let mut block = None;
+    let mut gpr_sweep = Vec::new();
     let mut map = None;
     let mut timing = false;
     while let Some(arg) = argv.next() {
@@ -111,6 +148,13 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--gpr-sweep" => {
+                gpr_sweep = argv
+                    .next()
+                    .as_deref()
+                    .and_then(parse_gpr_sweep)
+                    .unwrap_or_else(|| usage());
+            }
             "--map" => {
                 let nums: Vec<String> = (0..6).filter_map(|_| argv.next()).collect();
                 let out = argv.next().unwrap_or_else(|| usage());
@@ -143,6 +187,7 @@ fn parse_args() -> Args {
         schedule,
         assembly,
         block,
+        gpr_sweep,
         map,
         timing,
     }
@@ -158,24 +203,32 @@ fn main() -> ExitCode {
         }
     };
     let t0 = Instant::now();
-    let case = match parse_case(&text) {
+    let mut case = match parse_case(&text) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {}: {e}", args.deck);
             return ExitCode::FAILURE;
         }
     };
+    // CLI sweep scenarios extend the deck's own stanzas (and, like any
+    // explicit scenario list, supersede the deck's implicit `gpr` line).
+    case.scenarios.extend(args.gpr_sweep.iter().copied());
     let input_seconds = t0.elapsed().as_secs_f64();
 
     let pool = ThreadPool::new(args.threads);
-    let mode = if args.threads == 1 {
-        AssemblyMode::Sequential
+    // With the staged pipeline the matrix-generation engine is derived
+    // from the solve parallelism; an explicit override survives only for
+    // the benchmarkable baselines (scan/outer/inner).
+    let assembly_override = if args.threads == 1 {
+        None
     } else {
         match args.assembly {
-            AssemblyChoice::Direct => AssemblyMode::ParallelDirect(pool, args.schedule),
-            AssemblyChoice::DirectScan => AssemblyMode::ParallelDirectScan(pool, args.schedule),
-            AssemblyChoice::Outer => AssemblyMode::ParallelOuter(pool, args.schedule),
-            AssemblyChoice::Inner => AssemblyMode::ParallelInner(pool, args.schedule),
+            AssemblyChoice::Direct => None,
+            AssemblyChoice::DirectScan => {
+                Some(AssemblyMode::ParallelDirectScan(pool, args.schedule))
+            }
+            AssemblyChoice::Outer => Some(AssemblyMode::ParallelOuter(pool, args.schedule)),
+            AssemblyChoice::Inner => Some(AssemblyMode::ParallelInner(pool, args.schedule)),
         }
     };
     // The same pool drives the linear solve: with the in-place assembler
@@ -189,7 +242,14 @@ fn main() -> ExitCode {
             None => opts,
         }
     };
-    let result = run_pipeline(&case, opts, &mode, input_seconds);
+    let result =
+        match run_pipeline_with_assembly(&case, opts, assembly_override.as_ref(), input_seconds) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", args.deck);
+                return ExitCode::FAILURE;
+            }
+        };
     print!("{}", result.report);
     if args.timing {
         println!();
@@ -207,7 +267,7 @@ fn main() -> ExitCode {
         let map = PotentialMap::compute(
             &result.mesh,
             system.kernel(),
-            &result.solution,
+            result.solution(),
             &spec,
             &pool,
             args.schedule,

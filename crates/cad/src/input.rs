@@ -13,12 +13,18 @@
 //! rod 10 10 0.8 1.5 0.007              # x y ztop length radius
 //! conductor 0 0 0.8 10 0 0.8 0.006     # x0 y0 z0 x1 y1 z1 radius
 //! max-element-length 5.0
+//! scenario gpr 5000                    # optional: sweep scenarios…
+//! scenario fault-current 25000         # …all answered from ONE prepare
 //! ```
 //!
 //! Keywords may appear in any order; later `soil`/`gpr` lines override
-//! earlier ones; geometry lines accumulate.
+//! earlier ones; geometry and `scenario` lines accumulate. When one or
+//! more `scenario` stanzas are present the pipeline answers all of them
+//! from a single prepared study (one assembly, one factorization);
+//! without any, the deck's `gpr` line is the single implicit scenario.
 
 use layerbem_core::formulation::{Formulation, SolverChoice};
+use layerbem_core::study::Scenario;
 use layerbem_geometry::conductor::ground_rod;
 use layerbem_geometry::grids::{rectangular_grid, triangle_grid, RectGridSpec, TriangleGridSpec};
 use layerbem_geometry::{Conductor, ConductorNetwork, MeshOptions, Point3};
@@ -41,6 +47,22 @@ pub struct CadCase {
     pub formulation: Formulation,
     /// Linear solver (default preconditioned CG).
     pub solver: SolverChoice,
+    /// Explicit sweep scenarios from `scenario` stanzas (may be empty:
+    /// the `gpr` line is then the single implicit scenario).
+    pub scenarios: Vec<Scenario>,
+}
+
+impl CadCase {
+    /// The scenario list the pipeline answers: the deck's `scenario`
+    /// stanzas in order, or the single implicit `gpr` scenario when none
+    /// are given. Never empty.
+    pub fn effective_scenarios(&self) -> Vec<Scenario> {
+        if self.scenarios.is_empty() {
+            vec![Scenario::gpr(self.gpr)]
+        } else {
+            self.scenarios.clone()
+        }
+    }
 }
 
 /// Parse failure with location and cause.
@@ -92,6 +114,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
     let mut mesh_options = MeshOptions::default();
     let mut formulation = Formulation::Galerkin;
     let mut solver = SolverChoice::ConjugateGradient;
+    let mut scenarios: Vec<Scenario> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -272,6 +295,25 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                     }
                 };
             }
+            "scenario" => {
+                let kind = *rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "scenario expects gpr|fault-current"))?;
+                let v = parse_floats(line_no, &rest[1..], 1, "scenario")?;
+                if !(v[0] > 0.0 && v[0].is_finite()) {
+                    return Err(err(line_no, "scenario drive must be positive and finite"));
+                }
+                scenarios.push(match kind {
+                    "gpr" => Scenario::gpr(v[0]),
+                    "fault-current" => Scenario::fault_current(v[0]),
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("scenario expects gpr|fault-current, got '{other}'"),
+                        ))
+                    }
+                });
+            }
             "max-element-length" => {
                 let v = parse_floats(line_no, &rest, 1, "max-element-length")?;
                 if v[0] <= 0.0 {
@@ -294,6 +336,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
         mesh_options,
         formulation,
         solver,
+        scenarios,
     })
 }
 
@@ -407,6 +450,39 @@ max-element-length 5
         let d = parse_case("rod 0 0 0.5 1 0.01\n").unwrap();
         assert_eq!(d.solver, SolverChoice::ConjugateGradient);
         assert_eq!(d.formulation, Formulation::Galerkin);
+    }
+
+    #[test]
+    fn scenario_stanzas_accumulate_in_order() {
+        let case = parse_case(
+            "rod 0 0 0.5 1 0.01\nscenario gpr 5000\nscenario fault-current 25000\nscenario gpr 10000\n",
+        )
+        .unwrap();
+        assert_eq!(
+            case.scenarios,
+            vec![
+                Scenario::gpr(5_000.0),
+                Scenario::fault_current(25_000.0),
+                Scenario::gpr(10_000.0),
+            ]
+        );
+        assert_eq!(case.effective_scenarios(), case.scenarios);
+    }
+
+    #[test]
+    fn gpr_line_is_the_implicit_scenario_when_no_stanzas() {
+        let case = parse_case("gpr 8000\nrod 0 0 0.5 1 0.01\n").unwrap();
+        assert!(case.scenarios.is_empty());
+        assert_eq!(case.effective_scenarios(), vec![Scenario::gpr(8_000.0)]);
+    }
+
+    #[test]
+    fn bad_scenarios_rejected_with_line_numbers() {
+        let e = parse_case("rod 0 0 0.5 1 0.01\nscenario gpr -5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("positive"));
+        assert!(parse_case("scenario voltage 10\nrod 0 0 0.5 1 0.01\n").is_err());
+        assert!(parse_case("scenario gpr\nrod 0 0 0.5 1 0.01\n").is_err());
     }
 
     #[test]

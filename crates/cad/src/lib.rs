@@ -7,16 +7,20 @@
 //! Storage — are timed individually in Table 6.1. This crate provides:
 //!
 //! * [`input`] — a plain-text case-deck format (conductors, rods,
-//!   parametric grids, soil model, GPR, discretization controls) with a
-//!   line-numbered parser.
+//!   parametric grids, soil model, GPR, discretization controls, and
+//!   multi-`scenario` sweep stanzas) with a line-numbered parser.
 //! * [`pipeline`] — the staged analysis driver with per-phase wall-clock
-//!   timing ([`pipeline::PhaseTimes`] regenerates Table 6.1).
-//! * [`report`] — human-readable result reports and CSV emitters for
-//!   potential maps.
+//!   timing ([`pipeline::PhaseTimes`] regenerates Table 6.1): one
+//!   `prepare` (assembly + factorization) per case, then every scenario
+//!   answered from the retained factor.
+//! * [`report`] — human-readable result reports (including the
+//!   per-scenario sweep table) and CSV emitters for potential maps.
 
 pub mod input;
 pub mod pipeline;
 pub mod report;
 
 pub use input::{parse_case, CadCase, ParseError};
-pub use pipeline::{run_pipeline, Phase, PhaseTimes, PipelineResult};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with_assembly, Phase, PhaseTimes, PipelineError, PipelineResult,
+};

@@ -4,17 +4,25 @@
 //! five phases and shows matrix generation taking 1723.2 s of the 1724.2 s
 //! total — the observation that justifies parallelizing exactly that
 //! loop. [`run_pipeline`] reproduces the same phase structure and
-//! instrumentation.
+//! instrumentation, now built on the staged
+//! [`GroundingSystem::prepare`] API: matrix generation and factorization
+//! run **once** per case, and every scenario of the deck's sweep is
+//! answered from the retained factor — so a 16-scenario study pays one
+//! Table-6.1 matrix-generation bill, not sixteen. Assembly, factorization
+//! and the per-scenario solves are attributed to their own phases for
+//! both formulations (the collocation solve is no longer lumped into
+//! matrix generation).
 
 use std::time::Instant;
 
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
+use layerbem_core::study::{PrepareError, SolveError};
 use layerbem_core::system::{GroundingSolution, GroundingSystem};
 use layerbem_geometry::{Mesh, Mesher};
 
 use crate::input::CadCase;
-use crate::report::text_report;
+use crate::report::{sweep_report, text_report};
 
 /// The five pipeline phases of the paper's CAD system (Table 6.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -95,16 +103,52 @@ impl PhaseTimes {
     }
 }
 
+/// Why the pipeline could not complete: the staged prepare/solve path's
+/// typed errors, forwarded with context.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// Assembly/factorization failed (ill-posed system).
+    Prepare(PrepareError),
+    /// A scenario could not be answered.
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Prepare(e) => write!(f, "pipeline preparation failed: {e}"),
+            PipelineError::Solve(e) => write!(f, "pipeline scenario solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<PrepareError> for PipelineError {
+    fn from(e: PrepareError) -> Self {
+        PipelineError::Prepare(e)
+    }
+}
+
+impl From<SolveError> for PipelineError {
+    fn from(e: SolveError) -> Self {
+        PipelineError::Solve(e)
+    }
+}
+
 /// Everything the pipeline produces.
 #[derive(Clone, Debug)]
 pub struct PipelineResult {
     /// Discretized grid.
     pub mesh: Mesh,
-    /// Solution (leakage, IΓ, Req).
-    pub solution: GroundingSolution,
+    /// One solution per scenario of the case's sweep (at least one; the
+    /// first is the deck's primary `gpr` question when no `scenario`
+    /// stanzas are present).
+    pub solutions: Vec<GroundingSolution>,
     /// Per-phase timing.
     pub times: PhaseTimes,
-    /// Text report produced by the results-storage phase.
+    /// Text report produced by the results-storage phase (with one
+    /// self-describing row per scenario when the case sweeps).
     pub report: String,
     /// Matrix-generation column cost profile (seconds per outer column),
     /// the task profile the schedule simulator replays.
@@ -113,16 +157,36 @@ pub struct PipelineResult {
     pub column_terms: Vec<u64>,
 }
 
-/// Runs the five-phase pipeline on a parsed case.
+impl PipelineResult {
+    /// The primary (first) scenario's solution.
+    pub fn solution(&self) -> &GroundingSolution {
+        &self.solutions[0]
+    }
+}
+
+/// Runs the five-phase pipeline on a parsed case, deriving the
+/// matrix-generation engine from [`SolveOptions::parallelism`] (the
+/// staged `prepare` default).
 ///
 /// `input_seconds` is the time the caller spent parsing the deck (phase 1
 /// happens before this function can run; pass 0.0 when not measured).
 pub fn run_pipeline(
     case: &CadCase,
     opts: SolveOptions,
-    mode: &AssemblyMode,
     input_seconds: f64,
-) -> PipelineResult {
+) -> Result<PipelineResult, PipelineError> {
+    run_pipeline_with_assembly(case, opts, None, input_seconds)
+}
+
+/// [`run_pipeline`] with an explicit matrix-generation mode override —
+/// the benchmarking entry the `--assembly direct-scan|outer|inner`
+/// baselines go through. `None` derives the engine from the options.
+pub fn run_pipeline_with_assembly(
+    case: &CadCase,
+    opts: SolveOptions,
+    assembly: Option<&AssemblyMode>,
+    input_seconds: f64,
+) -> Result<PipelineResult, PipelineError> {
     // The deck's formulation/solver keywords override the caller's
     // defaults (but not an explicitly non-default caller choice for the
     // quadrature/tolerance knobs, which the deck cannot express).
@@ -140,42 +204,40 @@ pub fn run_pipeline(
     let system = GroundingSystem::new(mesh.clone(), &case.soil, opts);
     times.seconds[1] = t.elapsed().as_secs_f64();
 
-    // Phases 3 and 4: matrix generation and linear solve.
-    let (solution, column_seconds, column_terms) = match opts.formulation {
-        layerbem_core::formulation::Formulation::Galerkin => {
-            let t = Instant::now();
-            let report = system.assemble(mode);
-            times.seconds[2] = t.elapsed().as_secs_f64();
-            let t = Instant::now();
-            let solution = system.solve_assembled(&report, case.gpr);
-            times.seconds[3] = t.elapsed().as_secs_f64();
-            (solution, report.column_seconds, report.column_terms)
-        }
-        layerbem_core::formulation::Formulation::Collocation => {
-            // The collocation path assembles and factorizes inside
-            // GroundingSystem::solve; attribute it all to matrix
-            // generation (it dominates by the same O(M²)·series factor).
-            let t = Instant::now();
-            let solution = system.solve(mode, case.gpr);
-            times.seconds[2] = t.elapsed().as_secs_f64();
-            times.seconds[3] = 0.0;
-            (solution, Vec::new(), Vec::new())
-        }
-    };
+    // Phase 3: matrix generation — once, via the staged API, for both
+    // formulations. The study retains the factor.
+    let study = match assembly {
+        Some(mode) => system.prepare_with_mode(mode),
+        None => system.prepare(),
+    }?;
+    let profile = study.profile();
+    times.seconds[2] = profile.assembly_seconds;
+
+    // Phase 4: linear system solving — the one-time factorization plus
+    // every scenario's back-substitution (previously the collocation
+    // assembly was lumped in here too; phases now attribute honestly).
+    let t = Instant::now();
+    let scenarios = case.effective_scenarios();
+    let solutions = study.solve_batch(&scenarios)?;
+    times.seconds[3] = profile.factor_seconds + t.elapsed().as_secs_f64();
 
     // Phase 5: results storage (report formatting).
     let t = Instant::now();
-    let text = text_report(&case.title, &case.soil, &mesh, &solution);
+    let mut text = text_report(&case.title, &case.soil, &mesh, &solutions[0]);
+    if solutions.len() > 1 {
+        text.push('\n');
+        text.push_str(&sweep_report(&solutions));
+    }
     times.seconds[4] = t.elapsed().as_secs_f64();
 
-    PipelineResult {
+    Ok(PipelineResult {
         mesh,
-        solution,
+        solutions,
         times,
         report: text,
-        column_seconds,
-        column_terms,
-    }
+        column_seconds: study.column_seconds().to_vec(),
+        column_terms: study.column_terms().to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -192,12 +254,7 @@ grid rect 0 0 20 20 2 2 0.8 0.006
 
     fn run() -> PipelineResult {
         let case = parse_case(CASE).unwrap();
-        run_pipeline(
-            &case,
-            SolveOptions::default(),
-            &AssemblyMode::Sequential,
-            0.001,
-        )
+        run_pipeline(&case, SolveOptions::default(), 0.001).expect("pipeline succeeds")
     }
 
     #[test]
@@ -228,10 +285,69 @@ grid rect 0 0 20 20 2 2 0.8 0.006
     #[test]
     fn result_is_physical() {
         let r = run();
-        assert!(r.solution.equivalent_resistance > 0.0);
-        assert!(r.solution.total_current > 0.0);
+        assert!(r.solution().equivalent_resistance > 0.0);
+        assert!(r.solution().total_current > 0.0);
         assert_eq!(r.column_seconds.len(), r.mesh.element_count());
         assert_eq!(r.column_terms.len(), r.mesh.element_count());
+    }
+
+    #[test]
+    fn collocation_phases_are_attributed_separately() {
+        // The satellite fix: a collocation run no longer lumps
+        // factorization + solve into Matrix Generation — assembly lands
+        // in phase 3, factor + per-scenario solves in phase 4.
+        let case = parse_case(&format!("{CASE}formulation collocation\n")).unwrap();
+        let r = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+        let mg = r.times.of(Phase::MatrixGeneration);
+        let ls = r.times.of(Phase::LinearSystemSolving);
+        assert!(mg > 0.0, "collocation assembly must be timed");
+        assert!(ls > 0.0, "collocation factor+solve must be timed");
+        assert!(
+            mg > ls,
+            "series-summation assembly should dominate the dense solve: {mg} vs {ls}"
+        );
+        assert!(r.solution().equivalent_resistance > 0.0);
+    }
+
+    #[test]
+    fn scenario_sweep_produces_one_solution_per_scenario() {
+        let deck =
+            format!("{CASE}scenario gpr 5000\nscenario gpr 10000\nscenario fault-current 25000\n");
+        let case = parse_case(&deck).unwrap();
+        let r = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+        assert_eq!(r.solutions.len(), 3);
+        assert_eq!(r.solutions[0].gpr, 5_000.0);
+        assert_eq!(r.solutions[1].gpr, 10_000.0);
+        // The fault-current scenario reports exactly its prescribed IΓ.
+        assert_eq!(r.solutions[2].total_current, 25_000.0);
+        // All scenarios share one prepared system, so resistances agree
+        // exactly (scaling never perturbs Req beyond its own arithmetic).
+        assert_eq!(
+            r.solutions[0].equivalent_resistance,
+            r.solutions[1].equivalent_resistance
+        );
+        // The report carries one self-describing row per scenario.
+        assert!(r.report.contains("Scenario sweep"));
+        assert!(r.report.contains("fault current"));
+    }
+
+    #[test]
+    fn explicit_assembly_override_matches_the_derived_engine() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let case = parse_case(CASE).unwrap();
+        let pool = ThreadPool::new(2);
+        let schedule = Schedule::dynamic(1);
+        let opts = SolveOptions::default().with_parallelism(pool, schedule);
+        let derived = run_pipeline(&case, opts, 0.0).expect("pipeline succeeds");
+        let forced = run_pipeline_with_assembly(
+            &case,
+            opts,
+            Some(&AssemblyMode::ParallelDirectScan(pool, schedule)),
+            0.0,
+        )
+        .expect("pipeline succeeds");
+        assert_eq!(derived.solution().leakage, forced.solution().leakage);
+        assert_eq!(derived.column_terms, forced.column_terms);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Result reports.
 
+use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSolution;
 use layerbem_geometry::Mesh;
 use layerbem_soil::SoilModel;
@@ -20,6 +21,10 @@ pub fn text_report(
         "Discretization: {} elements, {} degrees of freedom\n",
         mesh.element_count(),
         mesh.dof()
+    ));
+    s.push_str(&format!(
+        "Scenario: {}\n",
+        scenario_description(&solution.scenario)
     ));
     s.push_str(&format!("GPR: {:.1} V\n", solution.gpr));
     s.push_str(&format!(
@@ -48,6 +53,42 @@ pub fn text_report(
         "Leakage density range: {qmin:.2} – {qmax:.2} A/m\n"
     ));
     s
+}
+
+/// One-line scenario description for report rows.
+pub fn scenario_description(scenario: &Scenario) -> String {
+    match *scenario {
+        Scenario::Gpr { volts } => format!("prescribed GPR {volts:.1} V"),
+        Scenario::FaultCurrent { amps } => format!("prescribed fault current {amps:.1} A"),
+    }
+}
+
+/// The per-scenario sweep table: one self-describing row per solution
+/// (each [`GroundingSolution`] carries its [`Scenario`]), appended to the
+/// text report whenever a case answers more than one scenario.
+pub fn sweep_report(solutions: &[GroundingSolution]) -> String {
+    let rows: Vec<Vec<String>> = solutions
+        .iter()
+        .enumerate()
+        .map(|(i, sol)| {
+            vec![
+                (i + 1).to_string(),
+                scenario_description(&sol.scenario),
+                format!("{:.1}", sol.gpr),
+                format!("{:.3}", sol.total_current / 1000.0),
+                format!("{:.4}", sol.equivalent_resistance),
+                sol.solver_iterations.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Scenario sweep ({} scenarios, one shared assembly + factorization)\n{}",
+        solutions.len(),
+        render_table(
+            &["#", "scenario", "GPR (V)", "IΓ (kA)", "Req (Ω)", "iters"],
+            &rows,
+        )
+    )
 }
 
 /// One-line soil description.
@@ -112,6 +153,39 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scenario_descriptions_name_the_drive() {
+        assert_eq!(
+            scenario_description(&Scenario::gpr(10_000.0)),
+            "prescribed GPR 10000.0 V"
+        );
+        assert_eq!(
+            scenario_description(&Scenario::fault_current(25_000.0)),
+            "prescribed fault current 25000.0 A"
+        );
+    }
+
+    #[test]
+    fn sweep_report_has_one_row_per_solution() {
+        let sol = |gpr: f64, scenario: Scenario| GroundingSolution {
+            leakage: vec![1.0, 2.0],
+            gpr,
+            total_current: gpr * 0.5,
+            equivalent_resistance: 2.0,
+            solver_iterations: 3,
+            scenario,
+        };
+        let sweep = sweep_report(&[
+            sol(5_000.0, Scenario::gpr(5_000.0)),
+            sol(10_000.0, Scenario::fault_current(5_000.0)),
+        ]);
+        assert!(sweep.contains("2 scenarios"));
+        assert!(sweep.contains("prescribed GPR 5000.0 V"));
+        assert!(sweep.contains("prescribed fault current 5000.0 A"));
+        // Header + separator + 2 rows under the title line.
+        assert_eq!(sweep.trim_end().lines().count(), 5);
+    }
 
     #[test]
     fn soil_descriptions() {

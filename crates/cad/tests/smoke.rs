@@ -2,7 +2,7 @@
 //! through `parse_case` + `run_pipeline` without touching the binary, so
 //! `cargo test -q` exercises the same path `layerbem-cad` drives.
 
-use layerbem_cad::{parse_case, run_pipeline, Phase};
+use layerbem_cad::{parse_case, run_pipeline, run_pipeline_with_assembly, Phase};
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 
@@ -23,18 +23,14 @@ fn parse_and_pipeline_round_trip() {
     // 12 grid segments + 1 rod.
     assert_eq!(case.network.len(), 13);
 
-    let result = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.25,
-    );
+    let result = run_pipeline(&case, SolveOptions::default(), 0.25).expect("pipeline succeeds");
 
     // Physical sanity of the solution.
-    assert!(result.solution.equivalent_resistance > 0.0);
-    assert!(result.solution.total_current > 0.0);
+    assert!(result.solution().equivalent_resistance > 0.0);
+    assert!(result.solution().total_current > 0.0);
     assert!(
-        (result.solution.total_current * result.solution.equivalent_resistance - case.gpr).abs()
+        (result.solution().total_current * result.solution().equivalent_resistance - case.gpr)
+            .abs()
             < 1e-6 * case.gpr
     );
 
@@ -58,15 +54,10 @@ fn deck_solver_choice_flows_into_pipeline() {
     // agree on the resistance to solver precision.
     let cg = parse_case(DECK).expect("deck parses");
     let chol = parse_case(&format!("{DECK}solver cholesky\n")).expect("deck parses");
-    let a = run_pipeline(&cg, SolveOptions::default(), &AssemblyMode::Sequential, 0.0);
-    let b = run_pipeline(
-        &chol,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
-    let dev = (a.solution.equivalent_resistance - b.solution.equivalent_resistance).abs()
-        / a.solution.equivalent_resistance;
+    let a = run_pipeline(&cg, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+    let b = run_pipeline(&chol, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+    let dev = (a.solution().equivalent_resistance - b.solution().equivalent_resistance).abs()
+        / a.solution().equivalent_resistance;
     assert!(dev < 1e-6, "cg vs cholesky deviation {dev}");
 }
 
@@ -78,27 +69,23 @@ fn parallel_direct_pipeline_reproduces_sequential_run() {
     // the pooled PCG matvec are both bit-faithful).
     use layerbem_parfor::{Schedule, ThreadPool};
     let case = parse_case(DECK).expect("deck parses");
-    let serial = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
+    let serial = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
     let pool = ThreadPool::new(2);
     let schedule = Schedule::dynamic(1);
     let parallel = run_pipeline(
         &case,
         SolveOptions::default().with_parallelism(pool, schedule),
-        &AssemblyMode::ParallelDirect(pool, schedule),
         0.0,
-    );
+    )
+    .expect("pipeline succeeds");
     assert_eq!(
-        serial.solution.leakage, parallel.solution.leakage,
+        serial.solution().leakage,
+        parallel.solution().leakage,
         "direct + pooled pipeline must reproduce the serial solution bit-for-bit"
     );
     assert_eq!(
-        serial.solution.solver_iterations,
-        parallel.solution.solver_iterations
+        serial.solution().solver_iterations,
+        parallel.solution().solver_iterations
     );
     assert_eq!(serial.column_terms, parallel.column_terms);
 }
@@ -114,22 +101,18 @@ fn direct_scan_pipeline_matches_the_worklist_engine() {
     let pool = ThreadPool::new(2);
     let schedule = Schedule::guided(1);
     let opts = SolveOptions::default().with_parallelism(pool, schedule);
-    let worklist = run_pipeline(
+    let worklist = run_pipeline(&case, opts, 0.0).expect("pipeline succeeds");
+    let scan = run_pipeline_with_assembly(
         &case,
         opts,
-        &AssemblyMode::ParallelDirect(pool, schedule),
+        Some(&AssemblyMode::ParallelDirectScan(pool, schedule)),
         0.0,
-    );
-    let scan = run_pipeline(
-        &case,
-        opts,
-        &AssemblyMode::ParallelDirectScan(pool, schedule),
-        0.0,
-    );
-    assert_eq!(worklist.solution.leakage, scan.solution.leakage);
+    )
+    .expect("pipeline succeeds");
+    assert_eq!(worklist.solution().leakage, scan.solution().leakage);
     assert_eq!(
-        worklist.solution.solver_iterations,
-        scan.solution.solver_iterations
+        worklist.solution().solver_iterations,
+        scan.solution().solver_iterations
     );
     assert_eq!(worklist.column_terms, scan.column_terms);
 }
@@ -144,12 +127,7 @@ fn factor_block_override_keeps_the_pipeline_bit_faithful() {
     // by tests/determinism.rs on the full-size paper grids, not here.)
     use layerbem_parfor::{Schedule, ThreadPool};
     let case = parse_case(&format!("{DECK}solver cholesky\n")).expect("deck parses");
-    let serial = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
+    let serial = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
     let pool = ThreadPool::new(3);
     let schedule = Schedule::guided(1);
     for block in [1, 8, 64] {
@@ -158,11 +136,12 @@ fn factor_block_override_keeps_the_pipeline_bit_faithful() {
             SolveOptions::default()
                 .with_parallelism(pool, schedule)
                 .with_factor_block(block),
-            &AssemblyMode::ParallelDirect(pool, schedule),
             0.0,
-        );
+        )
+        .expect("pipeline succeeds");
         assert_eq!(
-            serial.solution.leakage, parallel.solution.leakage,
+            serial.solution().leakage,
+            parallel.solution().leakage,
             "block={block}"
         );
     }
@@ -178,23 +157,18 @@ fn collocation_deck_runs_pooled_end_to_end() {
     use layerbem_parfor::{Schedule, ThreadPool};
     let deck = format!("{DECK}formulation collocation\n");
     let case = parse_case(&deck).expect("deck parses");
-    let serial = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
+    let serial = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
     let pool = ThreadPool::new(2);
     let schedule = Schedule::dynamic(1);
     let parallel = run_pipeline(
         &case,
         SolveOptions::default().with_parallelism(pool, schedule),
-        &AssemblyMode::ParallelDirect(pool, schedule),
         0.0,
-    );
-    assert_eq!(serial.solution.leakage, parallel.solution.leakage);
+    )
+    .expect("pipeline succeeds");
+    assert_eq!(serial.solution().leakage, parallel.solution().leakage);
     assert_eq!(
-        serial.solution.equivalent_resistance,
-        parallel.solution.equivalent_resistance
+        serial.solution().equivalent_resistance,
+        parallel.solution().equivalent_resistance
     );
 }

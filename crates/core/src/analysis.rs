@@ -15,6 +15,7 @@ use layerbem_soil::SoilModel;
 
 use crate::assembly::AssemblyMode;
 use crate::formulation::SolveOptions;
+use crate::study::Scenario;
 use crate::system::{GroundingSolution, GroundingSystem};
 
 /// One refinement step's record.
@@ -70,7 +71,11 @@ pub fn auto_refine(
         })
         .mesh(network);
         let sys = GroundingSystem::new(mesh.clone(), soil, opts);
-        let sol = sys.solve(&AssemblyMode::Sequential, gpr);
+        let sol = sys
+            .prepare()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .solve(&Scenario::gpr(gpr))
+            .unwrap_or_else(|e| panic!("{e}"));
         history.push(RefinementStep {
             max_element_length: max_len,
             elements: mesh.element_count(),
@@ -102,26 +107,36 @@ pub fn auto_refine(
 
 /// Solves a grounding system for a prescribed **fault current** instead
 /// of a prescribed GPR: the GPR adjusts to `I_f · Req` by linearity.
+///
+/// Thin legacy wrapper: [`Scenario::fault_current`] through
+/// [`GroundingSystem::prepare`] answers the same question (bit-identical)
+/// without re-assembling per call, and a whole sweep of fault currents
+/// costs one assembly via [`Study::solve_batch`](crate::study::Study).
+///
+/// # Panics
+/// Panics if the fault current is not positive or the solve fails.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `prepare()` and `Study::solve(&Scenario::fault_current(..))` — one prepared \
+            study answers any number of fault-current scenarios"
+)]
 pub fn solve_for_fault_current(
     system: &GroundingSystem,
     mode: &AssemblyMode,
     fault_current: f64,
 ) -> GroundingSolution {
     assert!(fault_current > 0.0, "fault current must be positive");
-    let unit = system.solve(mode, 1.0);
-    // GPR that makes IΓ equal the prescribed fault current.
-    let gpr = fault_current * unit.equivalent_resistance;
-    GroundingSolution {
-        leakage: unit.leakage.iter().map(|q| q * gpr).collect(),
-        gpr,
-        total_current: fault_current,
-        equivalent_resistance: unit.equivalent_resistance,
-        solver_iterations: unit.solver_iterations,
-    }
+    system
+        .prepare_with_mode(mode)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .solve(&Scenario::fault_current(fault_current))
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated fault-current driver stays covered on purpose.
+    #![allow(deprecated)]
     use super::*;
     use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
 

@@ -21,6 +21,10 @@
 //!   scan — with per-column cost capture feeding the schedule simulator.
 //! * [`system`] — the high-level driver: mesh + soil model + GPR in,
 //!   leakage distribution, total current, equivalent resistance out.
+//! * [`study`] — the staged scenario API: [`system::GroundingSystem::prepare`]
+//!   assembles and factorizes **once**, the returned [`study::Study`]
+//!   answers GPR / fault-current scenarios at back-substitution cost,
+//!   bit-identical to independent legacy solves.
 //! * [`post`] — surface potential maps (Figs 5.2/5.4) and touch/step/mesh
 //!   voltages.
 //! * [`safety`] — IEEE Std 80 permissible-limit checks, the design
@@ -35,10 +39,12 @@ pub mod integration;
 pub mod kernel;
 pub mod post;
 pub mod safety;
+pub mod study;
 pub mod system;
 
 pub use assembly::{AssemblyMode, AssemblyReport};
 pub use formulation::{Formulation, SolveOptions, SolverChoice};
 pub use kernel::SoilKernel;
 pub use post::PotentialMap;
+pub use study::{PrepareError, Scenario, SolveError, Study, StudyProfile};
 pub use system::{GroundingSolution, GroundingSystem};

@@ -243,7 +243,6 @@ pub fn mesh_voltage(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::assembly::AssemblyMode;
     use crate::formulation::SolveOptions;
     use crate::system::GroundingSystem;
     use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
@@ -262,7 +261,11 @@ mod tests {
         });
         let mesh = Mesher::default().mesh(&net);
         let sys = GroundingSystem::new(mesh, &SoilModel::uniform(0.016), SolveOptions::default());
-        let sol = sys.solve(&AssemblyMode::Sequential, 10_000.0);
+        let sol = sys
+            .prepare()
+            .expect("prepare")
+            .solve(&crate::study::Scenario::gpr(10_000.0))
+            .expect("solve");
         (sys, sol)
     }
 

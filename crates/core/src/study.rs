@@ -1,0 +1,832 @@
+//! The staged "prepare once, solve many scenarios" API.
+//!
+//! The paper's Table 6.1 shows matrix generation taking 1723.2 s of a
+//! 1724.2 s run — yet a per-question entry point pays that cost on
+//! *every* call. Real grounding studies ask many questions of one grid:
+//! fault-current sweeps, seasonal GPR levels, safety margins. This module
+//! is the plan/execute split that amortizes the expensive part:
+//!
+//! 1. [`GroundingSystem::prepare`] assembles the BEM system **once**
+//!    (with the assembly engine derived from
+//!    [`SolveOptions::parallelism`](crate::formulation::SolveOptions) —
+//!    no separate mode argument to contradict it) and factorizes it
+//!    **once** (pooled-blocked when parallelism is configured), returning
+//!    a reusable [`Study`] that owns the retained
+//!    [`CholeskyFactor`]/[`LuFactor`]/PCG operator state.
+//! 2. [`Study::solve`] / [`Study::solve_batch`] then answer
+//!    [`Scenario`]s — prescribed GPR or prescribed fault current — at
+//!    `O(N²)` back-substitution cost each, pool-parallel over scenarios
+//!    through the multi-RHS
+//!    [`solve_many`](layerbem_numeric::CholeskyFactor::solve_many)
+//!    kernels, and **bit-identical** to what N independent legacy
+//!    [`GroundingSystem::solve`] calls would have produced.
+//!
+//! Every failure on this path is a typed error ([`PrepareError`],
+//! [`SolveError`]) instead of a panic, and [`Study::profile`] exposes the
+//! phase instrumentation (assembly/factorization counts and seconds,
+//! scenario solves served) that the CAD pipeline and the CI bench gate
+//! assert against.
+//!
+//! ```
+//! use layerbem_core::formulation::SolveOptions;
+//! use layerbem_core::study::Scenario;
+//! use layerbem_core::system::GroundingSystem;
+//! use layerbem_geometry::conductor::ground_rod;
+//! use layerbem_geometry::{ConductorNetwork, Mesher, Point3};
+//! use layerbem_soil::SoilModel;
+//!
+//! let mut net = ConductorNetwork::new();
+//! net.add(ground_rod(Point3::new(0.0, 0.0, 0.5), 3.0, 0.007));
+//! let mesh = Mesher::default().mesh(&net);
+//! let system = GroundingSystem::new(mesh, &SoilModel::uniform(0.016), SolveOptions::default());
+//!
+//! // Assemble + factorize once…
+//! let study = system.prepare().expect("well-posed BEM system");
+//! // …then sweep scenarios at back-substitution cost.
+//! let sweep = study
+//!     .solve_batch(&[
+//!         Scenario::gpr(5_000.0),
+//!         Scenario::gpr(10_000.0),
+//!         Scenario::fault_current(25_000.0),
+//!     ])
+//!     .expect("scenarios are positive");
+//! assert_eq!(sweep.len(), 3);
+//! assert_eq!(study.profile().assemblies, 1);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use layerbem_numeric::cholesky::{CholeskyFactor, NotPositiveDefinite};
+use layerbem_numeric::lu::{LuFactor, SingularMatrix};
+use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
+use layerbem_numeric::SymMatrix;
+
+use crate::assembly::{
+    assemble_collocation, assemble_collocation_pooled, galerkin_rhs, AssemblyMode, AssemblyReport,
+};
+use crate::formulation::{Formulation, SolverChoice};
+use crate::system::{GroundingSolution, GroundingSystem};
+
+/// One question asked of a prepared grounding system.
+///
+/// The BEM problem is linear, so every scenario is answered from the same
+/// retained factorization: a prescribed-GPR scenario scales the unit-GPR
+/// solution by its voltage, a prescribed-fault-current scenario finds the
+/// GPR that leaks exactly the prescribed current (`GPR = I·Req`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scenario {
+    /// Energize the grid to a prescribed Ground Potential Rise (V).
+    Gpr {
+        /// The prescribed GPR (V); must be positive and finite.
+        volts: f64,
+    },
+    /// Inject a prescribed fault current (A); the GPR follows by
+    /// linearity, exactly as
+    /// [`analysis::solve_for_fault_current`](crate::analysis::solve_for_fault_current)
+    /// computed it.
+    FaultCurrent {
+        /// The prescribed total fault current (A); must be positive and
+        /// finite.
+        amps: f64,
+    },
+}
+
+impl Scenario {
+    /// Prescribed-GPR scenario (the classical energization question).
+    pub fn gpr(volts: f64) -> Self {
+        Scenario::Gpr { volts }
+    }
+
+    /// Prescribed-fault-current scenario.
+    pub fn fault_current(amps: f64) -> Self {
+        Scenario::FaultCurrent { amps }
+    }
+
+    /// The prescribed drive value (volts or amps, per the variant).
+    pub fn drive(&self) -> f64 {
+        match *self {
+            Scenario::Gpr { volts } => volts,
+            Scenario::FaultCurrent { amps } => amps,
+        }
+    }
+
+    /// Whether the drive is a usable (positive, finite) number.
+    fn is_valid(&self) -> bool {
+        let v = self.drive();
+        v > 0.0 && v.is_finite()
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Scenario::Gpr { volts } => write!(f, "GPR {volts} V"),
+            Scenario::FaultCurrent { amps } => write!(f, "fault current {amps} A"),
+        }
+    }
+}
+
+/// Why [`GroundingSystem::prepare`] could not produce a [`Study`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrepareError {
+    /// The symmetric factorization failed: the assembled Galerkin matrix
+    /// is not positive definite (a broken discretization or kernel).
+    NotPositiveDefinite(NotPositiveDefinite),
+    /// The LU factorization failed: the assembled matrix is numerically
+    /// singular.
+    Singular(SingularMatrix),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::NotPositiveDefinite(e) => {
+                write!(f, "cannot factorize the BEM system: {e}")
+            }
+            PrepareError::Singular(e) => write!(f, "cannot factorize the BEM system: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+impl From<NotPositiveDefinite> for PrepareError {
+    fn from(e: NotPositiveDefinite) -> Self {
+        PrepareError::NotPositiveDefinite(e)
+    }
+}
+
+impl From<SingularMatrix> for PrepareError {
+    fn from(e: SingularMatrix) -> Self {
+        PrepareError::Singular(e)
+    }
+}
+
+/// Why [`Study::solve`] could not answer a [`Scenario`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolveError {
+    /// The scenario's prescribed GPR or fault current is not a positive
+    /// finite number.
+    NonPositiveDrive {
+        /// The offending scenario.
+        scenario: Scenario,
+    },
+    /// The iterative solver stalled before reaching its tolerance.
+    IterationLimit {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The unit-GPR solution leaked non-positive total current — a
+    /// non-physical system (broken mesh orientation or kernel).
+    NonPositiveCurrent {
+        /// The computed unit-GPR total current.
+        total: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NonPositiveDrive { scenario } => {
+                write!(f, "scenario drive must be positive and finite ({scenario})")
+            }
+            SolveError::IterationLimit { iterations } => {
+                write!(f, "PCG failed to converge in {iterations} iterations")
+            }
+            SolveError::NonPositiveCurrent { total } => {
+                write!(f, "total leaked current must be positive (got {total})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Phase instrumentation of a [`Study`]: what `prepare` paid, once, and
+/// how many scenarios that investment has served so far.
+///
+/// This is the record the CAD pipeline's phase table and the CI bench
+/// gate assert against: a scenario sweep through one `Study` shows
+/// `assemblies == 1` and `factorizations <= 1` no matter how many solves
+/// follow.
+#[derive(Clone, Copy, Debug)]
+pub struct StudyProfile {
+    /// Matrix generations performed (always 1 per `Study`).
+    pub assemblies: usize,
+    /// Factorizations performed: 1 for the direct solvers, 0 for the
+    /// iterative path (PCG retains the assembled operator instead of a
+    /// factor).
+    pub factorizations: usize,
+    /// Wall-clock seconds of matrix generation.
+    pub assembly_seconds: f64,
+    /// Wall-clock seconds of the factorization (0 for PCG).
+    pub factor_seconds: f64,
+    /// Scenario solves served since `prepare`.
+    pub scenario_solves: usize,
+}
+
+/// The retained solver state: exactly one variant per
+/// [`SolverChoice`](crate::formulation::SolverChoice) path.
+enum Engine {
+    /// Packed `L·Lᵀ` factor of the Galerkin matrix.
+    Cholesky(CholeskyFactor),
+    /// Pivoted LU of the dense (Galerkin-expanded or collocation) matrix.
+    Lu(LuFactor),
+    /// The assembled Galerkin operator, retained for per-scenario PCG
+    /// (diagonal preconditioner and pooled matvec are rebuilt per solve;
+    /// both are deterministic, so repeated solves are bit-identical).
+    Pcg(SymMatrix),
+}
+
+/// A prepared grounding study: the assembled-and-factorized system of one
+/// [`GroundingSystem`], reusable across any number of [`Scenario`]s.
+///
+/// Created by [`GroundingSystem::prepare`] (or
+/// [`prepare_with_mode`](GroundingSystem::prepare_with_mode) /
+/// [`prepare_assembled`](GroundingSystem::prepare_assembled)). The handle
+/// owns everything it needs — factor, right-hand side, current weights,
+/// solve options — so it may outlive the system that built it.
+pub struct Study {
+    opts: crate::formulation::SolveOptions,
+    engine: Engine,
+    /// Unit-GPR right-hand side of the retained formulation (`ν` for
+    /// Galerkin, the unit boundary potentials for collocation).
+    rhs: Vec<f64>,
+    /// Galerkin weights `ν_i = ∫ N_i dΓ` for the current integral
+    /// `IΓ = Σ q_i ν_i` (identical to `rhs` for Galerkin).
+    nu: Vec<f64>,
+    /// Per-column assembly cost profile (Galerkin engines; empty for
+    /// collocation).
+    column_seconds: Vec<f64>,
+    column_terms: Vec<u64>,
+    assembly_seconds: f64,
+    factor_seconds: f64,
+    factorizations: usize,
+    solves: AtomicUsize,
+}
+
+impl std::fmt::Debug for Study {
+    /// `Study` carries large owned buffers; summarize instead of dumping.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Study")
+            .field("dof", &self.rhs.len())
+            .field("profile", &self.profile())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Study {
+    /// Assembles and factorizes `system` with the explicit
+    /// matrix-generation `mode` (collocation decks ignore it — their
+    /// assembler is selected by `parallelism` alone, as the legacy path
+    /// always did).
+    pub(crate) fn prepare(
+        system: &GroundingSystem,
+        mode: &AssemblyMode,
+    ) -> Result<Study, PrepareError> {
+        let opts = *system.options();
+        match opts.formulation {
+            Formulation::Galerkin => {
+                let t = Instant::now();
+                let report = system.assemble(mode);
+                let assembly_seconds = t.elapsed().as_secs_f64();
+                Study::from_galerkin_report(system, report, assembly_seconds)
+            }
+            Formulation::Collocation => {
+                let t = Instant::now();
+                let (c, rhs) = match opts.parallelism {
+                    Some(par) => assemble_collocation_pooled(
+                        system.mesh(),
+                        system.kernel(),
+                        &par.pool,
+                        par.schedule,
+                    ),
+                    None => assemble_collocation(system.mesh(), system.kernel()),
+                };
+                let assembly_seconds = t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let f = match opts.parallelism {
+                    Some(par) => LuFactor::factor_pooled_blocked(
+                        &c,
+                        &par.pool,
+                        par.schedule,
+                        par.factor_block,
+                    ),
+                    None => LuFactor::factor(&c),
+                }?;
+                Ok(Study {
+                    opts,
+                    engine: Engine::Lu(f),
+                    rhs,
+                    nu: galerkin_rhs(system.mesh()),
+                    column_seconds: Vec::new(),
+                    column_terms: Vec::new(),
+                    assembly_seconds,
+                    factor_seconds: t.elapsed().as_secs_f64(),
+                    factorizations: 1,
+                    solves: AtomicUsize::new(0),
+                })
+            }
+        }
+    }
+
+    /// Factorizes an already-generated Galerkin report, cloning only
+    /// what the engine retains — the direct solvers factor from the
+    /// borrowed matrix with no copy (the PCG engine must own it);
+    /// `assembly_seconds` is attributed to the report's own generation
+    /// time.
+    pub(crate) fn from_report(
+        system: &GroundingSystem,
+        report: &AssemblyReport,
+    ) -> Result<Study, PrepareError> {
+        let opts = *system.options();
+        let t = Instant::now();
+        let (engine, factorizations) =
+            Study::galerkin_engine(&opts, std::borrow::Cow::Borrowed(&report.matrix))?;
+        Ok(Study {
+            opts,
+            rhs: report.rhs.clone(),
+            nu: report.rhs.clone(),
+            engine,
+            column_seconds: report.column_seconds.clone(),
+            column_terms: report.column_terms.clone(),
+            assembly_seconds: report.generation_seconds,
+            factor_seconds: t.elapsed().as_secs_f64(),
+            factorizations,
+            solves: AtomicUsize::new(0),
+        })
+    }
+
+    fn from_galerkin_report(
+        system: &GroundingSystem,
+        report: AssemblyReport,
+        assembly_seconds: f64,
+    ) -> Result<Study, PrepareError> {
+        let opts = *system.options();
+        let AssemblyReport {
+            matrix,
+            rhs,
+            column_seconds,
+            column_terms,
+            ..
+        } = report;
+        let t = Instant::now();
+        let (engine, factorizations) =
+            Study::galerkin_engine(&opts, std::borrow::Cow::Owned(matrix))?;
+        Ok(Study {
+            opts,
+            nu: rhs.clone(),
+            rhs,
+            engine,
+            column_seconds,
+            column_terms,
+            assembly_seconds,
+            factor_seconds: t.elapsed().as_secs_f64(),
+            factorizations,
+            solves: AtomicUsize::new(0),
+        })
+    }
+
+    /// Builds the retained engine from a Galerkin matrix. The direct
+    /// solvers only read the matrix (owned input is dropped after
+    /// factoring — no transient copy either way); the PCG engine keeps
+    /// it, taking ownership or cloning as the `Cow` dictates.
+    fn galerkin_engine(
+        opts: &crate::formulation::SolveOptions,
+        matrix: std::borrow::Cow<'_, SymMatrix>,
+    ) -> Result<(Engine, usize), PrepareError> {
+        Ok(match opts.solver {
+            SolverChoice::ConjugateGradient => (Engine::Pcg(matrix.into_owned()), 0),
+            SolverChoice::Cholesky => {
+                let f = match opts.parallelism {
+                    Some(par) => CholeskyFactor::factor_pooled_blocked(
+                        &matrix,
+                        &par.pool,
+                        par.schedule,
+                        par.factor_block,
+                    ),
+                    None => CholeskyFactor::factor(&matrix),
+                }?;
+                (Engine::Cholesky(f), 1)
+            }
+            SolverChoice::Lu => {
+                let dense = matrix.to_dense();
+                let f = match opts.parallelism {
+                    Some(par) => LuFactor::factor_pooled_blocked(
+                        &dense,
+                        &par.pool,
+                        par.schedule,
+                        par.factor_block,
+                    ),
+                    None => LuFactor::factor(&dense),
+                }?;
+                (Engine::Lu(f), 1)
+            }
+        })
+    }
+
+    /// Degrees of freedom of the prepared system.
+    pub fn dof(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// The solve options the study was prepared with.
+    pub fn options(&self) -> &crate::formulation::SolveOptions {
+        &self.opts
+    }
+
+    /// Per-column assembly wall seconds (Galerkin; empty for
+    /// collocation) — the task profile the schedule simulator replays.
+    pub fn column_seconds(&self) -> &[f64] {
+        &self.column_seconds
+    }
+
+    /// Series terms per assembly column (deterministic cost proxy).
+    pub fn column_terms(&self) -> &[u64] {
+        &self.column_terms
+    }
+
+    /// Total series terms the one-time assembly consumed.
+    pub fn total_terms(&self) -> u64 {
+        self.column_terms.iter().sum()
+    }
+
+    /// Phase instrumentation: what `prepare` paid and how many scenarios
+    /// it has served.
+    pub fn profile(&self) -> StudyProfile {
+        StudyProfile {
+            assemblies: 1,
+            factorizations: self.factorizations,
+            assembly_seconds: self.assembly_seconds,
+            factor_seconds: self.factor_seconds,
+            scenario_solves: self.solves.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers one scenario at `O(N²)` back-substitution cost (one PCG
+    /// run for the iterative engine).
+    ///
+    /// The result is **bit-identical** to what the legacy
+    /// `GroundingSystem::solve` would have produced for the same
+    /// question: the unit-GPR system is solved by the identical kernel
+    /// and the solution is scaled by the scenario's drive exactly as the
+    /// legacy scaling did.
+    pub fn solve(&self, scenario: &Scenario) -> Result<GroundingSolution, SolveError> {
+        // Validate before paying the backsolve: an invalid drive must not
+        // cost O(N²) work or count as a served scenario.
+        if !scenario.is_valid() {
+            return Err(SolveError::NonPositiveDrive {
+                scenario: *scenario,
+            });
+        }
+        let (q_unit, iterations) = self.solve_unit()?;
+        let solution = self.package(q_unit, scenario, iterations)?;
+        // Count only successfully served scenarios.
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        Ok(solution)
+    }
+
+    /// Answers a whole scenario sweep from the single retained
+    /// factorization: one multi-RHS
+    /// [`solve_many`](CholeskyFactor::solve_many) call — pool-parallel
+    /// over the scenario columns when parallelism is configured — then a
+    /// per-scenario scaling.
+    ///
+    /// Solutions are **bit-identical** to calling [`solve`](Self::solve)
+    /// per scenario (and hence to N independent legacy solves), serial
+    /// and pooled; the first invalid scenario aborts the batch with its
+    /// error.
+    pub fn solve_batch(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Result<Vec<GroundingSolution>, SolveError> {
+        // Validate the whole sweep before solving anything: one bad
+        // scenario must not cost a multi-RHS solve.
+        if let Some(bad) = scenarios.iter().find(|s| !s.is_valid()) {
+            return Err(SolveError::NonPositiveDrive { scenario: *bad });
+        }
+        match &self.engine {
+            Engine::Pcg(_) => scenarios.iter().map(|s| self.solve(s)).collect(),
+            direct => {
+                let cols = vec![self.rhs.clone(); scenarios.len()];
+                let units = match (direct, self.opts.parallelism) {
+                    (Engine::Cholesky(f), Some(par)) => {
+                        f.solve_many_pooled(&cols, &par.pool, par.schedule)
+                    }
+                    (Engine::Cholesky(f), None) => f.solve_many(&cols),
+                    (Engine::Lu(f), Some(par)) => {
+                        f.solve_many_pooled(&cols, &par.pool, par.schedule)
+                    }
+                    (Engine::Lu(f), None) => f.solve_many(&cols),
+                    (Engine::Pcg(_), _) => unreachable!("handled above"),
+                };
+                let solutions: Vec<GroundingSolution> = units
+                    .into_iter()
+                    .zip(scenarios)
+                    .map(|(q_unit, s)| self.package(q_unit, s, 0))
+                    .collect::<Result<_, _>>()?;
+                // Count only successfully served scenarios.
+                self.solves.fetch_add(solutions.len(), Ordering::Relaxed);
+                Ok(solutions)
+            }
+        }
+    }
+
+    /// Solves the retained system for unit GPR; returns the unit leakage
+    /// density and the iteration count (0 for the direct engines).
+    fn solve_unit(&self) -> Result<(Vec<f64>, usize), SolveError> {
+        match &self.engine {
+            Engine::Cholesky(f) => Ok((f.solve(&self.rhs), 0)),
+            Engine::Lu(f) => Ok((f.solve(&self.rhs), 0)),
+            Engine::Pcg(matrix) => {
+                let popts = PcgOptions {
+                    rel_tol: self.opts.cg_rel_tol,
+                    vector_parallelism: self.opts.parallelism.map(|p| (p.pool, p.schedule)),
+                    ..Default::default()
+                };
+                let out = match self.opts.parallelism {
+                    Some(par) => pcg_solve(
+                        &PooledSymOperator::new(matrix, par.pool, par.schedule),
+                        &self.rhs,
+                        popts,
+                    ),
+                    None => pcg_solve(matrix, &self.rhs, popts),
+                };
+                if !out.converged {
+                    return Err(SolveError::IterationLimit {
+                        iterations: out.history.iterations(),
+                    });
+                }
+                Ok((out.x, out.history.iterations()))
+            }
+        }
+    }
+
+    /// Scales the unit-GPR solution to the scenario's drive — the exact
+    /// floating-point sequence of the legacy scaling, so staged solutions
+    /// reproduce legacy solutions bit for bit.
+    fn package(
+        &self,
+        q_unit: Vec<f64>,
+        scenario: &Scenario,
+        iterations: usize,
+    ) -> Result<GroundingSolution, SolveError> {
+        if !scenario.is_valid() {
+            return Err(SolveError::NonPositiveDrive {
+                scenario: *scenario,
+            });
+        }
+        match *scenario {
+            Scenario::Gpr { volts } => self.package_gpr(q_unit, volts, iterations, *scenario),
+            Scenario::FaultCurrent { amps } => {
+                // Mirror `analysis::solve_for_fault_current`: answer the
+                // unit-GPR question, then scale to the GPR that leaks
+                // exactly the prescribed current.
+                let unit = self.package_gpr(q_unit, 1.0, iterations, *scenario)?;
+                let gpr = amps * unit.equivalent_resistance;
+                Ok(GroundingSolution {
+                    leakage: unit.leakage.iter().map(|q| q * gpr).collect(),
+                    gpr,
+                    total_current: amps,
+                    equivalent_resistance: unit.equivalent_resistance,
+                    solver_iterations: iterations,
+                    scenario: *scenario,
+                })
+            }
+        }
+    }
+
+    fn package_gpr(
+        &self,
+        q_unit: Vec<f64>,
+        gpr: f64,
+        iterations: usize,
+        scenario: Scenario,
+    ) -> Result<GroundingSolution, SolveError> {
+        // IΓ = ∫ q dΓ = Σ_i q_i ∫ N_i = Σ_i q_i ν_i. NaN fails the
+        // comparison and is (correctly) reported as non-physical.
+        let i_unit: f64 = q_unit.iter().zip(&self.nu).map(|(q, n)| q * n).sum();
+        if i_unit.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(SolveError::NonPositiveCurrent { total: i_unit });
+        }
+        let leakage: Vec<f64> = q_unit.iter().map(|q| q * gpr).collect();
+        Ok(GroundingSolution {
+            leakage,
+            gpr,
+            total_current: i_unit * gpr,
+            equivalent_resistance: gpr / (i_unit * gpr),
+            solver_iterations: iterations,
+            scenario,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulation::{Formulation, SolveOptions, SolverChoice};
+    use layerbem_geometry::conductor::ground_rod;
+    use layerbem_geometry::{ConductorNetwork, MeshOptions, Mesher, Point3};
+    use layerbem_soil::SoilModel;
+
+    fn rod_mesh(n_elems: usize) -> layerbem_geometry::Mesh {
+        let mut net = ConductorNetwork::new();
+        net.add(ground_rod(Point3::new(0.0, 0.0, 0.5), 3.0, 0.007));
+        Mesher::new(MeshOptions {
+            max_element_length: 3.0 / n_elems as f64 + 1e-9,
+            ..Default::default()
+        })
+        .mesh(&net)
+    }
+
+    fn system(solver: SolverChoice) -> GroundingSystem {
+        GroundingSystem::new(
+            rod_mesh(6),
+            &SoilModel::uniform(0.016),
+            SolveOptions {
+                solver,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn staged_solutions_match_legacy_solves_bitwise() {
+        for solver in [
+            SolverChoice::ConjugateGradient,
+            SolverChoice::Cholesky,
+            SolverChoice::Lu,
+        ] {
+            let sys = system(solver);
+            let study = sys.prepare().expect("prepare");
+            for gpr in [1.0, 2_500.0, 10_000.0] {
+                #[allow(deprecated)]
+                let legacy = sys.solve(&AssemblyMode::Sequential, gpr);
+                let staged = study.solve(&Scenario::gpr(gpr)).expect("solve");
+                assert_eq!(legacy.leakage, staged.leakage, "{solver:?} gpr={gpr}");
+                assert_eq!(legacy.total_current, staged.total_current);
+                assert_eq!(legacy.equivalent_resistance, staged.equivalent_resistance);
+                assert_eq!(legacy.solver_iterations, staged.solver_iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_is_bitwise_per_scenario_solve_and_amortizes_prepare() {
+        let sys = system(SolverChoice::Cholesky);
+        let study = sys.prepare().expect("prepare");
+        let scenarios: Vec<Scenario> = (1..=16).map(|i| Scenario::gpr(625.0 * i as f64)).collect();
+        let batch = study.solve_batch(&scenarios).expect("batch");
+        assert_eq!(batch.len(), 16);
+        for (sol, s) in batch.iter().zip(&scenarios) {
+            let single = study.solve(s).expect("solve");
+            assert_eq!(sol.leakage, single.leakage);
+            assert_eq!(sol.equivalent_resistance, single.equivalent_resistance);
+            assert_eq!(sol.scenario, *s);
+        }
+        // The acceptance invariant: the 16-scenario sweep (plus the 16
+        // cross-check singles) paid exactly one assembly and one
+        // factorization.
+        let profile = study.profile();
+        assert_eq!(profile.assemblies, 1);
+        assert_eq!(profile.factorizations, 1);
+        assert_eq!(profile.scenario_solves, 32);
+        assert!(profile.assembly_seconds > 0.0);
+    }
+
+    #[test]
+    fn pcg_studies_count_zero_factorizations() {
+        let sys = system(SolverChoice::ConjugateGradient);
+        let study = sys.prepare().expect("prepare");
+        let _ = study.solve(&Scenario::gpr(1.0)).expect("solve");
+        let profile = study.profile();
+        assert_eq!(profile.assemblies, 1);
+        assert_eq!(profile.factorizations, 0);
+        assert_eq!(profile.scenario_solves, 1);
+    }
+
+    #[test]
+    fn fault_current_scenario_matches_the_analysis_driver_bitwise() {
+        let sys = system(SolverChoice::ConjugateGradient);
+        let study = sys.prepare().expect("prepare");
+        let target = 25_000.0;
+        #[allow(deprecated)]
+        let legacy =
+            crate::analysis::solve_for_fault_current(&sys, &AssemblyMode::Sequential, target);
+        let staged = study
+            .solve(&Scenario::fault_current(target))
+            .expect("solve");
+        assert_eq!(staged.total_current, target);
+        assert_eq!(legacy.leakage, staged.leakage);
+        assert_eq!(legacy.gpr, staged.gpr);
+        assert_eq!(legacy.equivalent_resistance, staged.equivalent_resistance);
+    }
+
+    #[test]
+    fn invalid_scenarios_return_typed_errors_not_panics() {
+        let sys = system(SolverChoice::Cholesky);
+        let study = sys.prepare().expect("prepare");
+        for bad in [
+            Scenario::gpr(0.0),
+            Scenario::gpr(-5.0),
+            Scenario::gpr(f64::NAN),
+            Scenario::gpr(f64::INFINITY),
+            Scenario::fault_current(0.0),
+            Scenario::fault_current(-1.0),
+        ] {
+            match study.solve(&bad) {
+                // Bit-level drive comparison: NaN drives are carried
+                // through the error faithfully but compare unequal.
+                Err(SolveError::NonPositiveDrive { scenario }) => {
+                    assert_eq!(scenario.drive().to_bits(), bad.drive().to_bits())
+                }
+                other => panic!("expected NonPositiveDrive, got {other:?}"),
+            }
+        }
+        // A bad scenario mid-batch aborts with the same typed error.
+        let err = study
+            .solve_batch(&[Scenario::gpr(1.0), Scenario::gpr(-1.0)])
+            .unwrap_err();
+        assert!(matches!(err, SolveError::NonPositiveDrive { .. }));
+    }
+
+    #[test]
+    fn collocation_studies_prepare_and_sweep() {
+        let sys = GroundingSystem::new(
+            rod_mesh(8),
+            &SoilModel::uniform(0.016),
+            SolveOptions {
+                formulation: Formulation::Collocation,
+                ..Default::default()
+            },
+        );
+        let study = sys.prepare().expect("prepare");
+        assert_eq!(study.profile().factorizations, 1);
+        #[allow(deprecated)]
+        let legacy = sys.solve(&AssemblyMode::Sequential, 5_000.0);
+        let staged = study.solve(&Scenario::gpr(5_000.0)).expect("solve");
+        assert_eq!(legacy.leakage, staged.leakage);
+        assert_eq!(legacy.equivalent_resistance, staged.equivalent_resistance);
+        // Collocation has no per-column Galerkin profile.
+        assert!(study.column_seconds().is_empty());
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_batch_bitwise() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let mesh = rod_mesh(8);
+        let soil = SoilModel::uniform(0.016);
+        let scenarios: Vec<Scenario> = (1..=5).map(|i| Scenario::gpr(2_000.0 * i as f64)).collect();
+        for solver in [
+            SolverChoice::ConjugateGradient,
+            SolverChoice::Cholesky,
+            SolverChoice::Lu,
+        ] {
+            let base = SolveOptions {
+                solver,
+                ..Default::default()
+            };
+            let serial = GroundingSystem::new(mesh.clone(), &soil, base)
+                .prepare()
+                .expect("prepare")
+                .solve_batch(&scenarios)
+                .expect("batch");
+            for threads in [2, 4] {
+                let opts = base.with_parallelism(ThreadPool::new(threads), Schedule::dynamic(1));
+                let pooled = GroundingSystem::new(mesh.clone(), &soil, opts)
+                    .prepare()
+                    .expect("prepare")
+                    .solve_batch(&scenarios)
+                    .expect("batch");
+                for (a, b) in serial.iter().zip(&pooled) {
+                    assert_eq!(a.leakage, b.leakage, "{solver:?} threads={threads}");
+                    assert_eq!(a.equivalent_resistance, b.equivalent_resistance);
+                    assert_eq!(a.solver_iterations, b.solver_iterations);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_display_is_self_describing() {
+        assert_eq!(Scenario::gpr(10_000.0).to_string(), "GPR 10000 V");
+        assert_eq!(
+            Scenario::fault_current(25_000.0).to_string(),
+            "fault current 25000 A"
+        );
+        assert_eq!(Scenario::gpr(3.5).drive(), 3.5);
+    }
+
+    #[test]
+    fn error_displays_name_the_cause() {
+        let e = PrepareError::NotPositiveDefinite(NotPositiveDefinite { pivot: 4 });
+        assert!(e.to_string().contains("pivot 4"));
+        let e = PrepareError::Singular(SingularMatrix { column: 2 });
+        assert!(e.to_string().contains("column 2"));
+        let e = SolveError::IterationLimit { iterations: 7 };
+        assert!(e.to_string().contains("7 iterations"));
+        let e = SolveError::NonPositiveCurrent { total: -1.0 };
+        assert!(e.to_string().contains("positive"));
+    }
+}

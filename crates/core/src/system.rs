@@ -6,17 +6,12 @@
 //! normalization of §2: "the assumption VΓ = 1 is not restrictive at all").
 
 use layerbem_geometry::Mesh;
-use layerbem_numeric::cholesky::CholeskyFactor;
-use layerbem_numeric::lu::LuFactor;
-use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
 use layerbem_soil::SoilModel;
 
-use crate::assembly::{
-    assemble_collocation, assemble_collocation_pooled, assemble_galerkin, AssemblyMode,
-    AssemblyReport,
-};
-use crate::formulation::{Formulation, SolveOptions, SolverChoice};
+use crate::assembly::{assemble_galerkin, AssemblyMode, AssemblyReport};
+use crate::formulation::SolveOptions;
 use crate::kernel::SoilKernel;
+use crate::study::{PrepareError, Scenario, Study};
 
 /// A grounding analysis problem: mesh + soil + options.
 #[derive(Clone, Debug)]
@@ -39,6 +34,9 @@ pub struct GroundingSolution {
     pub equivalent_resistance: f64,
     /// Iterations used by the iterative solver (0 for direct).
     pub solver_iterations: usize,
+    /// The scenario this solution answers — carried so sweep report rows
+    /// are self-describing.
+    pub scenario: Scenario,
 }
 
 impl GroundingSystem {
@@ -90,128 +88,128 @@ impl GroundingSystem {
         }
     }
 
+    /// Assembles **and** factorizes the system once, returning a
+    /// reusable [`Study`] that answers any number of
+    /// [`Scenario`]s at back-substitution cost.
+    ///
+    /// The matrix-generation engine is derived from
+    /// [`SolveOptions::parallelism`] (the zero-staging worklist assembler
+    /// on the pool when configured, the sequential double loop otherwise)
+    /// — there is no separate assembly-mode argument to contradict the
+    /// solve configuration. With parallelism set, the factorization runs
+    /// its blocked pool-parallel right-looking variant (bit-identical
+    /// factors for every schedule, thread count and block size).
+    ///
+    /// This is the primary entry point: `prepare` once, then
+    /// [`Study::solve`] / [`Study::solve_batch`] per question.
+    pub fn prepare(&self) -> Result<Study, PrepareError> {
+        Study::prepare(self, &self.default_assembly_mode())
+    }
+
+    /// [`prepare`](Self::prepare) with an explicit matrix-generation
+    /// mode — the benchmarking entry for the paper's staged baselines
+    /// (`ParallelOuter`/`ParallelInner`) and the retained envelope-scan
+    /// engine. Collocation formulations ignore the mode (their assembler
+    /// is selected by [`SolveOptions::parallelism`] alone).
+    pub fn prepare_with_mode(&self, mode: &AssemblyMode) -> Result<Study, PrepareError> {
+        Study::prepare(self, mode)
+    }
+
+    /// Factorizes an already-generated Galerkin report into a [`Study`]
+    /// (retaining a copy of what it needs). Like the legacy
+    /// `solve_assembled`, the report is treated as a Galerkin system
+    /// regardless of [`SolveOptions::formulation`].
+    pub fn prepare_assembled(&self, report: &AssemblyReport) -> Result<Study, PrepareError> {
+        Study::from_report(self, report)
+    }
+
     /// Solves a previously assembled Galerkin system for the given GPR.
     ///
-    /// With [`SolveOptions::parallelism`] set, the solve runs on the pool:
-    /// PCG applies the matrix through the partitioned
-    /// [`PooledSymOperator`] and folds its dot products and norms into
-    /// pooled fixed-partition reductions (bit-identical iterates to the
-    /// serial solver), and the direct factorizations run their blocked
-    /// right-looking trailing updates on the pool, one region per panel
-    /// of [`Parallelism::factor_block`](crate::formulation::Parallelism)
-    /// columns (bit-identical factors).
+    /// Thin legacy wrapper over
+    /// [`prepare_assembled`](Self::prepare_assembled) +
+    /// [`Study::solve`]: it re-factorizes on **every** call and panics on
+    /// failure. Prefer the staged API, which factorizes once and returns
+    /// typed errors.
     ///
     /// # Panics
-    /// Panics if the direct factorization fails (matrix not SPD) or the
-    /// iterative solver stalls before reaching its tolerance.
+    /// Panics if the direct factorization fails (matrix not SPD), the
+    /// iterative solver stalls before reaching its tolerance, or the GPR
+    /// is not positive.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `prepare_assembled()` and `Study::solve` — the staged API factorizes once \
+                per study and returns typed errors instead of panicking"
+    )]
     pub fn solve_assembled(&self, report: &AssemblyReport, gpr: f64) -> GroundingSolution {
-        assert!(gpr > 0.0, "GPR must be positive");
-        let (q_unit, iterations) = match self.opts.solver {
-            SolverChoice::ConjugateGradient => {
-                let popts = PcgOptions {
-                    rel_tol: self.opts.cg_rel_tol,
-                    vector_parallelism: self.opts.parallelism.map(|p| (p.pool, p.schedule)),
-                    ..Default::default()
-                };
-                let out = match self.opts.parallelism {
-                    Some(par) => pcg_solve(
-                        &PooledSymOperator::new(&report.matrix, par.pool, par.schedule),
-                        &report.rhs,
-                        popts,
-                    ),
-                    None => pcg_solve(&report.matrix, &report.rhs, popts),
-                };
-                assert!(
-                    out.converged,
-                    "PCG failed to converge in {} iterations",
-                    out.history.iterations()
-                );
-                (out.x, out.history.iterations())
-            }
-            SolverChoice::Cholesky => {
-                let f = match self.opts.parallelism {
-                    Some(par) => CholeskyFactor::factor_pooled_blocked(
-                        &report.matrix,
-                        &par.pool,
-                        par.schedule,
-                        par.factor_block,
-                    ),
-                    None => CholeskyFactor::factor(&report.matrix),
-                }
-                .expect("Galerkin matrix must be SPD");
-                (f.solve(&report.rhs), 0)
-            }
-            SolverChoice::Lu => {
-                let dense = report.matrix.to_dense();
-                let f = match self.opts.parallelism {
-                    Some(par) => LuFactor::factor_pooled_blocked(
-                        &dense,
-                        &par.pool,
-                        par.schedule,
-                        par.factor_block,
-                    ),
-                    None => LuFactor::factor(&dense),
-                }
-                .expect("Galerkin matrix must be nonsingular");
-                (f.solve(&report.rhs), 0)
-            }
-        };
-        self.package(q_unit, gpr, iterations)
+        let study = self
+            .prepare_assembled(report)
+            .unwrap_or_else(|e| panic!("{e}"));
+        study
+            .solve(&Scenario::gpr(gpr))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Full analysis: assemble + solve for the given GPR.
+    ///
+    /// Thin legacy wrapper over
+    /// [`prepare_with_mode`](Self::prepare_with_mode) + [`Study::solve`]:
+    /// it re-assembles and re-factorizes on **every** call and panics on
+    /// failure. Prefer [`prepare`](Self::prepare), which also removes
+    /// this method's footgun — an `AssemblyMode` argument whose pool can
+    /// contradict [`SolveOptions::parallelism`]. In debug builds the
+    /// wrapper asserts the two agree: when a pooled solve is configured,
+    /// the assembly mode must run on a pool of the same width (assembling
+    /// on a different pool — or sequentially — while the solve is pooled
+    /// is almost certainly a configuration mistake). A parallel mode with
+    /// a *serial* solve configuration stays permitted: that is the
+    /// paper's own measurement setup.
+    ///
+    /// # Panics
+    /// Panics if the factorization fails, the iterative solver stalls, or
+    /// the GPR is not positive.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `prepare()` and `Study::solve` — the staged API derives the assembly mode \
+                from `SolveOptions::parallelism`, factorizes once per study, and returns typed \
+                errors instead of panicking"
+    )]
     pub fn solve(&self, mode: &AssemblyMode, gpr: f64) -> GroundingSolution {
-        match self.opts.formulation {
-            Formulation::Galerkin => {
-                let report = self.assemble(mode);
-                self.solve_assembled(&report, gpr)
-            }
-            Formulation::Collocation => {
-                // With a pool configured, both collocation phases run on
-                // it: the row-partitioned in-place assembler and the
-                // blocked pooled LU — each bit-identical to its serial
-                // counterpart.
-                let (c, rhs) = match self.opts.parallelism {
-                    Some(par) => assemble_collocation_pooled(
-                        &self.mesh,
-                        &self.kernel,
-                        &par.pool,
-                        par.schedule,
-                    ),
-                    None => assemble_collocation(&self.mesh, &self.kernel),
-                };
-                let f = match self.opts.parallelism {
-                    Some(par) => LuFactor::factor_pooled_blocked(
-                        &c,
-                        &par.pool,
-                        par.schedule,
-                        par.factor_block,
-                    ),
-                    None => LuFactor::factor(&c),
-                }
-                .expect("collocation matrix must be nonsingular");
-                self.package(f.solve(&rhs), gpr, 0)
-            }
-        }
+        debug_assert!(
+            self.mode_agrees_with_parallelism(mode),
+            "assembly mode {mode:?} contradicts SolveOptions::parallelism \
+             ({:?}): with a pooled solve configured, assembly must run on a \
+             pool of the same width — use prepare(), which derives the mode",
+            self.opts.parallelism
+        );
+        let study = self
+            .prepare_with_mode(mode)
+            .unwrap_or_else(|e| panic!("{e}"));
+        study
+            .solve(&Scenario::gpr(gpr))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Scales the unit-GPR solution and computes the derived quantities.
-    fn package(&self, q_unit: Vec<f64>, gpr: f64, iterations: usize) -> GroundingSolution {
-        // IΓ = ∫ q dΓ = Σ_i q_i ∫ N_i = Σ_i q_i ν_i.
-        let nu = crate::assembly::galerkin_rhs(&self.mesh);
-        let i_unit: f64 = q_unit.iter().zip(&nu).map(|(q, n)| q * n).sum();
-        assert!(
-            i_unit > 0.0,
-            "total leaked current must be positive (got {i_unit})"
-        );
-        let leakage: Vec<f64> = q_unit.iter().map(|q| q * gpr).collect();
-        GroundingSolution {
-            leakage,
-            gpr,
-            total_current: i_unit * gpr,
-            equivalent_resistance: gpr / (i_unit * gpr),
-            solver_iterations: iterations,
+    /// Whether a caller-supplied assembly mode is consistent with the
+    /// configured solve parallelism: a pooled solve requires an assembly
+    /// pool of the same width; a serial solve accepts any mode (the
+    /// paper's parallel-assembly/serial-solve baselines are legitimate).
+    /// Collocation formulations ignore the mode entirely, so any value
+    /// is consistent there.
+    fn mode_agrees_with_parallelism(&self, mode: &AssemblyMode) -> bool {
+        if self.opts.formulation == crate::formulation::Formulation::Collocation {
+            return true;
         }
+        let Some(par) = self.opts.parallelism else {
+            return true;
+        };
+        let mode_threads = match mode {
+            AssemblyMode::Sequential => 1,
+            AssemblyMode::ParallelOuter(pool, _)
+            | AssemblyMode::ParallelInner(pool, _)
+            | AssemblyMode::ParallelDirect(pool, _)
+            | AssemblyMode::ParallelDirectScan(pool, _) => pool.threads(),
+        };
+        mode_threads == par.pool.threads()
     }
 }
 
@@ -224,7 +222,11 @@ impl GroundingSolution {
 
 #[cfg(test)]
 mod tests {
+    // The legacy wrappers stay covered here on purpose: these tests pin
+    // the behavior the deprecated surface promises to preserve.
+    #![allow(deprecated)]
     use super::*;
+    use crate::formulation::{Formulation, SolverChoice};
     use layerbem_geometry::conductor::ground_rod;
     use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
     use layerbem_geometry::{ConductorNetwork, MeshOptions, Mesher, Point3};
@@ -555,6 +557,57 @@ mod tests {
             }
         }
         assert!(end_q > 1.2 * mid_q, "end {end_q} vs mid {mid_q}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "contradicts SolveOptions::parallelism")]
+    fn legacy_solve_rejects_contradictory_assembly_mode() {
+        // The removed footgun: a pooled solve configuration combined with
+        // a sequential (or differently-pooled) assembly mode. The staged
+        // `prepare()` path derives the mode and cannot express this; the
+        // legacy wrapper debug-asserts it away.
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let sys = GroundingSystem::new(
+            rod_mesh(3),
+            &SoilModel::uniform(0.02),
+            SolveOptions::default().with_parallelism(ThreadPool::new(2), Schedule::dynamic(1)),
+        );
+        let _ = sys.solve(&AssemblyMode::Sequential, 1.0);
+    }
+
+    #[test]
+    fn legacy_solve_ignores_the_mode_for_collocation_without_asserting() {
+        // Collocation never reads the mode argument, so a Sequential mode
+        // next to a pooled solve configuration is not a contradiction
+        // there — this previously-valid call pattern must keep working.
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let opts = SolveOptions {
+            formulation: Formulation::Collocation,
+            ..Default::default()
+        }
+        .with_parallelism(ThreadPool::new(2), Schedule::dynamic(1));
+        let sys = GroundingSystem::new(rod_mesh(4), &SoilModel::uniform(0.02), opts);
+        let sol = sys.solve(&AssemblyMode::Sequential, 1.0);
+        assert!(sol.equivalent_resistance > 0.0);
+    }
+
+    #[test]
+    fn legacy_solve_accepts_paper_baseline_modes_with_serial_solve() {
+        // Parallel assembly + serial solve is the paper's own measurement
+        // setup and must stay permitted through the legacy wrapper.
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let sys = GroundingSystem::new(
+            rod_mesh(4),
+            &SoilModel::uniform(0.02),
+            SolveOptions::default(),
+        );
+        let seq = sys.solve(&AssemblyMode::Sequential, 1.0);
+        let outer = sys.solve(
+            &AssemblyMode::ParallelOuter(ThreadPool::new(3), Schedule::guided(1)),
+            1.0,
+        );
+        assert_eq!(seq.leakage, outer.leakage);
     }
 
     #[test]

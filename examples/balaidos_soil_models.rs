@@ -52,7 +52,11 @@ fn main() {
     for (label, soil) in cases {
         let system = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default());
         let t0 = std::time::Instant::now();
-        let solution = system.solve(&AssemblyMode::Sequential, gpr);
+        let solution = system
+            .prepare()
+            .expect("prepare")
+            .solve(&Scenario::gpr(gpr))
+            .expect("solve");
         println!("model {label}");
         println!(
             "  Req = {:.4} Ω   IΓ = {:.2} kA   ({:.2} s)\n",

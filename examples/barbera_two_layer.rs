@@ -37,7 +37,11 @@ fn main() {
         let t0 = std::time::Instant::now();
         let report = system.assemble(&mode);
         let gen = t0.elapsed().as_secs_f64();
-        let solution = system.solve_assembled(&report, gpr);
+        let solution = system
+            .prepare_assembled(&report)
+            .expect("prepare")
+            .solve(&Scenario::gpr(gpr))
+            .expect("solve");
         println!("\nsoil: {label}");
         println!(
             "  matrix generation: {gen:.2} s on {} threads ({} series terms)",

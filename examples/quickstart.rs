@@ -42,9 +42,10 @@ fn main() {
     // 3. Soil model: 1 m of poor topsoil over a conductive substratum.
     let soil = SoilModel::two_layer(0.005, 0.016, 1.0);
 
-    // 4. Solve for a 10 kV ground potential rise.
+    // 4. Prepare once (assembly + factorization), then solve scenarios.
     let system = GroundingSystem::new(mesh, &soil, SolveOptions::default());
-    let solution = system.solve(&AssemblyMode::Sequential, 10_000.0);
+    let study = system.prepare().expect("well-posed system");
+    let solution = study.solve(&Scenario::gpr(10_000.0)).expect("solve");
     println!(
         "equivalent resistance: {:.4} Ω",
         solution.equivalent_resistance

@@ -32,12 +32,8 @@ fn main() {
     let case = parse_case(DECK).expect("deck parses");
     let input_seconds = t0.elapsed().as_secs_f64();
 
-    let result = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        input_seconds,
-    );
+    let result =
+        run_pipeline(&case, SolveOptions::default(), input_seconds).expect("pipeline succeeds");
     println!("{}", result.report);
     println!("{}", result.times.table());
 
@@ -47,7 +43,7 @@ fn main() {
     let map = PotentialMap::compute(
         &result.mesh,
         system.kernel(),
-        &result.solution,
+        result.solution(),
         &MapSpec {
             x_range: (-10.0, 70.0),
             y_range: (-10.0, 50.0),
@@ -57,7 +53,7 @@ fn main() {
         &pool,
         Schedule::dynamic(8),
     );
-    let extrema = voltage_extrema(&map, result.solution.gpr);
+    let extrema = voltage_extrema(&map, result.solution().gpr);
     println!(
         "worst touch voltage: {:.0} V, worst step voltage: {:.0} V",
         extrema.touch, extrema.step

@@ -71,7 +71,11 @@ fn main() {
     })
     .mesh(&network);
     let system = GroundingSystem::new(mesh, &soil, SolveOptions::default());
-    let solution = system.solve(&AssemblyMode::Sequential, 8_000.0);
+    let solution = system
+        .prepare()
+        .expect("prepare")
+        .solve(&Scenario::gpr(8_000.0))
+        .expect("solve");
     println!(
         "\ndesign on fitted soil: Req = {:.3} Ω, IΓ = {:.2} kA at 8 kV GPR",
         solution.equivalent_resistance,
@@ -80,7 +84,10 @@ fn main() {
 
     // --- 5. Verify the design against the *true* soil. ----------------
     let check = GroundingSystem::new(system.mesh().clone(), &truth, SolveOptions::default())
-        .solve(&AssemblyMode::Sequential, 8_000.0);
+        .prepare()
+        .expect("prepare")
+        .solve(&Scenario::gpr(8_000.0))
+        .expect("solve");
     let dev = 100.0 * (solution.equivalent_resistance - check.equivalent_resistance)
         / check.equivalent_resistance;
     println!(

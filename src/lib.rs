@@ -18,6 +18,14 @@
 //!
 //! ## Quick start
 //!
+//! The solve surface is staged:
+//! [`GroundingSystem::prepare`](prelude::GroundingSystem::prepare)
+//! assembles and factorizes **once** (the expensive part — the paper's
+//! Table 6.1 attributes 99.9% of a run to matrix generation), and the
+//! returned [`Study`](prelude::Study) answers any number of
+//! [`Scenario`](prelude::Scenario)s — prescribed GPR or prescribed fault
+//! current — at back-substitution cost.
+//!
 //! ```
 //! use layerbem::prelude::*;
 //!
@@ -34,9 +42,27 @@
 //! let mesh = Mesher::default().mesh(&grid);
 //! let soil = SoilModel::two_layer(0.005, 0.016, 1.0);
 //! let system = GroundingSystem::new(mesh, &soil, SolveOptions::default());
-//! let solution = system.solve(&AssemblyMode::Sequential, 10_000.0);
+//!
+//! // Prepare once: assembly + factorization, typed errors instead of panics.
+//! let study = system.prepare().expect("well-posed BEM system");
+//! let solution = study.solve(&Scenario::gpr(10_000.0)).expect("positive GPR");
 //! assert!(solution.equivalent_resistance > 0.0);
+//!
+//! // …then sweep more scenarios at O(N²) back-substitution cost each.
+//! let sweep = study
+//!     .solve_batch(&[Scenario::gpr(5_000.0), Scenario::fault_current(25_000.0)])
+//!     .expect("positive drives");
+//! assert_eq!(sweep.len(), 2);
+//! assert_eq!(study.profile().assemblies, 1); // one assembly served them all
 //! ```
+//!
+//! Migrating from the pre-staged API: `system.solve(&mode, gpr)` becomes
+//! `system.prepare()?.solve(&Scenario::gpr(gpr))?` (the assembly mode is
+//! now derived from [`SolveOptions::parallelism`](crate::core::formulation::SolveOptions)),
+//! and `system.solve_assembled(&report, gpr)` becomes
+//! `system.prepare_assembled(&report)?.solve(&Scenario::gpr(gpr))?`. The
+//! old methods remain as deprecated wrappers with identical (bit-exact)
+//! results.
 //!
 //! ## Crate map
 //!
@@ -63,11 +89,15 @@ pub use layerbem_soil as soil;
 
 /// One-stop imports for typical library use.
 pub mod prelude {
-    pub use layerbem_cad::{parse_case, run_pipeline, CadCase, Phase, PhaseTimes};
+    pub use layerbem_cad::{
+        parse_case, run_pipeline, run_pipeline_with_assembly, CadCase, Phase, PhaseTimes,
+        PipelineError,
+    };
     pub use layerbem_core::assembly::AssemblyMode;
     pub use layerbem_core::formulation::{Formulation, SolveOptions, SolverChoice};
     pub use layerbem_core::post::{voltage_extrema, MapSpec, PotentialMap};
     pub use layerbem_core::safety::{BodyWeight, SafetyAssessment, SafetyCriteria, SurfaceLayer};
+    pub use layerbem_core::study::{PrepareError, Scenario, SolveError, Study, StudyProfile};
     pub use layerbem_core::system::{GroundingSolution, GroundingSystem};
     pub use layerbem_geometry::grids::{
         balaidos, barbera, rectangular_grid, triangle_grid, RectGridSpec, TriangleGridSpec,

@@ -16,14 +16,9 @@ max-element-length 10
 #[test]
 fn pipeline_end_to_end() {
     let case = parse_case(DECK).expect("deck parses");
-    let result = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
-    assert!(result.solution.equivalent_resistance > 0.0);
-    assert!(result.solution.total_current > 0.0);
+    let result = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+    assert!(result.solution().equivalent_resistance > 0.0);
+    assert!(result.solution().total_current > 0.0);
     assert!(result.times.matrix_generation_share() > 0.5);
     assert!(result.report.contains("integration yard"));
     assert_eq!(result.column_seconds.len(), result.mesh.element_count());
@@ -66,11 +61,17 @@ fn parallel_solution_matches_sequential_physics() {
     let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
     let sys = GroundingSystem::new(mesh, &case.soil, SolveOptions::default());
     let pool = ThreadPool::new(3);
-    let seq = sys.solve(&AssemblyMode::Sequential, case.gpr);
-    let par = sys.solve(
-        &AssemblyMode::ParallelOuter(pool, Schedule::guided(1)),
-        case.gpr,
-    );
+    let scenario = Scenario::gpr(case.gpr);
+    let seq = sys
+        .prepare()
+        .expect("prepare")
+        .solve(&scenario)
+        .expect("solve");
+    let par = sys
+        .prepare_with_mode(&AssemblyMode::ParallelOuter(pool, Schedule::guided(1)))
+        .expect("prepare")
+        .solve(&scenario)
+        .expect("solve");
     assert_eq!(seq.equivalent_resistance, par.equivalent_resistance);
     assert_eq!(seq.total_current, par.total_current);
 }
@@ -78,18 +79,13 @@ fn parallel_solution_matches_sequential_physics() {
 #[test]
 fn map_and_safety_from_pipeline_output() {
     let case = parse_case(DECK).unwrap();
-    let result = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
+    let result = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
     let sys = GroundingSystem::new(result.mesh.clone(), &case.soil, SolveOptions::default());
     let pool = ThreadPool::new(2);
     let map = PotentialMap::compute(
         &result.mesh,
         sys.kernel(),
-        &result.solution,
+        result.solution(),
         &MapSpec {
             x_range: (-5.0, 35.0),
             y_range: (-5.0, 25.0),
@@ -99,9 +95,9 @@ fn map_and_safety_from_pipeline_output() {
         &pool,
         Schedule::dynamic(4),
     );
-    assert!(map.max() < result.solution.gpr);
+    assert!(map.max() < result.solution().gpr);
     assert!(map.min() > 0.0);
-    let ve = voltage_extrema(&map, result.solution.gpr);
+    let ve = voltage_extrema(&map, result.solution().gpr);
     let criteria = SafetyCriteria {
         fault_duration: 0.5,
         body_weight: BodyWeight::Kg50,
@@ -141,7 +137,10 @@ fn solver_choices_agree_through_public_api() {
             },
         );
         results.push(
-            sys.solve(&AssemblyMode::Sequential, 1.0)
+            sys.prepare()
+                .expect("prepare")
+                .solve(&Scenario::gpr(1.0))
+                .expect("solve")
                 .equivalent_resistance,
         );
     }
@@ -155,7 +154,10 @@ fn collocation_cross_checks_galerkin_on_a_grid() {
     let case = parse_case(DECK).unwrap();
     let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
     let galerkin = GroundingSystem::new(mesh.clone(), &case.soil, SolveOptions::default())
-        .solve(&AssemblyMode::Sequential, 1.0);
+        .prepare()
+        .expect("prepare")
+        .solve(&Scenario::gpr(1.0))
+        .expect("solve");
     let colloc = GroundingSystem::new(
         mesh,
         &case.soil,
@@ -164,7 +166,10 @@ fn collocation_cross_checks_galerkin_on_a_grid() {
             ..Default::default()
         },
     )
-    .solve(&AssemblyMode::Sequential, 1.0);
+    .prepare()
+    .expect("prepare")
+    .solve(&Scenario::gpr(1.0))
+    .expect("solve");
     let dev = (galerkin.equivalent_resistance - colloc.equivalent_resistance).abs()
         / galerkin.equivalent_resistance;
     assert!(dev < 0.05, "galerkin vs collocation deviate {dev}");
@@ -178,13 +183,8 @@ gpr 5000
 grid rect 0 0 10 10 1 1 0.8 0.006
 ";
     let case = parse_case(deck).unwrap();
-    let result = run_pipeline(
-        &case,
-        SolveOptions::default(),
-        &AssemblyMode::Sequential,
-        0.0,
-    );
-    assert!(result.solution.equivalent_resistance > 0.0);
+    let result = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+    assert!(result.solution().equivalent_resistance > 0.0);
     // The 3-layer Req must land between the two bounding 2-layer models.
     let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
     let lo = GroundingSystem::new(
@@ -192,17 +192,23 @@ grid rect 0 0 10 10 1 1 0.8 0.006
         &SoilModel::two_layer(0.005, 0.016, 3.0),
         SolveOptions::default(),
     )
-    .solve(&AssemblyMode::Sequential, 5000.0);
+    .prepare()
+    .expect("prepare")
+    .solve(&Scenario::gpr(5000.0))
+    .expect("solve");
     let hi = GroundingSystem::new(
         mesh,
         &SoilModel::two_layer(0.005, 0.016, 1.0),
         SolveOptions::default(),
     )
-    .solve(&AssemblyMode::Sequential, 5000.0);
+    .prepare()
+    .expect("prepare")
+    .solve(&Scenario::gpr(5000.0))
+    .expect("solve");
     let (a, b) = (
         lo.equivalent_resistance.min(hi.equivalent_resistance),
         lo.equivalent_resistance.max(hi.equivalent_resistance),
     );
-    let r = result.solution.equivalent_resistance;
+    let r = result.solution().equivalent_resistance;
     assert!(r > 0.98 * a && r < 1.02 * b, "{r} not in [{a}, {b}]");
 }

@@ -10,7 +10,10 @@ use layerbem::prelude::*;
 
 fn solve(mesh: Mesh, soil: &SoilModel) -> GroundingSolution {
     GroundingSystem::new(mesh, soil, SolveOptions::default())
-        .solve(&AssemblyMode::Sequential, 10_000.0)
+        .prepare()
+        .expect("prepare")
+        .solve(&Scenario::gpr(10_000.0))
+        .expect("solve")
 }
 
 #[test]

@@ -66,10 +66,11 @@ proptest! {
     #[test]
     fn solution_is_physical((mesh, _) in grid_strategy(), soil in soil_strategy()) {
         let sys = GroundingSystem::new(mesh, &soil, SolveOptions::default());
-        let sol = sys.solve(&AssemblyMode::Sequential, 1.0);
+        let study = sys.prepare().expect("prepare");
+        let sol = study.solve(&Scenario::gpr(1.0)).expect("solve");
         prop_assert!(sol.equivalent_resistance > 0.0);
         prop_assert!(sol.total_current > 0.0);
-        let sol10 = sys.solve(&AssemblyMode::Sequential, 10.0);
+        let sol10 = study.solve(&Scenario::gpr(10.0)).expect("solve");
         prop_assert!((sol10.total_current - 10.0 * sol.total_current).abs()
             < 1e-9 * sol10.total_current.abs());
     }
@@ -83,9 +84,9 @@ proptest! {
         h in 0.3f64..3.0,
     ) {
         let uni = GroundingSystem::new(mesh.clone(), &SoilModel::uniform(gamma), SolveOptions::default())
-            .solve(&AssemblyMode::Sequential, 1.0);
+            .prepare().expect("prepare").solve(&Scenario::gpr(1.0)).expect("solve");
         let two = GroundingSystem::new(mesh, &SoilModel::two_layer(gamma, gamma, h), SolveOptions::default())
-            .solve(&AssemblyMode::Sequential, 1.0);
+            .prepare().expect("prepare").solve(&Scenario::gpr(1.0)).expect("solve");
         let dev = (uni.equivalent_resistance - two.equivalent_resistance).abs()
             / uni.equivalent_resistance;
         prop_assert!(dev < 1e-6, "dev = {dev}");
@@ -95,9 +96,9 @@ proptest! {
     #[test]
     fn resistance_decreases_with_conductivity((mesh, _) in grid_strategy(), g in 0.002f64..0.02) {
         let lo = GroundingSystem::new(mesh.clone(), &SoilModel::uniform(g), SolveOptions::default())
-            .solve(&AssemblyMode::Sequential, 1.0);
+            .prepare().expect("prepare").solve(&Scenario::gpr(1.0)).expect("solve");
         let hi = GroundingSystem::new(mesh, &SoilModel::uniform(2.0 * g), SolveOptions::default())
-            .solve(&AssemblyMode::Sequential, 1.0);
+            .prepare().expect("prepare").solve(&Scenario::gpr(1.0)).expect("solve");
         prop_assert!(hi.equivalent_resistance < lo.equivalent_resistance);
         // Uniform-soil resistance scales exactly like 1/γ.
         prop_assert!((hi.equivalent_resistance * 2.0 - lo.equivalent_resistance).abs()
