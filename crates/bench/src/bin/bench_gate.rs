@@ -18,10 +18,20 @@
 //! the staged API: amortizing the Table-6.1 matrix-generation cost
 //! across scenarios.
 //!
+//! **Gate 3 — dense vs hierarchical operator:** assembles both operator
+//! representations of the refined Barberá grid (the largest in-repo
+//! discretization — this gate ignores `--grid`, because the compression
+//! crossover sits above the paper grids' native sizes), verifies the
+//! hierarchical PCG solution agrees with the dense one, and **exits
+//! nonzero** unless the compressed operator is smaller than the packed
+//! dense triangle *and* its matvec is no slower than the dense one
+//! beyond `--tolerance`.
+//!
 //! Every best observation is written as machine-readable rows (the
 //! `BENCH_pr.json` artifact CI uploads, recording the benchmark
 //! trajectory per PR) — gate 2 adds rows with modes `prepare_once` and
-//! `resolve_each`.
+//! `resolve_each`, gate 3 rows with modes `matvec-*` / `assemble-*`
+//! carrying measured `resident_bytes`.
 //!
 //! ```text
 //! bench_gate [--grid tiny|barbera|balaidos] [--reps N]
@@ -38,15 +48,19 @@
 use std::time::Instant;
 
 use layerbem_bench::{
-    balaidos_mesh, barbera_mesh, render_table, soils, write_bench_json, BenchRecord,
+    balaidos_mesh, barbera_mesh, barbera_refined_mesh, render_table, soils, write_bench_json,
+    BenchRecord,
 };
-use layerbem_core::assembly::{assemble_galerkin, AssemblyMode, AssemblyReport};
-use layerbem_core::formulation::{SolveOptions, SolverChoice};
+use layerbem_core::assembly::{
+    assemble_galerkin, assemble_hierarchical, AssemblyMode, AssemblyReport,
+};
+use layerbem_core::formulation::{SolveOptions, SolverChoice, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE};
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
 use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
 use layerbem_geometry::{Mesh, Mesher};
+use layerbem_numeric::{pcg_solve, LinearOperator, PcgOptions};
 use layerbem_parfor::{Schedule, ThreadPool};
 use layerbem_soil::SoilModel;
 
@@ -174,6 +188,7 @@ fn main() {
         threads: 1,
         wall_seconds: seq_best,
         series_terms: seq.total_terms(),
+        resident_bytes: None,
     }];
 
     let schedules = [
@@ -206,6 +221,7 @@ fn main() {
                 threads,
                 wall_seconds: wall,
                 series_terms: rep.total_terms(),
+                resident_bytes: None,
             });
         }
         let [worklist, scan] = best;
@@ -325,6 +341,7 @@ fn main() {
         threads,
         wall_seconds: best_prepare,
         series_terms: terms_once,
+        resident_bytes: None,
     });
     records.push(BenchRecord {
         grid: grid.into(),
@@ -333,6 +350,7 @@ fn main() {
         threads,
         wall_seconds: best_resolve,
         series_terms: terms_once * SWEEP_SCENARIOS as u64,
+        resident_bytes: None,
     });
     let speedup = best_resolve / best_prepare;
     let sweep_ok = speedup >= args.sweep_speedup;
@@ -370,6 +388,162 @@ fn main() {
         ));
     }
 
+    // ---- Gate 3: dense vs hierarchical operator on the largest grid. ----
+    //
+    // This gate deliberately ignores `--grid`: the hierarchical backend's
+    // claims — the compressed operator fits in less memory than the
+    // packed dense triangle and applies at least as fast — only hold
+    // above the compression crossover, so they are asserted on the
+    // refined Barberá grid (the largest in-repo discretization) no
+    // matter which grid the assembly gates ran on.
+    let hgrid = "Barbera refined";
+    let hmesh = barbera_refined_mesh();
+    let hsoil = soils::barbera_uniform();
+    let hkernel = SoilKernel::new(&hsoil);
+    let n = hmesh.dof();
+    let hopts = if threads > 1 {
+        SolveOptions::default().with_parallelism(pool, Schedule::dynamic(1))
+    } else {
+        SolveOptions::default()
+    };
+
+    let t0 = Instant::now();
+    let dense = assemble_galerkin(
+        &hmesh,
+        &hkernel,
+        &hopts,
+        &AssemblyMode::ParallelDirect(pool, Schedule::dynamic(1)),
+    );
+    let dense_assemble_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let hier = assemble_hierarchical(&hmesh, &hkernel, &hopts, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE)
+        .expect("ACA converges on the refined grid");
+    let hier_assemble_s = t0.elapsed().as_secs_f64();
+    let stats = hier.operator.compression_stats();
+
+    // Correctness first: both operators must answer the same PCG solve.
+    assert_eq!(hier.rhs, dense.rhs, "{hgrid}: hierarchical rhs differs");
+    let popts = PcgOptions::default();
+    let dense_sol = pcg_solve(&dense.matrix, &dense.rhs, popts);
+    let hier_sol = pcg_solve(&hier.operator, &hier.rhs, popts);
+    assert!(
+        dense_sol.converged && hier_sol.converged,
+        "{hgrid}: PCG diverged"
+    );
+    let (mut diff2, mut ref2) = (0.0f64, 0.0f64);
+    for (a, b) in dense_sol.x.iter().zip(&hier_sol.x) {
+        diff2 += (a - b) * (a - b);
+        ref2 += a * a;
+    }
+    let rel = (diff2 / ref2).sqrt();
+    assert!(
+        rel <= 1e-6,
+        "{hgrid}: hierarchical PCG solution deviates from dense by {rel:.3e}"
+    );
+
+    // Matvec wall time, best of `--reps` applies per operator.
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64).collect();
+    let mut y = vec![0.0f64; n];
+    let mut dense_apply = f64::INFINITY;
+    let mut hier_apply = f64::INFINITY;
+    for _ in 0..args.reps {
+        let t0 = Instant::now();
+        dense.matrix.apply(&x, &mut y);
+        dense_apply = dense_apply.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        hier.operator.apply(&x, &mut y);
+        hier_apply = hier_apply.min(t0.elapsed().as_secs_f64());
+    }
+
+    let dense_bytes = stats.dense_bytes as u64;
+    records.push(BenchRecord {
+        grid: hgrid.into(),
+        mode: "matvec-dense".into(),
+        schedule: "-".into(),
+        threads: 1,
+        wall_seconds: dense_apply,
+        series_terms: dense.total_terms(),
+        resident_bytes: Some(dense_bytes),
+    });
+    records.push(BenchRecord {
+        grid: hgrid.into(),
+        mode: "matvec-hmatrix".into(),
+        schedule: "-".into(),
+        threads: 1,
+        wall_seconds: hier_apply,
+        series_terms: hier.terms,
+        resident_bytes: Some(stats.resident_bytes as u64),
+    });
+    records.push(BenchRecord {
+        grid: hgrid.into(),
+        mode: "assemble-dense".into(),
+        schedule: "Dynamic,1".into(),
+        threads,
+        wall_seconds: dense_assemble_s,
+        series_terms: dense.total_terms(),
+        resident_bytes: Some(dense_bytes),
+    });
+    records.push(BenchRecord {
+        grid: hgrid.into(),
+        mode: "assemble-hmatrix".into(),
+        schedule: "Dynamic,1".into(),
+        threads,
+        wall_seconds: hier_assemble_s,
+        series_terms: hier.terms,
+        resident_bytes: Some(stats.resident_bytes as u64),
+    });
+
+    let apply_ratio = hier_apply / dense_apply;
+    let apply_ok = hier_apply <= dense_apply * args.tolerance;
+    let bytes_ok = (stats.resident_bytes as u64) < dense_bytes;
+    if !apply_ok {
+        failures.push(format!(
+            "hierarchical matvec {hier_apply:.6}s vs dense {dense_apply:.6}s \
+             (ratio {apply_ratio:.3} > tolerance {:.3})",
+            args.tolerance
+        ));
+    }
+    if !bytes_ok {
+        failures.push(format!(
+            "hierarchical operator {} bytes does not beat dense {} bytes",
+            stats.resident_bytes, dense_bytes
+        ));
+    }
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["operator", "apply best (s)", "resident bytes", "gate"],
+            &[
+                vec![
+                    "dense".into(),
+                    format!("{dense_apply:.6}"),
+                    dense_bytes.to_string(),
+                    "baseline".into(),
+                ],
+                vec![
+                    "hmatrix".into(),
+                    format!("{hier_apply:.6}"),
+                    stats.resident_bytes.to_string(),
+                    if apply_ok && bytes_ok {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ],
+            ],
+        )
+    );
+    println!(
+        "{hgrid} ({n} dof), ACA tol {DEFAULT_ACA_TOL:.0e}, leaf {DEFAULT_LEAF_SIZE}: \
+         {} far blocks, mean rank {:.1}, max rank {}, compression ratio {:.2}; \
+         hierarchical PCG solution within {rel:.1e} of dense.",
+        stats.far_blocks,
+        stats.mean_far_rank,
+        stats.max_far_rank,
+        stats.compression_ratio()
+    );
+
     write_bench_json(&args.json, &records);
 
     if !failures.is_empty() {
@@ -380,8 +554,9 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "bench gates passed: worklist >= scan-path speed and staged sweep >= \
-         {:.1}x resolve-each at {threads} threads",
+        "bench gates passed: worklist >= scan-path speed, staged sweep >= \
+         {:.1}x resolve-each at {threads} threads, and the hierarchical \
+         operator beats dense on bytes and matvec speed",
         args.sweep_speedup
     );
 }

@@ -158,6 +158,7 @@ fn main() {
             threads: 1,
             wall_seconds: seq_s,
             series_terms: seq.total_terms(),
+            resident_bytes: None,
         });
 
         // The paper's staged scheme: one run for the memory column.
@@ -187,6 +188,7 @@ fn main() {
             threads: wide,
             wall_seconds: outer_s,
             series_terms: outer.total_terms(),
+            resident_bytes: None,
         });
 
         // The zero-staging direct engines (worklist default + retained
@@ -231,6 +233,7 @@ fn main() {
                         threads,
                         wall_seconds: direct_s,
                         series_terms: direct.total_terms(),
+                        resident_bytes: None,
                     });
                 }
             }

@@ -114,6 +114,20 @@ pub fn barbera_mesh() -> Mesh {
     Mesher::default().mesh(&grids::barbera())
 }
 
+/// Refined Barberá grid — conductors subdivided to ≤ 1 m elements
+/// (2224 dof), the largest in-repo discretization. This is the grid the
+/// hierarchical-operator gate runs on: at the paper's native 238 dof the
+/// H-matrix bookkeeping outweighs the low-rank savings, while here the
+/// compressed operator is measurably smaller and faster to apply than
+/// the packed dense triangle.
+pub fn barbera_refined_mesh() -> Mesh {
+    Mesher::new(layerbem_geometry::MeshOptions {
+        max_element_length: 1.0,
+        ..Default::default()
+    })
+    .mesh(&grids::barbera())
+}
+
 /// Discretized Balaidos grid (241 elements).
 pub fn balaidos_mesh() -> Mesh {
     Mesher::default().mesh(&grids::balaidos())
@@ -177,6 +191,10 @@ pub struct BenchRecord {
     /// Total series terms consumed (identical across modes by the
     /// bit-identity guarantee; recorded so the artifact proves it).
     pub series_terms: u64,
+    /// Measured operator payload in bytes, for rows that benchmark an
+    /// operator representation (the dense-vs-hierarchical gate); `None`
+    /// for assembly/sweep rows, and omitted from their JSON.
+    pub resident_bytes: Option<u64>,
 }
 
 /// Minimal JSON string escaping for the label fields of [`BenchRecord`].
@@ -196,15 +214,20 @@ fn json_escape(s: &str) -> String {
 pub fn bench_records_json(records: &[BenchRecord]) -> String {
     let mut s = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let bytes = r
+            .resident_bytes
+            .map(|b| format!(", \"resident_bytes\": {b}"))
+            .unwrap_or_default();
         s.push_str(&format!(
             "  {{\"grid\": \"{}\", \"mode\": \"{}\", \"schedule\": \"{}\", \
-             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}}}{}\n",
+             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}{}}}{}\n",
             json_escape(&r.grid),
             json_escape(&r.mode),
             json_escape(&r.schedule),
             r.threads,
             r.wall_seconds,
             r.series_terms,
+            bytes,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -248,6 +271,8 @@ mod tests {
         assert_eq!(barbera_mesh().element_count(), 408);
         assert_eq!(barbera_mesh().dof(), 238);
         assert_eq!(balaidos_mesh().element_count(), 241);
+        // The refined grid is strictly the largest in-repo discretization.
+        assert!(barbera_refined_mesh().dof() > 2000);
     }
 
     #[test]
@@ -266,6 +291,7 @@ mod tests {
                 threads: 4,
                 wall_seconds: 0.012345,
                 series_terms: 98765,
+                resident_bytes: None,
             },
             BenchRecord {
                 grid: "tiny \"q\" yard".into(),
@@ -274,6 +300,7 @@ mod tests {
                 threads: 1,
                 wall_seconds: 1.5,
                 series_terms: 7,
+                resident_bytes: Some(4096),
             },
         ];
         let json = bench_records_json(&rows);
@@ -283,6 +310,9 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"wall_seconds\": 0.012345"));
         assert!(json.contains("\"series_terms\": 98765"));
+        // resident_bytes appears only on rows that set it.
+        assert!(json.contains("\"resident_bytes\": 4096"));
+        assert_eq!(json.matches("resident_bytes").count(), 1);
         // Quotes in labels are escaped; exactly one separating comma.
         assert!(json.contains("tiny \\\"q\\\" yard"));
         assert_eq!(json.matches("},").count(), 1);

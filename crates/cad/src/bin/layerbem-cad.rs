@@ -5,6 +5,7 @@
 //! ```text
 //! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
 //!              [--assembly direct|direct-scan|outer|inner] [--block N]
+//!              [--operator dense|hmatrix] [--aca-tol T]
 //!              [--gpr-sweep LO:HI:N]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
@@ -28,6 +29,15 @@
 //! row-partitioned in-place collocation assembler. `--block` tunes the
 //! panel width of the blocked factorizations; every width produces
 //! bit-identical factors, so it is purely a performance knob.
+//!
+//! `--operator hmatrix` switches the prepared Galerkin operator to the
+//! hierarchical backend: near-field pairs assembled densely into a sparse
+//! pattern, admissible far cluster pairs compressed by adaptive cross
+//! approximation (`--aca-tol`, default 1e-8) and served to PCG through
+//! the same operator trait. Dense stays the default and the accuracy
+//! oracle; with `--timing`, a compressed run prints its compression
+//! statistics (resident bytes, mean far rank, ratio vs the dense
+//! triangle). Requires a Galerkin deck with the CG solver.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -35,7 +45,9 @@ use std::time::Instant;
 use layerbem_cad::input::parse_case;
 use layerbem_cad::pipeline::run_pipeline_with_assembly;
 use layerbem_core::assembly::AssemblyMode;
-use layerbem_core::formulation::SolveOptions;
+use layerbem_core::formulation::{
+    OperatorBackend, SolveOptions, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE,
+};
 use layerbem_core::post::{MapSpec, PotentialMap};
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
@@ -64,6 +76,12 @@ struct Args {
     /// Panel width of the blocked pooled factorizations (`None` keeps the
     /// workspace default).
     block: Option<usize>,
+    /// `--operator hmatrix`: serve the Galerkin solve from the
+    /// hierarchical (ACA-compressed) operator instead of the dense
+    /// triangle.
+    hmatrix: bool,
+    /// ACA tolerance of the hierarchical backend (`--aca-tol`).
+    aca_tol: f64,
     /// Additional prescribed-GPR scenarios from `--gpr-sweep LO:HI:N`.
     gpr_sweep: Vec<Scenario>,
     map: Option<(MapSpec, String)>,
@@ -74,6 +92,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
          \u{20}                [--assembly direct|direct-scan|outer|inner] [--block N]\n\
+         \u{20}                [--operator dense|hmatrix] [--aca-tol T]\n\
          \u{20}                [--gpr-sweep LO:HI:N] [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
@@ -113,6 +132,8 @@ fn parse_args() -> Args {
     let mut schedule = Schedule::dynamic(1);
     let mut assembly = AssemblyChoice::Direct;
     let mut block = None;
+    let mut hmatrix = false;
+    let mut aca_tol = DEFAULT_ACA_TOL;
     let mut gpr_sweep = Vec::new();
     let mut map = None;
     let mut timing = false;
@@ -147,6 +168,20 @@ fn parse_args() -> Args {
                         .filter(|&b| b > 0)
                         .unwrap_or_else(|| usage()),
                 );
+            }
+            "--operator" => {
+                hmatrix = match argv.next().as_deref() {
+                    Some("dense") => false,
+                    Some("hmatrix") => true,
+                    _ => usage(),
+                };
+            }
+            "--aca-tol" => {
+                aca_tol = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t > 0.0 && t.is_finite())
+                    .unwrap_or_else(|| usage());
             }
             "--gpr-sweep" => {
                 gpr_sweep = argv
@@ -187,6 +222,8 @@ fn parse_args() -> Args {
         schedule,
         assembly,
         block,
+        hmatrix,
+        aca_tol,
         gpr_sweep,
         map,
         timing,
@@ -231,12 +268,25 @@ fn main() -> ExitCode {
             AssemblyChoice::Inner => Some(AssemblyMode::ParallelInner(pool, args.schedule)),
         }
     };
+    // `--operator hmatrix` swaps the prepared operator representation; it
+    // survives the pipeline's deck-keyword merge, so it applies to both
+    // the serial and the pooled configuration.
+    let backend = if args.hmatrix {
+        OperatorBackend::Hierarchical {
+            tol: args.aca_tol,
+            leaf_size: DEFAULT_LEAF_SIZE,
+        }
+    } else {
+        OperatorBackend::Dense
+    };
     // The same pool drives the linear solve: with the in-place assembler
     // the whole assemble→solve pipeline scales, not just generation.
     let opts = if args.threads == 1 {
-        SolveOptions::default()
+        SolveOptions::default().with_backend(backend)
     } else {
-        let opts = SolveOptions::default().with_parallelism(pool, args.schedule);
+        let opts = SolveOptions::default()
+            .with_parallelism(pool, args.schedule)
+            .with_backend(backend);
         match args.block {
             Some(b) => opts.with_factor_block(b),
             None => opts,
@@ -260,6 +310,18 @@ fn main() -> ExitCode {
             args.threads,
             args.schedule.label()
         );
+        if let Some(cs) = result.compression {
+            println!(
+                "operator compression: {} B resident vs {} B dense ({:.1}% of dense), \
+                 {} far blocks, mean rank {:.1}, max rank {}",
+                cs.resident_bytes,
+                cs.dense_bytes,
+                100.0 * cs.compression_ratio(),
+                cs.far_blocks,
+                cs.mean_far_rank,
+                cs.max_far_rank
+            );
+        }
     }
 
     if let Some((spec, out)) = args.map {

@@ -20,6 +20,7 @@ use layerbem_core::formulation::SolveOptions;
 use layerbem_core::study::{PrepareError, SolveError};
 use layerbem_core::system::{GroundingSolution, GroundingSystem};
 use layerbem_geometry::{Mesh, Mesher};
+use layerbem_numeric::CompressionStats;
 
 use crate::input::CadCase;
 use crate::report::{sweep_report, text_report};
@@ -155,6 +156,9 @@ pub struct PipelineResult {
     pub column_seconds: Vec<f64>,
     /// Series terms per column (deterministic cost proxy).
     pub column_terms: Vec<u64>,
+    /// Compression accounting of the retained operator — `Some` when the
+    /// study ran on the hierarchical backend, `None` for dense.
+    pub compression: Option<CompressionStats>,
 }
 
 impl PipelineResult {
@@ -237,6 +241,7 @@ pub fn run_pipeline_with_assembly(
         report: text,
         column_seconds: study.column_seconds().to_vec(),
         column_terms: study.column_terms().to_vec(),
+        compression: profile.compression,
     })
 }
 

@@ -53,8 +53,8 @@
 
 use std::time::Instant;
 
-use layerbem_geometry::{ElementRowMap, Mesh};
-use layerbem_numeric::{DenseMatrix, SymMatrix};
+use layerbem_geometry::{ClusterTree, ElementRowMap, Mesh};
+use layerbem_numeric::{aca, AcaError, DenseMatrix, FarBlock, HMatrix, SparseSym, SymMatrix};
 use layerbem_parfor::{ExecutionStats, Schedule, ThreadPool};
 
 use crate::formulation::SolveOptions;
@@ -453,6 +453,13 @@ fn assemble_direct_scan(
     (matrix, column_seconds, column_terms, stats)
 }
 
+/// Minimum element count at which the worklist pre-pass is built on the
+/// pool. The pre-pass is `O(M²)` integer work: at a few hundred elements
+/// it completes in well under a millisecond serially, while a pooled
+/// dispatch plus per-chunk merge costs a comparable amount — only past
+/// this cutoff does splitting the triangle walk pay for itself.
+pub const POOLED_PREPASS_MIN_ELEMENTS: usize = 1024;
+
 /// One partition's workspace for the worklist-engine direct assembly: an
 /// exclusively owned row-range view of the global triangle, the
 /// partition's precomputed pair worklist, and compact per-column
@@ -481,6 +488,10 @@ struct WorklistPart<'a> {
 /// target row (which always computes it), so `column_terms` sums to
 /// exactly the sequential count even when a boundary pair is recomputed
 /// by several partitions.
+///
+/// The worklist pre-pass runs on the pool when the mesh has at least
+/// [`POOLED_PREPASS_MIN_ELEMENTS`] elements; below that the serial build
+/// is faster than the pooled dispatch it would replace.
 fn assemble_direct_pooled(
     mesh: &Mesh,
     geoms: &[ElementGeom],
@@ -500,7 +511,18 @@ fn assemble_direct_pooled(
     // locality rather than by thread count.
     let dispatch_schedule = schedule.with_min_chunk(worklist::locality_min_chunk(&map));
     let ranges = dispatch_schedule.partition_ranges(n, pool.threads());
-    let worklists = worklist::build_worklists(&map, &ranges);
+    // The O(M²) integer pre-pass itself runs on the pool: β-aligned column
+    // chunks, order-preserving merge, bit-identical to the serial build
+    // (pinned by the worklist proptest oracle). Below the element cutoff
+    // the serial build wins — the pooled dispatch + merge overhead costs
+    // more than the whole triangle walk on small grids, and the bench
+    // gate compares this engine against the scan engine (which builds no
+    // worklists at all) at sub-millisecond scale.
+    let worklists = if m < POOLED_PREPASS_MIN_ELEMENTS {
+        worklist::build_worklists(&map, &ranges)
+    } else {
+        worklist::build_worklists_pooled(&map, &ranges, pool, dispatch_schedule)
+    };
     let mut matrix = SymMatrix::zeros(n);
 
     let mut parts: Vec<WorklistPart> = matrix
@@ -663,6 +685,262 @@ pub fn assemble_galerkin(
         generation_seconds: t0.elapsed().as_secs_f64(),
         stats,
     }
+}
+
+/// Admissibility parameter `η` of the hierarchical backend's cluster-pair
+/// partition: a cluster pair is compressed when `max(diam) ≤ η · dist`.
+/// `1.0` is the customary BEM choice — strict enough that the layered-soil
+/// kernel is smooth over every admissible block, loose enough that most of
+/// the pair triangle is admissible on grid geometries.
+pub const DEFAULT_ADMISSIBILITY: f64 = 1.0;
+
+/// Rank cap of each far block's ACA compression. A block whose `ε`-rank
+/// exceeds this bound aborts preparation with
+/// [`AcaError::ToleranceNotReached`] instead of silently densifying; on
+/// the paper's smooth soil kernels observed far-block ranks stay far
+/// below it.
+pub const MAX_FAR_RANK: usize = 96;
+
+/// Output of hierarchical (compressed-operator) matrix generation.
+#[derive(Clone, Debug)]
+pub struct HierarchicalReport {
+    /// The compressed Galerkin operator: sparse-symmetric near field plus
+    /// ACA low-rank far blocks, driven by PCG through the same
+    /// [`LinearOperator`](layerbem_numeric::LinearOperator) trait as the
+    /// dense matrix.
+    pub operator: HMatrix,
+    /// Galerkin right-hand side (identical to the dense path's).
+    pub rhs: Vec<f64>,
+    /// Wall-clock seconds of the whole generation.
+    pub generation_seconds: f64,
+    /// Series terms consumed: every near pair plus every kernel entry the
+    /// ACA sampling touched. A bulk count — the hierarchical path has no
+    /// per-column profile because far work is organized by cluster block,
+    /// not by triangle column.
+    pub terms: u64,
+    /// Per-thread runtime stats of the pooled near-field assembly.
+    pub stats: Option<ExecutionStats>,
+}
+
+/// Packed slot of an (unordered) entry contribution: `(row ≥ col)`.
+#[inline]
+fn packed_slot(p: usize, q: usize) -> (u32, u32) {
+    (p.max(q) as u32, p.min(q) as u32)
+}
+
+/// For each Galerkin row of a cluster (ascending `rows`), the members
+/// `(element, local node)` whose node is that row — the bookkeeping the
+/// far-block entry oracle walks to reproduce the dense scatter exactly.
+fn cluster_members(elems: &[u32], rows: &[usize], map: &ElementRowMap) -> Vec<Vec<(u32, u8)>> {
+    let mut out = vec![Vec::new(); rows.len()];
+    for &e in elems {
+        let nd = map.element_nodes(e as usize);
+        for (j, &p) in nd.iter().enumerate() {
+            let k = rows
+                .binary_search(&p)
+                .expect("cluster rows cover its members");
+            out[k].push((e, j as u8));
+        }
+    }
+    out
+}
+
+/// Hierarchical Galerkin generation — the compressed-operator counterpart
+/// of [`assemble_galerkin`].
+///
+/// A binary [`ClusterTree`] over the elements splits the pair triangle
+/// into **near** pairs (assembled densely, entry for entry in the
+/// sequential near-pair order, into a [`SparseSym`] whose pattern is
+/// exactly the near scatter targets) and admissible **far** cluster pairs
+/// (each compressed by partially pivoted [`fn@aca`] into a `U·Vᵀ`
+/// [`FarBlock`], sampling kernel entries on demand through an oracle that
+/// reproduces the dense pair scatter bit for bit). The result answers
+/// matvecs in `O(nnz + Σ r·(|σ|+|τ|))` instead of `O(N²)` and holds the
+/// same order of bytes, at an accuracy set by `tol`.
+///
+/// When `opts.parallelism` is set, the near field is assembled by the
+/// same row-partitioned worklist engine as the dense direct mode
+/// (restricted to the near pairs — bit-identical across schedules and
+/// thread counts) and the far blocks are compressed concurrently on the
+/// pool (each block is an independent, deterministic ACA run, so the
+/// result does not depend on who computed it).
+///
+/// Fails with [`AcaError::ToleranceNotReached`] when some far block's
+/// rank hits [`MAX_FAR_RANK`] before reaching `tol` — the typed signal
+/// the solve layer surfaces as a
+/// [`PrepareError`](crate::study::PrepareError).
+pub fn assemble_hierarchical(
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    opts: &SolveOptions,
+    tol: f64,
+    leaf_size: usize,
+) -> Result<HierarchicalReport, AcaError> {
+    let t0 = Instant::now();
+    let geoms = element_geoms(mesh);
+    let quad = OuterQuadrature::new(opts.outer_quadrature);
+    let n = mesh.dof();
+    let map = ElementRowMap::from_mesh(mesh);
+    let tree = ClusterTree::build(mesh, leaf_size);
+    let parts = tree.block_partition(DEFAULT_ADMISSIBILITY);
+
+    // Near pattern: exactly the packed slots the near pairs scatter into.
+    let mut pattern: Vec<(u32, u32)> = Vec::with_capacity(4 * parts.near.len());
+    for &(beta, alpha) in &parts.near {
+        let nb = map.element_nodes(beta as usize);
+        let na = map.element_nodes(alpha as usize);
+        if beta == alpha {
+            pattern.push(packed_slot(nb[0], nb[0]));
+            pattern.push(packed_slot(nb[1], nb[1]));
+            pattern.push(packed_slot(nb[0], nb[1]));
+        } else {
+            for &p in &nb {
+                for &q in &na {
+                    pattern.push(packed_slot(p, q));
+                }
+            }
+        }
+    }
+    let mut near = SparseSym::from_pattern(n, pattern);
+
+    let mut terms_total: u64 = 0;
+    let mut stats = None;
+    match &opts.parallelism {
+        None => {
+            // Sequential near-pair order — the accumulation order the
+            // pooled branch reproduces per entry.
+            for &(beta, alpha) in &parts.near {
+                let (b, a) = (beta as usize, alpha as usize);
+                let nb = map.element_nodes(b);
+                let na = map.element_nodes(a);
+                let (blk, t) = pair_block(&geoms[b], &geoms[a], kernel, &quad);
+                scatter_pair(nb, na, a == b, &blk, &mut |p, q, v| near.add(p, q, v));
+                terms_total += t as u64;
+            }
+        }
+        Some(par) => {
+            let dispatch = par
+                .schedule
+                .with_min_chunk(worklist::locality_min_chunk(&map));
+            let ranges = dispatch.partition_ranges(n, par.pool.threads());
+            let worklists = worklist::build_near_worklists(&map, &ranges, &parts.near);
+            struct NearPart<'a> {
+                view: layerbem_numeric::SparseSymRowsMut<'a>,
+                work: &'a PairWorklist,
+                terms: u64,
+            }
+            let mut nparts: Vec<NearPart> = near
+                .partition_rows(&ranges)
+                .into_iter()
+                .zip(&worklists)
+                .map(|(view, work)| NearPart {
+                    view,
+                    work,
+                    terms: 0,
+                })
+                .collect();
+            let map_ref = &map;
+            let geoms_ref = &geoms;
+            let quad_ref = &quad;
+            let s =
+                par.pool
+                    .scoped_partition(&mut nparts, dispatch.partition_dispatch(), |_, part| {
+                        let NearPart { view, work, terms } = part;
+                        let rows = view.rows();
+                        for (beta, alpha) in work.pairs() {
+                            let nb = map_ref.element_nodes(beta);
+                            let na = map_ref.element_nodes(alpha);
+                            let (blk, t) =
+                                pair_block(&geoms_ref[beta], &geoms_ref[alpha], kernel, quad_ref);
+                            scatter_pair(nb, na, alpha == beta, &blk, &mut |p, q, v| {
+                                if view.owns(p, q) {
+                                    view.add(p, q, v);
+                                }
+                            });
+                            if rows.contains(&map_ref.pair_hi(beta, alpha)) {
+                                *terms += t as u64;
+                            }
+                        }
+                    });
+            stats = Some(s);
+            terms_total += nparts.iter().map(|p| p.terms).sum::<u64>();
+            drop(nparts);
+        }
+    }
+
+    // Far blocks: one deterministic ACA run per admissible cluster pair,
+    // in the fixed partition order. The entry oracle reproduces the dense
+    // scatter exactly: entry (p, q) of block σ×τ is the sum over member
+    // pairs (β ∋ p, α ∋ q) of the elemental value the sequential assembly
+    // would have added to packed slot (p, q).
+    let geoms_ref = &geoms;
+    let quad_ref = &quad;
+    let map_ref = &map;
+    let tree_ref = &tree;
+    let compress = |&(s, t): &(usize, usize)| -> Result<(FarBlock, u64), AcaError> {
+        let rows = tree_ref.cluster_rows(s, map_ref);
+        let cols = tree_ref.cluster_rows(t, map_ref);
+        let row_members = cluster_members(tree_ref.elements(s), &rows, map_ref);
+        let col_members = cluster_members(tree_ref.elements(t), &cols, map_ref);
+        let terms = std::cell::Cell::new(0u64);
+        let entry = |i: usize, j: usize| -> f64 {
+            let mut v = 0.0;
+            for &(be, jp) in &row_members[i] {
+                for &(ae, iq) in &col_members[j] {
+                    let (b, a) = (be as usize, ae as usize);
+                    // Admissible clusters are element-disjoint, so b ≠ a;
+                    // the dense engine computes the pair with the lower
+                    // element as the field element.
+                    let (lo, hi) = (b.min(a), b.max(a));
+                    let (blk, tm) = pair_block(&geoms_ref[lo], &geoms_ref[hi], kernel, quad_ref);
+                    terms.set(terms.get() + tm as u64);
+                    v += if b < a {
+                        blk[jp as usize][iq as usize]
+                    } else {
+                        blk[iq as usize][jp as usize]
+                    };
+                }
+            }
+            v
+        };
+        let factors = aca(rows.len(), cols.len(), entry, tol, MAX_FAR_RANK)?;
+        Ok((
+            FarBlock {
+                rows: rows.iter().map(|&p| p as u32).collect(),
+                cols: cols.iter().map(|&q| q as u32).collect(),
+                factors,
+            },
+            terms.get(),
+        ))
+    };
+    let results: Vec<Result<(FarBlock, u64), AcaError>> = match &opts.parallelism {
+        None => parts.far.iter().map(compress).collect(),
+        Some(par) => {
+            let far_pairs = &parts.far;
+            let mut slots: Vec<Option<Result<(FarBlock, u64), AcaError>>> =
+                vec![None; far_pairs.len()];
+            par.pool
+                .parallel_fill(&mut slots, par.schedule, |k| Some(compress(&far_pairs[k])));
+            slots
+                .into_iter()
+                .map(|r| r.expect("parallel_fill fills every slot"))
+                .collect()
+        }
+    };
+    let mut far_blocks = Vec::with_capacity(results.len());
+    for r in results {
+        let (fb, t) = r?;
+        terms_total += t;
+        far_blocks.push(fb);
+    }
+
+    Ok(HierarchicalReport {
+        operator: HMatrix::new(near, far_blocks),
+        rhs: galerkin_rhs(mesh),
+        generation_seconds: t0.elapsed().as_secs_f64(),
+        terms: terms_total,
+        stats,
+    })
 }
 
 /// Computes one collocation row: the potentials at node `p`'s collocation
@@ -1008,6 +1286,104 @@ mod tests {
         let (pooled, _) =
             assemble_collocation_pooled(&mesh, &k, &ThreadPool::new(4), Schedule::dynamic(1));
         assert_eq!(serial.as_slice(), pooled.as_slice());
+    }
+
+    #[test]
+    fn hierarchical_operator_matches_the_dense_matrix() {
+        use layerbem_numeric::LinearOperator;
+        let mesh = barbera_style_mesh();
+        let k = uniform_kernel();
+        let opts = SolveOptions::default();
+        let dense = assemble_galerkin(&mesh, &k, &opts, &AssemblyMode::Sequential);
+        let tol = 1e-8;
+        let rep = assemble_hierarchical(&mesh, &k, &opts, tol, 4).expect("ACA converges");
+        assert_eq!(rep.rhs, dense.rhs);
+        assert_eq!(rep.operator.order(), mesh.dof());
+        assert!(rep.terms > 0);
+        let n = mesh.dof();
+        // Matvec agreement within tol·‖A‖_F·‖x‖ on a non-trivial vector.
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.37).collect();
+        let mut yd = vec![0.0; n];
+        let mut yh = vec![0.0; n];
+        dense.matrix.apply(&x, &mut yd);
+        rep.operator.apply(&x, &mut yh);
+        let norm_a: f64 = (0..n)
+            .map(|p| (0..n).map(|q| dense.matrix.get(p, q).powi(2)).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        let norm_x: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let err: f64 = yd
+            .iter()
+            .zip(&yh)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            err <= 10.0 * tol * norm_a * norm_x,
+            "‖(A - H)x‖ = {err:.3e} vs scale {:.3e}",
+            tol * norm_a * norm_x
+        );
+        // Same diagonal: the far field never touches it.
+        assert_eq!(rep.operator.diagonal(), dense.matrix.diagonal());
+        // The compression accounting is self-consistent.
+        let cs = rep.operator.compression_stats();
+        assert_eq!(cs.order, n);
+        assert!(cs.resident_bytes > 0);
+    }
+
+    #[test]
+    fn pooled_hierarchical_assembly_is_bit_identical_to_serial() {
+        let mesh = barbera_style_mesh();
+        let k = uniform_kernel();
+        let serial = assemble_hierarchical(&mesh, &k, &SolveOptions::default(), 1e-8, 4)
+            .expect("ACA converges");
+        for threads in [2, 3] {
+            let pool = ThreadPool::new(threads);
+            for schedule in [
+                Schedule::static_blocked(),
+                Schedule::dynamic(1),
+                Schedule::guided(1),
+            ] {
+                let opts = SolveOptions::default().with_parallelism(pool, schedule);
+                let pooled =
+                    assemble_hierarchical(&mesh, &k, &opts, 1e-8, 4).expect("ACA converges");
+                let label = format!("threads={threads} {}", schedule.label());
+                assert!(serial.operator == pooled.operator, "{label}");
+                assert_eq!(serial.rhs, pooled.rhs, "{label}");
+                assert_eq!(serial.terms, pooled.terms, "{label}");
+                assert!(pooled.stats.is_some(), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_rank_cap_surfaces_as_a_typed_error() {
+        // An absurdly tight tolerance with a rank cap of MAX_FAR_RANK
+        // cannot be reached on blocks larger than the cap — but small
+        // grids have far blocks below the cap, where ACA terminates
+        // exactly. Drive the error path through `aca` directly instead:
+        // a full-rank random block with rank cap 1.
+        let err = aca(
+            8,
+            8,
+            |i, j| {
+                if i == j {
+                    1.0
+                } else {
+                    0.1 / (1.0 + (i * 31 + j * 17) as f64)
+                }
+            },
+            1e-14,
+            1,
+        )
+        .expect_err("rank-1 cap cannot reach 1e-14 on a full-rank block");
+        assert_eq!(
+            err,
+            AcaError::ToleranceNotReached {
+                max_rank: 1,
+                tol: 1e-14
+            }
+        );
     }
 
     #[test]

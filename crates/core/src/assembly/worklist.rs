@@ -28,6 +28,7 @@
 use std::ops::Range;
 
 use layerbem_geometry::ElementRowMap;
+use layerbem_parfor::{Schedule, ThreadPool};
 
 /// Sentinel for "row not covered by any partition".
 const NO_OWNER: u32 = u32::MAX;
@@ -141,9 +142,24 @@ impl PairWorklist {
 /// Panics if a range exceeds the map's row count or the mesh is too large
 /// for the compressed `u32` indices.
 pub fn build_worklists(map: &ElementRowMap, ranges: &[Range<usize>]) -> Vec<PairWorklist> {
-    let n = map.rows();
+    let (owner, mut lists) = ownership(map, ranges);
     let m = map.element_count();
-    assert!(m < NO_OWNER as usize, "element count exceeds u32 worklists");
+    for beta in 0..m {
+        for alpha in beta..m {
+            assign_pair(map, &owner, &mut lists, beta, alpha);
+        }
+    }
+    lists
+}
+
+/// Validates `ranges`, materializes the row → partition ownership table and
+/// the empty per-partition worklists.
+fn ownership(map: &ElementRowMap, ranges: &[Range<usize>]) -> (Vec<u32>, Vec<PairWorklist>) {
+    let n = map.rows();
+    assert!(
+        map.element_count() < NO_OWNER as usize,
+        "element count exceeds u32 worklists"
+    );
     assert!(
         ranges.len() < NO_OWNER as usize,
         "partition count exceeds u32 worklists"
@@ -159,26 +175,108 @@ pub fn build_worklists(map: &ElementRowMap, ranges: &[Range<usize>]) -> Vec<Pair
             owner[row] = k as u32;
         }
     }
-    let mut lists: Vec<PairWorklist> = ranges
+    let lists = ranges
         .iter()
         .map(|r| PairWorklist::new(r.clone()))
         .collect();
-    for beta in 0..m {
-        for alpha in beta..m {
-            // The ≤4 distinct partitions owning this pair's target rows.
-            let mut owners = [NO_OWNER; 4];
-            let mut count = 0;
-            for &row in map.pair_target_rows(beta, alpha).as_slice() {
-                let o = owner[row];
-                if o != NO_OWNER && !owners[..count].contains(&o) {
-                    owners[count] = o;
-                    count += 1;
-                }
-            }
-            for &o in &owners[..count] {
-                lists[o as usize].push(beta as u32, alpha as u32);
+    (owner, lists)
+}
+
+/// Pushes pair `(beta, alpha)` onto each of the ≤4 distinct partitions
+/// owning one of its target rows.
+#[inline]
+fn assign_pair(
+    map: &ElementRowMap,
+    owner: &[u32],
+    lists: &mut [PairWorklist],
+    beta: usize,
+    alpha: usize,
+) {
+    let mut owners = [NO_OWNER; 4];
+    let mut count = 0;
+    for &row in map.pair_target_rows(beta, alpha).as_slice() {
+        let o = owner[row];
+        if o != NO_OWNER && !owners[..count].contains(&o) {
+            owners[count] = o;
+            count += 1;
+        }
+    }
+    for &o in &owners[..count] {
+        lists[o as usize].push(beta as u32, alpha as u32);
+    }
+}
+
+/// Pooled variant of [`build_worklists`]: the `O(M²)` integer pre-pass is
+/// column-split over the pool and merged back in order, producing
+/// worklists **identical** to the serial build.
+///
+/// The outer `β` loop is cut into contiguous chunks (one per pool thread,
+/// `schedule.partition_ranges(m, threads)`); each chunk builds its own
+/// per-partition run vectors independently, and the merge concatenates
+/// them per partition in chunk order. A [`PairRun`] never spans `β`
+/// columns and the chunks are `β`-aligned, so no run can straddle a chunk
+/// seam: concatenation reproduces the serial run-length compression
+/// exactly, not just the same pair sequence — pinned against
+/// [`build_worklists`] by the proptest oracle below.
+pub fn build_worklists_pooled(
+    map: &ElementRowMap,
+    ranges: &[Range<usize>],
+    pool: &ThreadPool,
+    schedule: Schedule,
+) -> Vec<PairWorklist> {
+    let m = map.element_count();
+    let chunks = schedule.partition_ranges(m, pool.threads());
+    if chunks.len() <= 1 {
+        return build_worklists(map, ranges);
+    }
+    let (owner, lists) = ownership(map, ranges);
+    let mut per_chunk: Vec<Vec<PairWorklist>> = Vec::with_capacity(chunks.len());
+    per_chunk.resize_with(chunks.len(), Vec::new);
+    pool.scoped_partition(&mut per_chunk, schedule.partition_dispatch(), |c, slot| {
+        let mut part: Vec<PairWorklist> = ranges
+            .iter()
+            .map(|r| PairWorklist::new(r.clone()))
+            .collect();
+        for beta in chunks[c].clone() {
+            for alpha in beta..m {
+                assign_pair(map, &owner, &mut part, beta, alpha);
             }
         }
+        *slot = part;
+    });
+    // Order-preserving merge: chunk results concatenate per partition in
+    // ascending β order.
+    let mut merged = lists;
+    for part in per_chunk {
+        for (dst, src) in merged.iter_mut().zip(part) {
+            dst.pairs += src.pairs;
+            dst.runs.extend(src.runs);
+        }
+    }
+    merged
+}
+
+/// Builds per-partition worklists restricted to an explicit **near-pair
+/// list** instead of the full triangle — the candidate generator of the
+/// hierarchical backend's near-field assembly.
+///
+/// `near` must be sorted in the sequential `(β, then α)` pair order with
+/// `β ≤ α` (the [`ClusterTree::block_partition`] contract), so each
+/// worklist's runs come out in sequential order exactly as in the dense
+/// build; only the pairs missing from `near` (the compressed far field)
+/// are skipped.
+///
+/// [`ClusterTree::block_partition`]: layerbem_geometry::ClusterTree::block_partition
+pub fn build_near_worklists(
+    map: &ElementRowMap,
+    ranges: &[Range<usize>],
+    near: &[(u32, u32)],
+) -> Vec<PairWorklist> {
+    let (owner, mut lists) = ownership(map, ranges);
+    debug_assert!(near.windows(2).all(|w| w[0] < w[1]), "near pairs unsorted");
+    for &(beta, alpha) in near {
+        debug_assert!(beta <= alpha);
+        assign_pair(map, &owner, &mut lists, beta as usize, alpha as usize);
     }
     lists
 }

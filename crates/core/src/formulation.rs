@@ -34,6 +34,50 @@ pub enum SolverChoice {
     Lu,
 }
 
+/// How the prepared Galerkin operator is represented in memory.
+///
+/// The **dense** backend is the bit-identical default and the accuracy
+/// oracle every other backend is measured against: the packed `N(N+1)/2`
+/// triangle, assembled by the worklist engine, factorized or retained for
+/// PCG. The **hierarchical** backend stores the same operator as a sparse
+/// near field plus ACA-compressed far blocks
+/// ([`HMatrix`](layerbem_numeric::HMatrix)) — `O(N log N)`-ish bytes and
+/// matvec instead of `O(N²)` — and is served by PCG only (there is no
+/// factorization of a compressed operator on this path).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum OperatorBackend {
+    /// Packed dense triangle (default; bit-identical across all assembly
+    /// modes, schedules and thread counts).
+    #[default]
+    Dense,
+    /// Hierarchical near-dense + far-low-rank operator.
+    Hierarchical {
+        /// Relative Frobenius tolerance of each far block's ACA
+        /// compression (the accuracy knob; solutions agree with the dense
+        /// backend to roughly this order).
+        tol: f64,
+        /// Cluster-tree leaf size cap (the granularity knob: smaller
+        /// leaves compress more pairs but add block overhead).
+        leaf_size: usize,
+    },
+}
+
+/// Default ACA tolerance of [`OperatorBackend::hierarchical`].
+pub const DEFAULT_ACA_TOL: f64 = 1e-8;
+/// Default cluster-tree leaf size of [`OperatorBackend::hierarchical`].
+pub const DEFAULT_LEAF_SIZE: usize = 32;
+
+impl OperatorBackend {
+    /// The hierarchical backend with the default tolerance
+    /// ([`DEFAULT_ACA_TOL`]) and leaf size ([`DEFAULT_LEAF_SIZE`]).
+    pub fn hierarchical() -> Self {
+        OperatorBackend::Hierarchical {
+            tol: DEFAULT_ACA_TOL,
+            leaf_size: DEFAULT_LEAF_SIZE,
+        }
+    }
+}
+
 /// Pool, schedule and blocking parameters of the parallel solve phase.
 ///
 /// One value of this struct is threaded from the CAD front-end through
@@ -97,6 +141,12 @@ pub struct SolveOptions {
     /// the linear-algebra layer, so the measured speed-ups no longer stop
     /// at matrix generation.
     pub parallelism: Option<Parallelism>,
+    /// Memory/compute representation of the prepared Galerkin operator.
+    /// [`OperatorBackend::Dense`] (the default) keeps every existing path
+    /// bit-identical; [`OperatorBackend::Hierarchical`] compresses the far
+    /// field and requires the Galerkin formulation with the
+    /// conjugate-gradient solver.
+    pub backend: OperatorBackend,
 }
 
 impl Default for SolveOptions {
@@ -107,6 +157,7 @@ impl Default for SolveOptions {
             outer_quadrature: 4,
             cg_rel_tol: 1e-10,
             parallelism: None,
+            backend: OperatorBackend::Dense,
         }
     }
 }
@@ -130,6 +181,11 @@ impl SolveOptions {
             parallelism: self.parallelism.map(|p| p.with_factor_block(factor_block)),
             ..self
         }
+    }
+
+    /// Returns the options with the given operator backend.
+    pub fn with_backend(self, backend: OperatorBackend) -> Self {
+        SolveOptions { backend, ..self }
     }
 }
 

@@ -60,12 +60,13 @@ use std::time::Instant;
 use layerbem_numeric::cholesky::{CholeskyFactor, NotPositiveDefinite};
 use layerbem_numeric::lu::{LuFactor, SingularMatrix};
 use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
-use layerbem_numeric::SymMatrix;
+use layerbem_numeric::{AcaError, CompressionStats, HMatrix, SymMatrix};
 
 use crate::assembly::{
-    assemble_collocation, assemble_collocation_pooled, galerkin_rhs, AssemblyMode, AssemblyReport,
+    assemble_collocation, assemble_collocation_pooled, assemble_hierarchical, galerkin_rhs,
+    AssemblyMode, AssemblyReport,
 };
-use crate::formulation::{Formulation, SolverChoice};
+use crate::formulation::{Formulation, OperatorBackend, SolverChoice};
 use crate::system::{GroundingSolution, GroundingSystem};
 
 /// One question asked of a prepared grounding system.
@@ -128,7 +129,7 @@ impl std::fmt::Display for Scenario {
 }
 
 /// Why [`GroundingSystem::prepare`] could not produce a [`Study`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PrepareError {
     /// The symmetric factorization failed: the assembled Galerkin matrix
     /// is not positive definite (a broken discretization or kernel).
@@ -136,6 +137,14 @@ pub enum PrepareError {
     /// The LU factorization failed: the assembled matrix is numerically
     /// singular.
     Singular(SingularMatrix),
+    /// The hierarchical backend's ACA compression could not reach its
+    /// tolerance within the far-block rank cap — the operator would
+    /// silently densify; tighten the leaf size or loosen the tolerance.
+    Aca(AcaError),
+    /// The requested operator backend does not support the configured
+    /// formulation/solver combination (the hierarchical backend serves
+    /// the Galerkin formulation with the conjugate-gradient solver only).
+    UnsupportedBackend(&'static str),
 }
 
 impl std::fmt::Display for PrepareError {
@@ -145,6 +154,10 @@ impl std::fmt::Display for PrepareError {
                 write!(f, "cannot factorize the BEM system: {e}")
             }
             PrepareError::Singular(e) => write!(f, "cannot factorize the BEM system: {e}"),
+            PrepareError::Aca(e) => write!(f, "cannot compress the BEM system: {e}"),
+            PrepareError::UnsupportedBackend(why) => {
+                write!(f, "unsupported operator backend: {why}")
+            }
         }
     }
 }
@@ -160,6 +173,12 @@ impl From<NotPositiveDefinite> for PrepareError {
 impl From<SingularMatrix> for PrepareError {
     fn from(e: SingularMatrix) -> Self {
         PrepareError::Singular(e)
+    }
+}
+
+impl From<AcaError> for PrepareError {
+    fn from(e: AcaError) -> Self {
+        PrepareError::Aca(e)
     }
 }
 
@@ -224,6 +243,10 @@ pub struct StudyProfile {
     pub factor_seconds: f64,
     /// Scenario solves served since `prepare`.
     pub scenario_solves: usize,
+    /// Compression accounting of the retained operator: `Some` for the
+    /// hierarchical backend (resident bytes, far-block ranks, ratio vs
+    /// the dense `8·N(N+1)/2`), `None` for the dense engines.
+    pub compression: Option<CompressionStats>,
 }
 
 /// The retained solver state: exactly one variant per
@@ -237,6 +260,10 @@ enum Engine {
     /// (diagonal preconditioner and pooled matvec are rebuilt per solve;
     /// both are deterministic, so repeated solves are bit-identical).
     Pcg(SymMatrix),
+    /// The compressed Galerkin operator (near-dense + ACA far blocks),
+    /// retained for per-scenario PCG through the same `LinearOperator`
+    /// trait the dense engine uses.
+    Hierarchical(HMatrix),
 }
 
 /// A prepared grounding study: the assembled-and-factorized system of one
@@ -260,6 +287,13 @@ pub struct Study {
     /// collocation).
     column_seconds: Vec<f64>,
     column_terms: Vec<u64>,
+    /// Series terms with no per-column attribution (the hierarchical
+    /// engine's near pairs + ACA-sampled far entries; 0 for the dense
+    /// engines, whose terms live in `column_terms`).
+    bulk_terms: u64,
+    /// Compression accounting of the retained operator (hierarchical
+    /// engine only).
+    compression: Option<CompressionStats>,
     assembly_seconds: f64,
     factor_seconds: f64,
     factorizations: usize,
@@ -287,13 +321,56 @@ impl Study {
     ) -> Result<Study, PrepareError> {
         let opts = *system.options();
         match opts.formulation {
-            Formulation::Galerkin => {
-                let t = Instant::now();
-                let report = system.assemble(mode);
-                let assembly_seconds = t.elapsed().as_secs_f64();
-                Study::from_galerkin_report(system, report, assembly_seconds)
-            }
+            Formulation::Galerkin => match opts.backend {
+                OperatorBackend::Dense => {
+                    let t = Instant::now();
+                    let report = system.assemble(mode);
+                    let assembly_seconds = t.elapsed().as_secs_f64();
+                    Study::from_galerkin_report(system, report, assembly_seconds)
+                }
+                OperatorBackend::Hierarchical { tol, leaf_size } => {
+                    // The compressed operator cannot be factorized, so the
+                    // hierarchical backend serves PCG only. Like the
+                    // collocation path, it ignores the staged-baseline
+                    // `mode` argument: its near field always runs on the
+                    // worklist engine (pooled when parallelism is set).
+                    if opts.solver != SolverChoice::ConjugateGradient {
+                        return Err(PrepareError::UnsupportedBackend(
+                            "the hierarchical backend supports only the \
+                             conjugate-gradient solver",
+                        ));
+                    }
+                    let t = Instant::now();
+                    let rep = assemble_hierarchical(
+                        system.mesh(),
+                        system.kernel(),
+                        &opts,
+                        tol,
+                        leaf_size,
+                    )?;
+                    let assembly_seconds = t.elapsed().as_secs_f64();
+                    Ok(Study {
+                        opts,
+                        nu: rep.rhs.clone(),
+                        rhs: rep.rhs,
+                        compression: Some(rep.operator.compression_stats()),
+                        engine: Engine::Hierarchical(rep.operator),
+                        column_seconds: Vec::new(),
+                        column_terms: Vec::new(),
+                        bulk_terms: rep.terms,
+                        assembly_seconds,
+                        factor_seconds: 0.0,
+                        factorizations: 0,
+                        solves: AtomicUsize::new(0),
+                    })
+                }
+            },
             Formulation::Collocation => {
+                if opts.backend != OperatorBackend::Dense {
+                    return Err(PrepareError::UnsupportedBackend(
+                        "the hierarchical backend requires the Galerkin formulation",
+                    ));
+                }
                 let t = Instant::now();
                 let (c, rhs) = match opts.parallelism {
                     Some(par) => assemble_collocation_pooled(
@@ -322,6 +399,8 @@ impl Study {
                     nu: galerkin_rhs(system.mesh()),
                     column_seconds: Vec::new(),
                     column_terms: Vec::new(),
+                    bulk_terms: 0,
+                    compression: None,
                     assembly_seconds,
                     factor_seconds: t.elapsed().as_secs_f64(),
                     factorizations: 1,
@@ -351,6 +430,8 @@ impl Study {
             engine,
             column_seconds: report.column_seconds.clone(),
             column_terms: report.column_terms.clone(),
+            bulk_terms: 0,
+            compression: None,
             assembly_seconds: report.generation_seconds,
             factor_seconds: t.elapsed().as_secs_f64(),
             factorizations,
@@ -381,6 +462,8 @@ impl Study {
             engine,
             column_seconds,
             column_terms,
+            bulk_terms: 0,
+            compression: None,
             assembly_seconds,
             factor_seconds: t.elapsed().as_secs_f64(),
             factorizations,
@@ -447,9 +530,12 @@ impl Study {
         &self.column_terms
     }
 
-    /// Total series terms the one-time assembly consumed.
+    /// Total series terms the one-time assembly consumed. For the dense
+    /// Galerkin engines this is the column profile's sum; the hierarchical
+    /// engine contributes a bulk count (near pairs + ACA-sampled far
+    /// entries) with no per-column attribution.
     pub fn total_terms(&self) -> u64 {
-        self.column_terms.iter().sum()
+        self.bulk_terms + self.column_terms.iter().sum::<u64>()
     }
 
     /// Phase instrumentation: what `prepare` paid and how many scenarios
@@ -461,6 +547,7 @@ impl Study {
             assembly_seconds: self.assembly_seconds,
             factor_seconds: self.factor_seconds,
             scenario_solves: self.solves.load(Ordering::Relaxed),
+            compression: self.compression,
         }
     }
 
@@ -507,7 +594,9 @@ impl Study {
             return Err(SolveError::NonPositiveDrive { scenario: *bad });
         }
         match &self.engine {
-            Engine::Pcg(_) => scenarios.iter().map(|s| self.solve(s)).collect(),
+            Engine::Pcg(_) | Engine::Hierarchical(_) => {
+                scenarios.iter().map(|s| self.solve(s)).collect()
+            }
             direct => {
                 let cols = vec![self.rhs.clone(); scenarios.len()];
                 let units = match (direct, self.opts.parallelism) {
@@ -519,7 +608,9 @@ impl Study {
                         f.solve_many_pooled(&cols, &par.pool, par.schedule)
                     }
                     (Engine::Lu(f), None) => f.solve_many(&cols),
-                    (Engine::Pcg(_), _) => unreachable!("handled above"),
+                    (Engine::Pcg(_), _) | (Engine::Hierarchical(_), _) => {
+                        unreachable!("handled above")
+                    }
                 };
                 let solutions: Vec<GroundingSolution> = units
                     .into_iter()
@@ -553,6 +644,24 @@ impl Study {
                     ),
                     None => pcg_solve(matrix, &self.rhs, popts),
                 };
+                if !out.converged {
+                    return Err(SolveError::IterationLimit {
+                        iterations: out.history.iterations(),
+                    });
+                }
+                Ok((out.x, out.history.iterations()))
+            }
+            Engine::Hierarchical(hm) => {
+                // The compressed matvec is intentionally serial (it is
+                // already sub-quadratic); the pooled *vector* reductions
+                // are still honored, and both are bit-identical to their
+                // serial counterparts.
+                let popts = PcgOptions {
+                    rel_tol: self.opts.cg_rel_tol,
+                    vector_parallelism: self.opts.parallelism.map(|p| (p.pool, p.schedule)),
+                    ..Default::default()
+                };
+                let out = pcg_solve(hm, &self.rhs, popts);
                 if !out.converged {
                     return Err(SolveError::IterationLimit {
                         iterations: out.history.iterations(),
@@ -809,6 +918,82 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_studies_answer_scenarios_within_tolerance_of_dense() {
+        use crate::formulation::OperatorBackend;
+        let mesh = rod_mesh(24);
+        let soil = SoilModel::uniform(0.016);
+        let dense = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default())
+            .prepare()
+            .expect("dense prepare");
+        let tol = 1e-8;
+        let opts = SolveOptions::default()
+            .with_backend(OperatorBackend::Hierarchical { tol, leaf_size: 4 });
+        let study = GroundingSystem::new(mesh, &soil, opts)
+            .prepare()
+            .expect("hierarchical prepare");
+        let profile = study.profile();
+        assert_eq!(profile.assemblies, 1);
+        assert_eq!(profile.factorizations, 0);
+        let cs = profile.compression.expect("compression stats");
+        assert_eq!(cs.order, study.dof());
+        assert!(cs.far_blocks > 0, "rod mesh must produce far blocks");
+        assert!(cs.resident_bytes > 0);
+        // Terms are accounted in bulk, not per column.
+        assert!(study.total_terms() > 0);
+        assert!(study.column_terms().is_empty());
+        for s in [Scenario::gpr(10_000.0), Scenario::fault_current(25_000.0)] {
+            let a = dense.solve(&s).expect("dense solve");
+            let b = study.solve(&s).expect("hierarchical solve");
+            let rel =
+                (a.equivalent_resistance - b.equivalent_resistance).abs() / a.equivalent_resistance;
+            assert!(rel <= 1e-6, "{s}: rel {rel:.3e}");
+            assert_eq!(a.total_current.is_finite(), b.total_current.is_finite());
+        }
+        // Batch = per-scenario solves, bit for bit, like the dense PCG arm.
+        let sweep: Vec<Scenario> = (1..=4).map(|i| Scenario::gpr(500.0 * i as f64)).collect();
+        let batch = study.solve_batch(&sweep).expect("batch");
+        for (sol, s) in batch.iter().zip(&sweep) {
+            let single = study.solve(s).expect("solve");
+            assert_eq!(sol.leakage, single.leakage);
+        }
+    }
+
+    #[test]
+    fn hierarchical_backend_rejects_unsupported_configurations() {
+        use crate::formulation::OperatorBackend;
+        let soil = SoilModel::uniform(0.016);
+        let hier = OperatorBackend::hierarchical();
+        // Direct solvers cannot factor a compressed operator.
+        for solver in [SolverChoice::Cholesky, SolverChoice::Lu] {
+            let opts = SolveOptions {
+                solver,
+                ..Default::default()
+            }
+            .with_backend(hier);
+            let err = GroundingSystem::new(rod_mesh(4), &soil, opts)
+                .prepare()
+                .expect_err("must reject");
+            assert!(
+                matches!(err, PrepareError::UnsupportedBackend(_)),
+                "{solver:?}"
+            );
+            assert!(err.to_string().contains("conjugate-gradient"), "{err}");
+        }
+        // Collocation has no symmetric Galerkin operator to compress.
+        let opts = SolveOptions {
+            formulation: Formulation::Collocation,
+            solver: SolverChoice::Lu,
+            ..Default::default()
+        }
+        .with_backend(hier);
+        let err = GroundingSystem::new(rod_mesh(4), &soil, opts)
+            .prepare()
+            .expect_err("must reject");
+        assert!(matches!(err, PrepareError::UnsupportedBackend(_)));
+        assert!(err.to_string().contains("Galerkin"), "{err}");
+    }
+
+    #[test]
     fn scenario_display_is_self_describing() {
         assert_eq!(Scenario::gpr(10_000.0).to_string(), "GPR 10000 V");
         assert_eq!(
@@ -828,5 +1013,12 @@ mod tests {
         assert!(e.to_string().contains("7 iterations"));
         let e = SolveError::NonPositiveCurrent { total: -1.0 };
         assert!(e.to_string().contains("positive"));
+        let e = PrepareError::Aca(AcaError::ToleranceNotReached {
+            max_rank: 96,
+            tol: 1e-8,
+        });
+        assert!(e.to_string().contains("rank 96"), "{e}");
+        let e = PrepareError::UnsupportedBackend("reason text");
+        assert!(e.to_string().contains("reason text"));
     }
 }

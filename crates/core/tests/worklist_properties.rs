@@ -7,10 +7,12 @@
 
 use proptest::prelude::*;
 
-use layerbem_core::assembly::worklist::{build_worklists, locality_min_chunk};
+use layerbem_core::assembly::worklist::{
+    build_near_worklists, build_worklists, build_worklists_pooled, locality_min_chunk,
+};
 use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
-use layerbem_geometry::{ElementRowMap, Mesh, Mesher};
-use layerbem_parfor::Schedule;
+use layerbem_geometry::{ClusterTree, ElementRowMap, Mesh, Mesher};
+use layerbem_parfor::{Schedule, ThreadPool};
 
 fn random_mesh(nx: usize, ny: usize, subdivide: bool) -> Mesh {
     let net = rectangular_grid(RectGridSpec {
@@ -140,6 +142,65 @@ proptest! {
             }
         }
         prop_assert_eq!(union, m * (m + 1) / 2);
+    }
+
+    /// The pooled `O(M²)` pre-pass is **identical** to the serial build —
+    /// same runs, same pair counts, for any row schedule × column-split
+    /// schedule × thread count. The β-aligned chunking cannot split a run,
+    /// so the order-preserving merge reproduces the serial run-length
+    /// compression exactly.
+    #[test]
+    fn pooled_prepass_is_identical_to_serial(
+        nx in 1usize..5,
+        ny in 1usize..4,
+        subdivide in any::<bool>(),
+        kind in 0usize..4,
+        chunk in 1usize..6,
+        threads in 1usize..9,
+        split_kind in 0usize..4,
+        split_chunk in 1usize..6,
+        pool_threads in 1usize..5,
+    ) {
+        let mesh = random_mesh(nx, ny, subdivide);
+        let map = ElementRowMap::from_mesh(&mesh);
+        let ranges = schedule_from(kind, chunk).partition_ranges(mesh.dof(), threads);
+        let serial = build_worklists(&map, &ranges);
+        let pool = ThreadPool::new(pool_threads);
+        let pooled =
+            build_worklists_pooled(&map, &ranges, &pool, schedule_from(split_kind, split_chunk));
+        prop_assert_eq!(serial.len(), pooled.len());
+        for (s, p) in serial.iter().zip(&pooled) {
+            prop_assert_eq!(s.rows(), p.rows());
+            prop_assert_eq!(s.pair_count(), p.pair_count());
+            prop_assert_eq!(s.runs(), p.runs());
+        }
+    }
+
+    /// Near-pair worklists are exactly the full-triangle worklists with
+    /// the far pairs filtered out, in the same order.
+    #[test]
+    fn near_worklists_are_the_filtered_triangle(
+        nx in 1usize..5,
+        ny in 1usize..4,
+        kind in 0usize..4,
+        chunk in 1usize..6,
+        threads in 1usize..9,
+        leaf in 1usize..12,
+    ) {
+        let mesh = random_mesh(nx, ny, true);
+        let map = ElementRowMap::from_mesh(&mesh);
+        let tree = ClusterTree::build(&mesh, leaf);
+        let near = tree.block_partition(1.0).near;
+        let in_near: std::collections::HashSet<(usize, usize)> =
+            near.iter().map(|&(b, a)| (b as usize, a as usize)).collect();
+        let ranges = schedule_from(kind, chunk).partition_ranges(mesh.dof(), threads);
+        let full = build_worklists(&map, &ranges);
+        let restricted = build_near_worklists(&map, &ranges, &near);
+        for (f, r) in full.iter().zip(&restricted) {
+            let want: Vec<_> = f.pairs().filter(|p| in_near.contains(p)).collect();
+            let got: Vec<_> = r.pairs().collect();
+            prop_assert_eq!(got, want);
+        }
     }
 
     /// The locality floor never exceeds the matrix order and a coarser

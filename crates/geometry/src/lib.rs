@@ -21,11 +21,16 @@
 //! * [`rowmap`] — CSR map between elements and the Galerkin matrix rows
 //!   they target (element → row extremes, rows → owning elements), the
 //!   substrate of the assembly layer's precomputed pair worklists.
+//! * [`cluster`] — binary cluster tree over elements with the
+//!   admissibility test that splits the element-pair triangle into near
+//!   (dense) and far (low-rank compressible) blocks, the geometric
+//!   substrate of the hierarchical operator backend.
 //! * [`grids`] — parametric generators for rectangular and right-triangle
 //!   grids with vertical rods, including reconstructions of the two
 //!   substation geometries evaluated in the paper (Barberá, Fig 5.1, and
 //!   Balaidos, Fig 5.3).
 
+pub mod cluster;
 pub mod conductor;
 pub mod grids;
 pub mod mesh;
@@ -34,6 +39,7 @@ pub mod point;
 pub mod rowmap;
 pub mod svg;
 
+pub use cluster::{Aabb, BlockPartition, Cluster, ClusterTree};
 pub use conductor::Conductor;
 pub use mesh::{Element, Mesh, MeshOptions, Mesher};
 pub use network::ConductorNetwork;

@@ -20,6 +20,11 @@
 //! * [`pcg`] — Jacobi-preconditioned conjugate gradient with convergence
 //!   history, defined over a [`LinearOperator`] abstraction so that both
 //!   assembled matrices and matrix-free operators can be solved.
+//! * [`mod@aca`] + [`hmatrix`] — adaptive cross approximation and the
+//!   hierarchical operator ([`HMatrix`]: sparse-symmetric near field +
+//!   low-rank far field) that PCG drives through the same
+//!   [`LinearOperator`] trait, turning the `O(N²)` matvec into
+//!   `O(nnz + Σ r·(|σ|+|τ|))`.
 //!
 //! The **pooled layer** makes the solve phase scale with the same
 //! `layerbem-parfor` runtime the assembler uses — and every pooled path
@@ -43,10 +48,12 @@
 //!   summation of the slowly convergent image series, with optional
 //!   Aitken Δ² acceleration.
 
+pub mod aca;
 pub mod bessel;
 pub mod cholesky;
 pub mod dense;
 pub mod eigen;
+pub mod hmatrix;
 pub mod lu;
 pub mod pcg;
 pub mod quadrature;
@@ -54,8 +61,10 @@ pub mod series;
 pub mod symmetric;
 pub mod vector;
 
+pub use aca::{aca, AcaError, LowRank};
 pub use cholesky::CholeskyFactor;
 pub use dense::{DenseMatrix, DenseRowsMut};
+pub use hmatrix::{CompressionStats, FarBlock, HMatrix, SparseSym, SparseSymRowsMut};
 pub use lu::LuFactor;
 pub use pcg::{
     pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome, PooledSymOperator,

@@ -37,6 +37,20 @@ pub trait LinearOperator {
     /// preconditioner. Implementations may estimate it; entries must be
     /// positive for an SPD operator.
     fn diagonal(&self) -> Vec<f64>;
+    /// Vector dimension `apply` accepts — always [`order`](Self::order);
+    /// provided so implementations and callers share one name for it.
+    fn dim(&self) -> usize {
+        self.order()
+    }
+    /// Shared argument check for `apply` implementations: panics unless
+    /// both slices have length [`dim`](Self::dim). Every in-tree `apply`
+    /// goes through this one assertion instead of duplicating ad-hoc
+    /// length checks per impl.
+    fn assert_apply_dims(&self, x: &[f64], y: &[f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "matvec: x length");
+        assert_eq!(y.len(), n, "matvec: y length");
+    }
 }
 
 impl LinearOperator for SymMatrix {
@@ -44,6 +58,7 @@ impl LinearOperator for SymMatrix {
         self.order()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.assert_apply_dims(x, y);
         self.matvec(x, y);
     }
     fn diagonal(&self) -> Vec<f64> {
@@ -76,9 +91,12 @@ impl LinearOperator for SymMatrix {
 /// a.set(1, 1, 3.0);
 /// a.set(1, 0, 1.0);
 /// let op = PooledSymOperator::new(&a, ThreadPool::new(2), Schedule::static_blocked());
+/// # use layerbem_numeric::LinearOperator;
+/// assert_eq!(op.dim(), 2);
 /// let out = pcg_solve(&op, &[3.0, 5.0], PcgOptions::default());
 /// assert!(out.converged);
 /// assert!((out.x[0] - 0.8).abs() < 1e-9);
+/// assert!((out.x[1] - 1.4).abs() < 1e-9);
 /// ```
 #[derive(Clone, Debug)]
 pub struct PooledSymOperator<'a> {
@@ -120,9 +138,7 @@ impl LinearOperator for PooledSymOperator<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let n = self.matrix.order();
-        assert_eq!(x.len(), n, "matvec: x length");
-        assert_eq!(y.len(), n, "matvec: y length");
+        self.assert_apply_dims(x, y);
         let packed = self.matrix.packed();
         // Split y into the precomputed disjoint row ranges (they tile
         // 0..n ascending) and hand each partition to the pool.

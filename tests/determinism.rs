@@ -11,7 +11,10 @@
 //! assembly engine (the `ParallelDirect` default) and its retained
 //! envelope-scan baseline (`ParallelDirectScan`): both must reproduce the
 //! sequential double loop bit for bit — matrix, right-hand side, and
-//! per-column series terms — for every schedule × thread count.
+//! per-column series terms — for every schedule × thread count. PR 6
+//! extends the guarantee to the hierarchical (ACA-compressed) operator
+//! backend: the pooled H-matrix assembly and the PCG trajectory it feeds
+//! must replay the serial hierarchical solve exactly.
 //!
 //! Grid selection honors the `LAYERBEM_DETERMINISM_GRID` environment
 //! variable: `tiny` substitutes a 2×2-cell yard (the CI smoke
@@ -24,7 +27,7 @@
 use layerbem_core::assembly::{
     assemble_collocation, assemble_collocation_pooled, assemble_galerkin, AssemblyMode,
 };
-use layerbem_core::formulation::{SolveOptions, SolverChoice};
+use layerbem_core::formulation::{OperatorBackend, SolveOptions, SolverChoice};
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
@@ -379,6 +382,45 @@ fn staged_fault_current_scenarios_match_the_legacy_driver() {
                 .expect("solve succeeds");
             assert_eq!(legacy.leakage, pooled.leakage, "{grid} threads={threads}");
             assert_eq!(legacy.gpr, pooled.gpr, "{grid} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn hierarchical_backend_solves_are_bit_identical_across_schedules_and_threads() {
+    // The PR-6 tentpole invariant: the compressed operator is assembled
+    // deterministically (per-entry near accumulation in sequential pair
+    // order, per-block ACA independent of the pool), so the whole PCG
+    // trajectory — leakage vector, iteration count, equivalent
+    // resistance — must replay the serial hierarchical solve bit for
+    // bit, for every schedule × thread count.
+    let backend = OperatorBackend::hierarchical();
+    for (grid, mesh, soil) in grid_cases() {
+        let base = SolveOptions::default().with_backend(backend);
+        let serial = GroundingSystem::new(mesh.clone(), &soil, base)
+            .prepare()
+            .expect("serial hierarchical prepare succeeds")
+            .solve(&Scenario::gpr(10_000.0))
+            .expect("serial hierarchical solve succeeds");
+        for threads in thread_counts() {
+            for schedule in schedules() {
+                let opts = base.with_parallelism(ThreadPool::new(threads), schedule);
+                let pooled = GroundingSystem::new(mesh.clone(), &soil, opts)
+                    .prepare()
+                    .expect("pooled hierarchical prepare succeeds")
+                    .solve(&Scenario::gpr(10_000.0))
+                    .expect("pooled hierarchical solve succeeds");
+                let label = format!("{grid}: threads={threads} {}", schedule.label());
+                assert_eq!(serial.leakage, pooled.leakage, "{label}");
+                assert_eq!(
+                    serial.solver_iterations, pooled.solver_iterations,
+                    "{label}"
+                );
+                assert_eq!(
+                    serial.equivalent_resistance, pooled.equivalent_resistance,
+                    "{label}"
+                );
+            }
         }
     }
 }
