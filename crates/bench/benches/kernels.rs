@@ -79,6 +79,61 @@ fn element_integrals(c: &mut Criterion) {
     g.finish();
 }
 
+fn scalar_vs_batched_kernel(c: &mut Criterion) {
+    // The two kernel evaluation paths of `SolveOptions::kernel_eval`, on
+    // one element pair's worth of quadrature points (the unit of work the
+    // Galerkin pair walk hands the kernel): scalar point-at-a-time oracle
+    // vs the 4-wide structure-of-arrays lane path.
+    use layerbem_core::kernel::KernelBatch;
+    let mut g = c.benchmark_group("scalar-vs-batched-kernel");
+    let src = ElementGeom::new(
+        Point3::new(0.0, 0.0, 0.8),
+        Point3::new(5.0, 0.0, 0.8),
+        0.006,
+    );
+    let pts: Vec<Point3> = (0..8)
+        .map(|i| Point3::new(3.0 + 0.37 * i as f64, -2.0 + 0.21 * i as f64, 0.3 + 0.11 * i as f64))
+        .collect();
+    for (label, soil) in [
+        ("uniform", SoilModel::uniform(0.016)),
+        ("two_layer_barbera", SoilModel::two_layer(0.005, 0.016, 1.0)),
+        (
+            "two_layer_balaidos",
+            SoilModel::two_layer(0.0025, 0.020, 1.0),
+        ),
+    ] {
+        let k = SoilKernel::new(&soil);
+        g.bench_with_input(
+            BenchmarkId::new("scalar", label),
+            &k,
+            |b, k| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &p in &pts {
+                        let (v, _) = k.element_potential(black_box(p), &src);
+                        acc += v[0] + v[1];
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        let k = SoilKernel::new(&soil);
+        let mut batch = KernelBatch::new();
+        g.bench_with_input(BenchmarkId::new("batched", label), &k, |b, k| {
+            b.iter(|| {
+                batch.clear();
+                for &p in &pts {
+                    batch.push(black_box(p));
+                }
+                k.element_potential_batch(&mut batch, &src);
+                let v = batch.values();
+                black_box(v[0][0] + v[7][1])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn series_acceleration(c: &mut Criterion) {
     // Ablation of the DESIGN.md §8 extension: Aitken Δ² extrapolation of
     // the image series vs plain tolerance-controlled summation, at the
@@ -112,6 +167,7 @@ criterion_group!(
     benches,
     point_kernels,
     element_integrals,
+    scalar_vs_batched_kernel,
     series_acceleration
 );
 criterion_main!(benches);

@@ -31,11 +31,22 @@
 //! `BENCH_pr.json` artifact CI uploads, recording the benchmark
 //! trajectory per PR) — gate 2 adds rows with modes `prepare_once` and
 //! `resolve_each`, gate 3 rows with modes `matvec-*` / `assemble-*`
-//! carrying measured `resident_bytes`.
+//! carrying measured `resident_bytes`, gate 4 rows with modes
+//! `kernel-scalar` / `kernel-batched` carrying `kernel_seconds` and
+//! `lane_occupancy`.
+
+//! **Gate 4 — scalar vs batched kernel evaluation:** assembles the
+//! refined Barberá grid under the two-layer soil at 4 **pinned** threads
+//! with both kernel evaluation paths, re-asserts the batched contract
+//! (within series tolerance of the scalar oracle; bit-identical across
+//! schedule and thread-count changes), and **exits nonzero** unless the
+//! batched kernel phase is at least `--kernel-speedup` (default 1.5×)
+//! faster than the scalar one.
 //!
 //! ```text
 //! bench_gate [--grid tiny|barbera|balaidos] [--reps N]
-//!            [--tolerance F] [--sweep-speedup F] [--json NAME.json]
+//!            [--tolerance F] [--sweep-speedup F] [--kernel-speedup F]
+//!            [--json NAME.json]
 //! ```
 //!
 //! Thread count follows the environment pool (`LAYERBEM_THREADS`, which
@@ -54,7 +65,9 @@ use layerbem_bench::{
 use layerbem_core::assembly::{
     assemble_galerkin, assemble_hierarchical, AssemblyMode, AssemblyReport,
 };
-use layerbem_core::formulation::{SolveOptions, SolverChoice, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE};
+use layerbem_core::formulation::{
+    KernelEval, SolveOptions, SolverChoice, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE,
+};
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
@@ -79,7 +92,8 @@ fn tiny_mesh() -> Mesh {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--grid tiny|barbera|balaidos] [--reps N] \
-         [--tolerance F] [--sweep-speedup F] [--json NAME.json]"
+         [--tolerance F] [--sweep-speedup F] [--kernel-speedup F] \
+         [--json NAME.json]"
     );
     std::process::exit(2);
 }
@@ -91,6 +105,9 @@ struct Args {
     /// Minimum speedup gate 2 demands of the staged sweep over the
     /// legacy per-scenario re-solve loop.
     sweep_speedup: f64,
+    /// Minimum kernel-phase speedup gate 4 demands of the batched kernel
+    /// evaluation over the scalar oracle.
+    kernel_speedup: f64,
     json: String,
 }
 
@@ -100,6 +117,7 @@ fn parse_args() -> Args {
         reps: 7,
         tolerance: 1.15,
         sweep_speedup: 2.0,
+        kernel_speedup: 1.5,
         json: "BENCH_pr.json".into(),
     };
     let mut argv = std::env::args().skip(1);
@@ -122,6 +140,13 @@ fn parse_args() -> Args {
             }
             "--sweep-speedup" => {
                 args.sweep_speedup = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 1.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--kernel-speedup" => {
+                args.kernel_speedup = argv
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&t: &f64| t.is_finite() && t >= 1.0)
@@ -189,6 +214,8 @@ fn main() {
         wall_seconds: seq_best,
         series_terms: seq.total_terms(),
         resident_bytes: None,
+        kernel_seconds: None,
+        lane_occupancy: None,
     }];
 
     let schedules = [
@@ -222,6 +249,8 @@ fn main() {
                 wall_seconds: wall,
                 series_terms: rep.total_terms(),
                 resident_bytes: None,
+                kernel_seconds: None,
+                lane_occupancy: None,
             });
         }
         let [worklist, scan] = best;
@@ -342,6 +371,8 @@ fn main() {
         wall_seconds: best_prepare,
         series_terms: terms_once,
         resident_bytes: None,
+        kernel_seconds: None,
+        lane_occupancy: None,
     });
     records.push(BenchRecord {
         grid: grid.into(),
@@ -351,6 +382,8 @@ fn main() {
         wall_seconds: best_resolve,
         series_terms: terms_once * SWEEP_SCENARIOS as u64,
         resident_bytes: None,
+        kernel_seconds: None,
+        lane_occupancy: None,
     });
     let speedup = best_resolve / best_prepare;
     let sweep_ok = speedup >= args.sweep_speedup;
@@ -464,6 +497,8 @@ fn main() {
         wall_seconds: dense_apply,
         series_terms: dense.total_terms(),
         resident_bytes: Some(dense_bytes),
+        kernel_seconds: None,
+        lane_occupancy: None,
     });
     records.push(BenchRecord {
         grid: hgrid.into(),
@@ -473,6 +508,8 @@ fn main() {
         wall_seconds: hier_apply,
         series_terms: hier.terms,
         resident_bytes: Some(stats.resident_bytes as u64),
+        kernel_seconds: None,
+        lane_occupancy: None,
     });
     records.push(BenchRecord {
         grid: hgrid.into(),
@@ -482,6 +519,8 @@ fn main() {
         wall_seconds: dense_assemble_s,
         series_terms: dense.total_terms(),
         resident_bytes: Some(dense_bytes),
+        kernel_seconds: None,
+        lane_occupancy: None,
     });
     records.push(BenchRecord {
         grid: hgrid.into(),
@@ -491,6 +530,8 @@ fn main() {
         wall_seconds: hier_assemble_s,
         series_terms: hier.terms,
         resident_bytes: Some(stats.resident_bytes as u64),
+        kernel_seconds: None,
+        lane_occupancy: None,
     });
 
     let apply_ratio = hier_apply / dense_apply;
@@ -544,6 +585,141 @@ fn main() {
         stats.compression_ratio()
     );
 
+    // ---- Gate 4: scalar vs batched kernel evaluation. ----
+    //
+    // Full assembly of the refined Barberá grid at 4 **pinned** threads
+    // (not the environment pool — the batched-vs-scalar contract is
+    // documented at the 4-thread point), under the paper's two-layer
+    // Barberá soil: the expensive image-series case (the Table 6.1
+    // matrix-generation regime) where lane evaluation has real work to
+    // amortize — uniform soil exhausts after one image group and would
+    // measure only dispatch overhead. Compared on **kernel-phase**
+    // seconds (`AssemblyReport::kernel_seconds`, the pair-walk time the
+    // batched path accelerates), best of `reps`; fails below
+    // `--kernel-speedup` (default 1.5×). Also re-asserts the batched
+    // contract end to end: bit-identical across schedules *and* thread
+    // counts, and within series tolerance of the scalar oracle.
+    let kgrid = "Barbera refined";
+    let kmesh = barbera_refined_mesh();
+    let ksoil = soils::barbera_two_layer();
+    let kkernel = SoilKernel::new(&ksoil);
+    let kthreads = 4;
+    let kpool = ThreadPool::new(kthreads);
+    let kmode = AssemblyMode::ParallelDirect(kpool, Schedule::dynamic(1));
+    // Each rep is a full refined-grid two-layer assembly — cap like the
+    // sweep gate so the gate stays CI-sized.
+    let kernel_reps = args.reps.min(3);
+
+    let mut best = [(f64::INFINITY, f64::INFINITY); 2]; // (wall, kernel) per eval
+    let mut reports: Vec<AssemblyReport> = Vec::new();
+    for (slot, eval) in [KernelEval::Scalar, KernelEval::Batched].into_iter().enumerate() {
+        let kopts = SolveOptions::default().with_kernel_eval(eval);
+        let mut report = None;
+        for _ in 0..kernel_reps {
+            let t0 = Instant::now();
+            let rep = assemble_galerkin(&kmesh, &kkernel, &kopts, &kmode);
+            let wall = t0.elapsed().as_secs_f64();
+            best[slot].0 = best[slot].0.min(wall);
+            best[slot].1 = best[slot].1.min(rep.kernel_seconds());
+            report = Some(rep);
+        }
+        reports.push(report.expect("kernel_reps > 0"));
+    }
+    let (scalar_rep, batched_rep) = (&reports[0], &reports[1]);
+
+    // Batched-vs-scalar tolerance: the batched path must stay within the
+    // series tolerance of the scalar oracle, entry by entry.
+    let (sp, bp) = (scalar_rep.matrix.packed(), batched_rep.matrix.packed());
+    let mut worst = 0.0f64;
+    for (a, b) in sp.iter().zip(bp) {
+        let scale = a.abs().max(b.abs()).max(1e-300);
+        worst = worst.max((a - b).abs() / scale);
+    }
+    assert!(
+        worst <= 1e-6,
+        "{kgrid}: batched kernel deviates from the scalar oracle by {worst:.3e}"
+    );
+
+    // Batched determinism: one run on a different schedule AND thread
+    // count must reproduce the gate run bit for bit.
+    let repool = ThreadPool::new(2);
+    let recheck = assemble_galerkin(
+        &kmesh,
+        &kkernel,
+        &SolveOptions::default().with_kernel_eval(KernelEval::Batched),
+        &AssemblyMode::ParallelDirect(repool, Schedule::static_blocked()),
+    );
+    assert_eq!(
+        batched_rep.matrix.packed(),
+        recheck.matrix.packed(),
+        "{kgrid}: batched assembly not bit-identical across schedule/thread changes"
+    );
+
+    let [(scalar_wall, scalar_kernel), (batched_wall, batched_kernel)] = best;
+    let kernel_speedup = scalar_kernel / batched_kernel;
+    let kernel_ok = kernel_speedup >= args.kernel_speedup;
+    if !kernel_ok {
+        failures.push(format!(
+            "batched kernel phase only {kernel_speedup:.2}x faster than scalar \
+             ({batched_kernel:.3}s vs {scalar_kernel:.3}s; gate requires {:.2}x)",
+            args.kernel_speedup
+        ));
+    }
+    records.push(BenchRecord {
+        grid: kgrid.into(),
+        mode: "kernel-scalar".into(),
+        schedule: "Dynamic,1".into(),
+        threads: kthreads,
+        wall_seconds: scalar_wall,
+        series_terms: scalar_rep.total_terms(),
+        resident_bytes: None,
+        kernel_seconds: Some(scalar_kernel),
+        lane_occupancy: None,
+    });
+    records.push(BenchRecord {
+        grid: kgrid.into(),
+        mode: "kernel-batched".into(),
+        schedule: "Dynamic,1".into(),
+        threads: kthreads,
+        wall_seconds: batched_wall,
+        series_terms: batched_rep.total_terms(),
+        resident_bytes: None,
+        kernel_seconds: Some(batched_kernel),
+        lane_occupancy: batched_rep.lane_occupancy(),
+    });
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["kernel eval", "kernel best (s)", "speedup", "gate"],
+            &[
+                vec![
+                    "scalar".into(),
+                    format!("{scalar_kernel:.6}"),
+                    "1.00x".into(),
+                    "baseline".into(),
+                ],
+                vec![
+                    "batched".into(),
+                    format!("{batched_kernel:.6}"),
+                    format!("{kernel_speedup:.2}x"),
+                    if kernel_ok { "ok".into() } else { "FAIL".into() },
+                ],
+            ],
+        )
+    );
+    println!(
+        "{kgrid} ({} dof), two-layer soil, {kthreads} pinned threads, best of \
+         {kernel_reps} repetitions; batched within {worst:.1e} of the scalar \
+         oracle, bit-identical across schedule and thread-count changes, lane \
+         occupancy {}.",
+        kmesh.dof(),
+        batched_rep
+            .lane_occupancy()
+            .map(|o| format!("{:.1}%", 100.0 * o))
+            .unwrap_or_else(|| "-".into()),
+    );
+
     write_bench_json(&args.json, &records);
 
     if !failures.is_empty() {
@@ -555,8 +731,9 @@ fn main() {
     }
     println!(
         "bench gates passed: worklist >= scan-path speed, staged sweep >= \
-         {:.1}x resolve-each at {threads} threads, and the hierarchical \
-         operator beats dense on bytes and matvec speed",
-        args.sweep_speedup
+         {:.1}x resolve-each at {threads} threads, the hierarchical \
+         operator beats dense on bytes and matvec speed, and the batched \
+         kernel phase is >= {:.1}x the scalar oracle at 4 threads",
+        args.sweep_speedup, args.kernel_speedup
     );
 }

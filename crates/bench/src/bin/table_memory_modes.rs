@@ -159,6 +159,8 @@ fn main() {
             wall_seconds: seq_s,
             series_terms: seq.total_terms(),
             resident_bytes: None,
+            kernel_seconds: None,
+            lane_occupancy: None,
         });
 
         // The paper's staged scheme: one run for the memory column.
@@ -189,6 +191,8 @@ fn main() {
             wall_seconds: outer_s,
             series_terms: outer.total_terms(),
             resident_bytes: None,
+            kernel_seconds: None,
+            lane_occupancy: None,
         });
 
         // The zero-staging direct engines (worklist default + retained
@@ -234,6 +238,8 @@ fn main() {
                         wall_seconds: direct_s,
                         series_terms: direct.total_terms(),
                         resident_bytes: None,
+                        kernel_seconds: None,
+                        lane_occupancy: None,
                     });
                 }
             }

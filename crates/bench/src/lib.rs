@@ -195,6 +195,14 @@ pub struct BenchRecord {
     /// operator representation (the dense-vs-hierarchical gate); `None`
     /// for assembly/sweep rows, and omitted from their JSON.
     pub resident_bytes: Option<u64>,
+    /// Seconds spent inside the kernel phase (summed over columns), for
+    /// rows that benchmark kernel evaluation (the scalar-vs-batched gate);
+    /// `None` elsewhere, and omitted from the JSON.
+    pub kernel_seconds: Option<f64>,
+    /// Lane occupancy of the batched kernel path (`lane_points /
+    /// lane_slots`, padded remainder chunks included); `None` for scalar
+    /// rows and rows that don't benchmark kernel evaluation.
+    pub lane_occupancy: Option<f64>,
 }
 
 /// Minimal JSON string escaping for the label fields of [`BenchRecord`].
@@ -218,9 +226,17 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             .resident_bytes
             .map(|b| format!(", \"resident_bytes\": {b}"))
             .unwrap_or_default();
+        let kernel = r
+            .kernel_seconds
+            .map(|k| format!(", \"kernel_seconds\": {k:.6}"))
+            .unwrap_or_default();
+        let occupancy = r
+            .lane_occupancy
+            .map(|o| format!(", \"lane_occupancy\": {o:.4}"))
+            .unwrap_or_default();
         s.push_str(&format!(
             "  {{\"grid\": \"{}\", \"mode\": \"{}\", \"schedule\": \"{}\", \
-             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}{}}}{}\n",
+             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}{}{}{}}}{}\n",
             json_escape(&r.grid),
             json_escape(&r.mode),
             json_escape(&r.schedule),
@@ -228,6 +244,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.wall_seconds,
             r.series_terms,
             bytes,
+            kernel,
+            occupancy,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -292,6 +310,8 @@ mod tests {
                 wall_seconds: 0.012345,
                 series_terms: 98765,
                 resident_bytes: None,
+                kernel_seconds: Some(0.25),
+                lane_occupancy: Some(0.9375),
             },
             BenchRecord {
                 grid: "tiny \"q\" yard".into(),
@@ -301,6 +321,8 @@ mod tests {
                 wall_seconds: 1.5,
                 series_terms: 7,
                 resident_bytes: Some(4096),
+                kernel_seconds: None,
+                lane_occupancy: None,
             },
         ];
         let json = bench_records_json(&rows);
@@ -313,6 +335,11 @@ mod tests {
         // resident_bytes appears only on rows that set it.
         assert!(json.contains("\"resident_bytes\": 4096"));
         assert_eq!(json.matches("resident_bytes").count(), 1);
+        // kernel_seconds / lane_occupancy likewise.
+        assert!(json.contains("\"kernel_seconds\": 0.250000"));
+        assert!(json.contains("\"lane_occupancy\": 0.9375"));
+        assert_eq!(json.matches("kernel_seconds").count(), 1);
+        assert_eq!(json.matches("lane_occupancy").count(), 1);
         // Quotes in labels are escaped; exactly one separating comma.
         assert!(json.contains("tiny \\\"q\\\" yard"));
         assert_eq!(json.matches("},").count(), 1);

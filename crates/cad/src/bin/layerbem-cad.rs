@@ -6,6 +6,7 @@
 //! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
 //!              [--assembly direct|direct-scan|outer|inner] [--block N]
 //!              [--operator dense|hmatrix] [--aca-tol T]
+//!              [--kernel scalar|batched]
 //!              [--gpr-sweep LO:HI:N]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
@@ -38,6 +39,13 @@
 //! oracle; with `--timing`, a compressed run prints its compression
 //! statistics (resident bytes, mean far rank, ratio vs the dense
 //! triangle). Requires a Galerkin deck with the CG solver.
+//!
+//! `--kernel` selects the kernel evaluation strategy of the assembly
+//! phase: `batched` (the default) runs the structure-of-arrays 4-wide
+//! lane path, `scalar` the point-at-a-time oracle. Both are
+//! deterministic; they agree with each other to the series tolerance.
+//! With `--timing`, the run prints its kernel counters (series terms,
+//! kernel seconds split out of matrix generation, lane occupancy).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -46,7 +54,7 @@ use layerbem_cad::input::parse_case;
 use layerbem_cad::pipeline::run_pipeline_with_assembly;
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::{
-    OperatorBackend, SolveOptions, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE,
+    KernelEval, OperatorBackend, SolveOptions, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE,
 };
 use layerbem_core::post::{MapSpec, PotentialMap};
 use layerbem_core::study::Scenario;
@@ -82,6 +90,8 @@ struct Args {
     hmatrix: bool,
     /// ACA tolerance of the hierarchical backend (`--aca-tol`).
     aca_tol: f64,
+    /// Kernel evaluation strategy (`--kernel scalar|batched`).
+    kernel: KernelEval,
     /// Additional prescribed-GPR scenarios from `--gpr-sweep LO:HI:N`.
     gpr_sweep: Vec<Scenario>,
     map: Option<(MapSpec, String)>,
@@ -92,7 +102,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
          \u{20}                [--assembly direct|direct-scan|outer|inner] [--block N]\n\
-         \u{20}                [--operator dense|hmatrix] [--aca-tol T]\n\
+         \u{20}                [--operator dense|hmatrix] [--aca-tol T] [--kernel scalar|batched]\n\
          \u{20}                [--gpr-sweep LO:HI:N] [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
@@ -134,6 +144,7 @@ fn parse_args() -> Args {
     let mut block = None;
     let mut hmatrix = false;
     let mut aca_tol = DEFAULT_ACA_TOL;
+    let mut kernel = KernelEval::default();
     let mut gpr_sweep = Vec::new();
     let mut map = None;
     let mut timing = false;
@@ -173,6 +184,13 @@ fn parse_args() -> Args {
                 hmatrix = match argv.next().as_deref() {
                     Some("dense") => false,
                     Some("hmatrix") => true,
+                    _ => usage(),
+                };
+            }
+            "--kernel" => {
+                kernel = match argv.next().as_deref() {
+                    Some("scalar") => KernelEval::Scalar,
+                    Some("batched") => KernelEval::Batched,
                     _ => usage(),
                 };
             }
@@ -224,6 +242,7 @@ fn parse_args() -> Args {
         block,
         hmatrix,
         aca_tol,
+        kernel,
         gpr_sweep,
         map,
         timing,
@@ -282,11 +301,14 @@ fn main() -> ExitCode {
     // The same pool drives the linear solve: with the in-place assembler
     // the whole assemble→solve pipeline scales, not just generation.
     let opts = if args.threads == 1 {
-        SolveOptions::default().with_backend(backend)
+        SolveOptions::default()
+            .with_backend(backend)
+            .with_kernel_eval(args.kernel)
     } else {
         let opts = SolveOptions::default()
             .with_parallelism(pool, args.schedule)
-            .with_backend(backend);
+            .with_backend(backend)
+            .with_kernel_eval(args.kernel);
         match args.block {
             Some(b) => opts.with_factor_block(b),
             None => opts,
@@ -309,6 +331,15 @@ fn main() -> ExitCode {
             100.0 * result.times.matrix_generation_share(),
             args.threads,
             args.schedule.label()
+        );
+        let p = &result.profile;
+        let occupancy = match p.lane_occupancy {
+            Some(o) => format!("{:.1}% lane occupancy", 100.0 * o),
+            None => "scalar kernel (no lanes)".to_string(),
+        };
+        println!(
+            "kernel evaluation: {:.3} s in series kernels, {} terms, {occupancy}",
+            p.kernel_seconds, p.kernel_terms
         );
         if let Some(cs) = result.compression {
             println!(

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
-use layerbem_core::study::{PrepareError, SolveError};
+use layerbem_core::study::{PrepareError, SolveError, StudyProfile};
 use layerbem_core::system::{GroundingSolution, GroundingSystem};
 use layerbem_geometry::{Mesh, Mesher};
 use layerbem_numeric::CompressionStats;
@@ -159,6 +159,10 @@ pub struct PipelineResult {
     /// Compression accounting of the retained operator — `Some` when the
     /// study ran on the hierarchical backend, `None` for dense.
     pub compression: Option<CompressionStats>,
+    /// The prepared study's phase instrumentation, including the kernel
+    /// counters (series terms, kernel seconds split out of assembly,
+    /// batched-lane occupancy) the `--timing` report prints.
+    pub profile: StudyProfile,
 }
 
 impl PipelineResult {
@@ -242,6 +246,9 @@ pub fn run_pipeline_with_assembly(
         column_seconds: study.column_seconds().to_vec(),
         column_terms: study.column_terms().to_vec(),
         compression: profile.compression,
+        // Re-read so the stored instrumentation includes the scenario
+        // solves served above.
+        profile: study.profile(),
     })
 }
 
@@ -353,6 +360,27 @@ grid rect 0 0 20 20 2 2 0.8 0.006
         .expect("pipeline succeeds");
         assert_eq!(derived.solution().leakage, forced.solution().leakage);
         assert_eq!(derived.column_terms, forced.column_terms);
+    }
+
+    #[test]
+    fn pipeline_surfaces_kernel_counters() {
+        use layerbem_core::formulation::KernelEval;
+        let r = run();
+        assert!(r.profile.kernel_terms > 0);
+        assert!(r.profile.kernel_seconds > 0.0);
+        assert!(r.profile.kernel_seconds <= r.times.of(Phase::MatrixGeneration) + 1e-9);
+        let occ = r.profile.lane_occupancy.expect("batched default");
+        assert!(occ > 0.0 && occ <= 1.0);
+        // The scalar oracle reports no lane occupancy.
+        let case = parse_case(CASE).unwrap();
+        let opts = SolveOptions::default().with_kernel_eval(KernelEval::Scalar);
+        let s = run_pipeline(&case, opts, 0.0).expect("pipeline succeeds");
+        assert!(s.profile.lane_occupancy.is_none());
+        // Both strategies answer the same physics within the series
+        // tolerance.
+        let rel = (r.solution().equivalent_resistance - s.solution().equivalent_resistance).abs()
+            / s.solution().equivalent_resistance;
+        assert!(rel < 1e-6, "batched vs scalar Req rel {rel:.3e}");
     }
 
     #[test]

@@ -54,12 +54,14 @@
 use std::time::Instant;
 
 use layerbem_geometry::{ClusterTree, ElementRowMap, Mesh};
-use layerbem_numeric::{aca, AcaError, DenseMatrix, FarBlock, HMatrix, SparseSym, SymMatrix};
+use layerbem_numeric::{
+    aca_sampled, AcaError, DenseMatrix, FarBlock, HMatrix, MatrixSampler, SparseSym, SymMatrix,
+};
 use layerbem_parfor::{ExecutionStats, Schedule, ThreadPool};
 
-use crate::formulation::SolveOptions;
+use crate::formulation::{KernelEval, SolveOptions};
 use crate::integration::ElementGeom;
-use crate::kernel::SoilKernel;
+use crate::kernel::{KernelBatch, KernelCost, SoilKernel};
 
 pub mod worklist;
 
@@ -120,6 +122,15 @@ pub struct AssemblyReport {
     pub column_terms: Vec<u64>,
     /// Wall-clock seconds of the whole generation (blocks + assembly).
     pub generation_seconds: f64,
+    /// Field-point evaluations routed through the batched lane kernels
+    /// (zero under [`KernelEval::Scalar`]). Attributed to the partition
+    /// owning each pair's highest target row, exactly like
+    /// `column_terms`, so the count is identical across modes, schedules
+    /// and thread counts.
+    pub lane_points: u64,
+    /// 4-wide-lane slots issued for those evaluations (padded remainder
+    /// chunks included); `lane_points / lane_slots` is the lane occupancy.
+    pub lane_slots: u64,
     /// Per-thread runtime stats for the parallel modes.
     pub stats: Option<ExecutionStats>,
 }
@@ -128,6 +139,20 @@ impl AssemblyReport {
     /// Total series terms over all pairs.
     pub fn total_terms(&self) -> u64 {
         self.column_terms.iter().sum()
+    }
+
+    /// Seconds spent inside the kernel phase (the pair walks), summed over
+    /// columns — the part of `generation_seconds` the batched evaluation
+    /// accelerates.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.column_seconds.iter().sum()
+    }
+
+    /// Lane occupancy of the batched kernel evaluation
+    /// (`lane_points / lane_slots`), or `None` when no lane work ran
+    /// (scalar evaluation).
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        (self.lane_slots > 0).then(|| self.lane_points as f64 / self.lane_slots as f64)
     }
 }
 
@@ -239,6 +264,76 @@ fn pair_block(
     (b, terms)
 }
 
+/// Batched [`pair_block`]: gathers **all** `2q` surface points of the
+/// pair (both antipodal azimuths of every outer quadrature point) into
+/// one [`KernelBatch`] and evaluates the source element against them in a
+/// single structure-of-arrays kernel call. The weighted outer assembly is
+/// the same loop as the scalar path; only the inner kernel evaluation
+/// changes. Because the batch content is fixed by the pair alone, the
+/// block is bit-identical no matter which thread, schedule or partition
+/// computes it — the scalar path's determinism argument carries over
+/// unchanged.
+fn pair_block_batched(
+    beta: &ElementGeom,
+    alpha: &ElementGeom,
+    kernel: &SoilKernel,
+    quad: &OuterQuadrature,
+    batch: &mut KernelBatch,
+) -> (Block, KernelCost) {
+    let mut b: Block = [[0.0; 2]; 2];
+    let len = beta.length;
+    let rule = quad.select(beta, alpha);
+    batch.clear();
+    for (s, _) in rule.mapped(0.0, len) {
+        let (xp, xm) = beta.surface_pair(s);
+        batch.push(xp);
+        batch.push(xm);
+    }
+    let cost = kernel.element_potential_batch(batch, alpha);
+    let vals = batch.values();
+    for (k, (s, w)) in rule.mapped(0.0, len).enumerate() {
+        let vp = vals[2 * k];
+        let vm = vals[2 * k + 1];
+        let v = [0.5 * (vp[0] + vm[0]), 0.5 * (vp[1] + vm[1])];
+        let n1 = s / len;
+        let n0 = 1.0 - n1;
+        b[0][0] += w * n0 * v[0];
+        b[0][1] += w * n0 * v[1];
+        b[1][0] += w * n1 * v[0];
+        b[1][1] += w * n1 * v[1];
+    }
+    (b, cost)
+}
+
+/// The [`KernelEval`]-selected pair-block computation every engine calls:
+/// scalar oracle or batched lane path, with unified cost accounting.
+/// `batch` is the caller's reusable scratch (untouched on the scalar
+/// path).
+#[inline]
+fn pair_block_eval(
+    beta: &ElementGeom,
+    alpha: &ElementGeom,
+    kernel: &SoilKernel,
+    quad: &OuterQuadrature,
+    eval: KernelEval,
+    batch: &mut KernelBatch,
+) -> (Block, KernelCost) {
+    match eval {
+        KernelEval::Scalar => {
+            let (b, t) = pair_block(beta, alpha, kernel, quad);
+            (
+                b,
+                KernelCost {
+                    terms: t,
+                    lane_points: 0,
+                    lane_slots: 0,
+                },
+            )
+        }
+        KernelEval::Batched => pair_block_batched(beta, alpha, kernel, quad, batch),
+    }
+}
+
 /// One computed column of the pair triangle.
 ///
 /// Column `β` couples element `β` with every `α ≥ β`, so "the first one
@@ -250,6 +345,10 @@ struct Column {
     blocks: Vec<Block>,
     /// Series terms consumed.
     terms: u64,
+    /// Lane-kernel field points evaluated (batched path only).
+    lane_points: u64,
+    /// Lane slots issued for those points.
+    lane_slots: u64,
     /// Wall-clock seconds.
     seconds: f64,
 }
@@ -259,19 +358,23 @@ fn compute_column(
     geoms: &[ElementGeom],
     kernel: &SoilKernel,
     quad: &OuterQuadrature,
+    eval: KernelEval,
 ) -> Column {
     let t0 = Instant::now();
     let m = geoms.len();
     let mut blocks = Vec::with_capacity(m - beta);
-    let mut terms = 0u64;
+    let mut cost = KernelCost::default();
+    let mut batch = KernelBatch::new();
     for alpha in beta..m {
-        let (b, t) = pair_block(&geoms[beta], &geoms[alpha], kernel, quad);
+        let (b, c) = pair_block_eval(&geoms[beta], &geoms[alpha], kernel, quad, eval, &mut batch);
         blocks.push(b);
-        terms += t as u64;
+        cost.merge(c);
     }
     Column {
         blocks,
-        terms,
+        terms: cost.terms as u64,
+        lane_points: cost.lane_points,
+        lane_slots: cost.lane_slots,
         seconds: t0.elapsed().as_secs_f64(),
     }
 }
@@ -340,6 +443,10 @@ struct DirectPart<'a> {
     terms: Vec<u64>,
     /// Seconds this partition spent inside each column's pair walk.
     seconds: Vec<f64>,
+    /// Lane points / slots of the pairs attributed to this partition.
+    lanes: (u64, u64),
+    /// Reusable kernel-batch scratch of this partition's thread.
+    batch: KernelBatch,
 }
 
 /// In-place parallel assembly, envelope-scan candidate discovery — the
@@ -360,9 +467,10 @@ fn assemble_direct_scan(
     geoms: &[ElementGeom],
     kernel: &SoilKernel,
     quad: &OuterQuadrature,
+    eval: KernelEval,
     pool: &ThreadPool,
     schedule: Schedule,
-) -> (SymMatrix, Vec<f64>, Vec<u64>, ExecutionStats) {
+) -> (SymMatrix, Vec<f64>, Vec<u64>, (u64, u64), ExecutionStats) {
     let n = mesh.dof();
     let m = geoms.len();
     let mut matrix = SymMatrix::zeros(n);
@@ -391,6 +499,8 @@ fn assemble_direct_scan(
             view,
             terms: vec![0; m],
             seconds: vec![0.0; m],
+            lanes: (0, 0),
+            batch: KernelBatch::new(),
         })
         .collect();
 
@@ -402,6 +512,8 @@ fn assemble_direct_scan(
                 view,
                 terms,
                 seconds,
+                lanes,
+                batch,
             } = part;
             let rows = view.rows();
             for beta in 0..m {
@@ -424,14 +536,17 @@ fn assemble_direct_scan(
                     if !touches {
                         continue;
                     }
-                    let (b, t) = pair_block(&geoms[beta], &geoms[alpha], kernel, quad);
+                    let (b, c) =
+                        pair_block_eval(&geoms[beta], &geoms[alpha], kernel, quad, eval, batch);
                     scatter_pair(nb, na, alpha == beta, &b, &mut |p, q, v| {
                         if view.owns(p, q) {
                             view.add(p, q, v);
                         }
                     });
                     if rows.contains(&hi) {
-                        terms[beta] += t as u64;
+                        terms[beta] += c.terms as u64;
+                        lanes.0 += c.lane_points;
+                        lanes.1 += c.lane_slots;
                     }
                 }
                 seconds[beta] += t0.elapsed().as_secs_f64();
@@ -441,6 +556,7 @@ fn assemble_direct_scan(
 
     let mut column_terms = vec![0u64; m];
     let mut column_seconds = vec![0.0; m];
+    let mut lanes = (0u64, 0u64);
     for part in &parts {
         for (acc, v) in column_terms.iter_mut().zip(&part.terms) {
             *acc += v;
@@ -448,9 +564,11 @@ fn assemble_direct_scan(
         for (acc, v) in column_seconds.iter_mut().zip(&part.seconds) {
             *acc += v;
         }
+        lanes.0 += part.lanes.0;
+        lanes.1 += part.lanes.1;
     }
     drop(parts);
-    (matrix, column_seconds, column_terms, stats)
+    (matrix, column_seconds, column_terms, lanes, stats)
 }
 
 /// Minimum element count at which the worklist pre-pass is built on the
@@ -471,6 +589,10 @@ struct WorklistPart<'a> {
     /// (worklist runs arrive in sequential pair order, so a plain
     /// append-or-accumulate keeps this sorted).
     cols: Vec<(u32, u64, f64)>,
+    /// Lane points / slots of the pairs attributed to this partition.
+    lanes: (u64, u64),
+    /// Reusable kernel-batch scratch of this partition's thread.
+    batch: KernelBatch,
 }
 
 /// In-place parallel assembly on precomputed pair worklists — the default
@@ -497,9 +619,10 @@ fn assemble_direct_pooled(
     geoms: &[ElementGeom],
     kernel: &SoilKernel,
     quad: &OuterQuadrature,
+    eval: KernelEval,
     pool: &ThreadPool,
     schedule: Schedule,
-) -> (SymMatrix, Vec<f64>, Vec<u64>, ExecutionStats) {
+) -> (SymMatrix, Vec<f64>, Vec<u64>, (u64, u64), ExecutionStats) {
     let n = mesh.dof();
     let m = geoms.len();
     let map = ElementRowMap::from_mesh(mesh);
@@ -533,6 +656,8 @@ fn assemble_direct_pooled(
             view,
             work,
             cols: Vec::new(),
+            lanes: (0, 0),
+            batch: KernelBatch::new(),
         })
         .collect();
 
@@ -541,7 +666,13 @@ fn assemble_direct_pooled(
         &mut parts,
         dispatch_schedule.partition_dispatch(),
         |_, part| {
-            let WorklistPart { view, work, cols } = part;
+            let WorklistPart {
+                view,
+                work,
+                cols,
+                lanes,
+                batch,
+            } = part;
             let rows = view.rows();
             for run in work.runs() {
                 let beta = run.beta as usize;
@@ -550,14 +681,17 @@ fn assemble_direct_pooled(
                 let mut terms = 0u64;
                 for alpha in run.alphas() {
                     let na = map_ref.element_nodes(alpha);
-                    let (b, t) = pair_block(&geoms[beta], &geoms[alpha], kernel, quad);
+                    let (b, c) =
+                        pair_block_eval(&geoms[beta], &geoms[alpha], kernel, quad, eval, batch);
                     scatter_pair(nb, na, alpha == beta, &b, &mut |p, q, v| {
                         if view.owns(p, q) {
                             view.add(p, q, v);
                         }
                     });
                     if rows.contains(&map_ref.pair_hi(beta, alpha)) {
-                        terms += t as u64;
+                        terms += c.terms as u64;
+                        lanes.0 += c.lane_points;
+                        lanes.1 += c.lane_slots;
                     }
                 }
                 let seconds = t0.elapsed().as_secs_f64();
@@ -574,14 +708,17 @@ fn assemble_direct_pooled(
 
     let mut column_terms = vec![0u64; m];
     let mut column_seconds = vec![0.0; m];
+    let mut lanes = (0u64, 0u64);
     for part in &parts {
         for &(beta, terms, seconds) in &part.cols {
             column_terms[beta as usize] += terms;
             column_seconds[beta as usize] += seconds;
         }
+        lanes.0 += part.lanes.0;
+        lanes.1 += part.lanes.1;
     }
     drop(parts);
-    (matrix, column_seconds, column_terms, stats)
+    (matrix, column_seconds, column_terms, lanes, stats)
 }
 
 /// Galerkin right-hand side for unit GPR: `ν_p = Σ_{e ∋ p} L_e / 2`.
@@ -604,6 +741,7 @@ pub fn assemble_galerkin(
 ) -> AssemblyReport {
     let geoms = element_geoms(mesh);
     let quad = OuterQuadrature::new(opts.outer_quadrature);
+    let eval = opts.kernel_eval;
     let m = geoms.len();
     let t0 = Instant::now();
 
@@ -612,14 +750,14 @@ pub fn assemble_galerkin(
     // paper's ~2× staging buffer) assembled sequentially afterwards.
     let direct = match mode {
         AssemblyMode::ParallelDirect(pool, schedule) => Some(assemble_direct_pooled(
-            mesh, &geoms, kernel, &quad, pool, *schedule,
+            mesh, &geoms, kernel, &quad, eval, pool, *schedule,
         )),
         AssemblyMode::ParallelDirectScan(pool, schedule) => Some(assemble_direct_scan(
-            mesh, &geoms, kernel, &quad, pool, *schedule,
+            mesh, &geoms, kernel, &quad, eval, pool, *schedule,
         )),
         _ => None,
     };
-    if let Some((matrix, column_seconds, column_terms, stats)) = direct {
+    if let Some((matrix, column_seconds, column_terms, lanes, stats)) = direct {
         let rhs = galerkin_rhs(mesh);
         return AssemblyReport {
             matrix,
@@ -627,6 +765,8 @@ pub fn assemble_galerkin(
             column_seconds,
             column_terms,
             generation_seconds: t0.elapsed().as_secs_f64(),
+            lane_points: lanes.0,
+            lane_slots: lanes.1,
             stats: Some(stats),
         };
     }
@@ -634,7 +774,7 @@ pub fn assemble_galerkin(
     let (columns, stats): (Vec<Column>, Option<ExecutionStats>) = match mode {
         AssemblyMode::Sequential => {
             let cols = (0..m)
-                .map(|beta| compute_column(beta, &geoms, kernel, &quad))
+                .map(|beta| compute_column(beta, &geoms, kernel, &quad, eval))
                 .collect();
             (cols, None)
         }
@@ -643,28 +783,45 @@ pub fn assemble_galerkin(
             let geoms_ref = &geoms;
             let quad_ref = &quad;
             let stats = pool.parallel_fill_with_stats(&mut cols, *schedule, |beta| {
-                compute_column(beta, geoms_ref, kernel, quad_ref)
+                compute_column(beta, geoms_ref, kernel, quad_ref, eval)
             });
             (cols, Some(stats))
         }
         AssemblyMode::ParallelInner(pool, schedule) => {
             // Outer loop sequential; each column's rows distributed.
+            use std::sync::atomic::{AtomicU64, Ordering};
             let mut cols = Vec::with_capacity(m);
             for beta in 0..m {
                 let t_col = Instant::now();
                 let mut blocks = vec![Block::default(); m - beta];
-                let terms = std::sync::atomic::AtomicU64::new(0);
+                let terms = AtomicU64::new(0);
+                let lane_points = AtomicU64::new(0);
+                let lane_slots = AtomicU64::new(0);
                 let geoms_ref = &geoms;
                 let quad_ref = &quad;
                 pool.parallel_fill(&mut blocks, *schedule, |k| {
-                    let (b, t) =
-                        pair_block(&geoms_ref[beta], &geoms_ref[beta + k], kernel, quad_ref);
-                    terms.fetch_add(t as u64, std::sync::atomic::Ordering::Relaxed);
+                    // Per-pair scratch: this staged comparison mode has no
+                    // per-thread workspace to park a batch in, and its
+                    // purpose is granularity comparison, not peak speed.
+                    let mut batch = KernelBatch::new();
+                    let (b, c) = pair_block_eval(
+                        &geoms_ref[beta],
+                        &geoms_ref[beta + k],
+                        kernel,
+                        quad_ref,
+                        eval,
+                        &mut batch,
+                    );
+                    terms.fetch_add(c.terms as u64, Ordering::Relaxed);
+                    lane_points.fetch_add(c.lane_points, Ordering::Relaxed);
+                    lane_slots.fetch_add(c.lane_slots, Ordering::Relaxed);
                     b
                 });
                 cols.push(Column {
                     blocks,
                     terms: terms.into_inner(),
+                    lane_points: lane_points.into_inner(),
+                    lane_slots: lane_slots.into_inner(),
                     seconds: t_col.elapsed().as_secs_f64(),
                 });
             }
@@ -683,6 +840,8 @@ pub fn assemble_galerkin(
         column_seconds: columns.iter().map(|c| c.seconds).collect(),
         column_terms: columns.iter().map(|c| c.terms).collect(),
         generation_seconds: t0.elapsed().as_secs_f64(),
+        lane_points: columns.iter().map(|c| c.lane_points).sum(),
+        lane_slots: columns.iter().map(|c| c.lane_slots).sum(),
         stats,
     }
 }
@@ -713,11 +872,18 @@ pub struct HierarchicalReport {
     pub rhs: Vec<f64>,
     /// Wall-clock seconds of the whole generation.
     pub generation_seconds: f64,
-    /// Series terms consumed: every near pair plus every kernel entry the
-    /// ACA sampling touched. A bulk count — the hierarchical path has no
-    /// per-column profile because far work is organized by cluster block,
-    /// not by triangle column.
+    /// Series terms consumed: every near pair plus every pair block the
+    /// ACA row/column sampling evaluated (each sampled pair block is
+    /// counted once per evaluation; the samplers memoize the immediately
+    /// repeated pair within a fill). A bulk count — the hierarchical path
+    /// has no per-column profile because far work is organized by cluster
+    /// block, not by triangle column.
     pub terms: u64,
+    /// Lane-kernel field points evaluated (batched path only), near and
+    /// far combined.
+    pub lane_points: u64,
+    /// Lane slots issued for those points.
+    pub lane_slots: u64,
     /// Per-thread runtime stats of the pooled near-field assembly.
     pub stats: Option<ExecutionStats>,
 }
@@ -743,6 +909,100 @@ fn cluster_members(elems: &[u32], rows: &[usize], map: &ElementRowMap) -> Vec<Ve
         }
     }
     out
+}
+
+/// Row/column sampler of one admissible far block — the oracle
+/// [`aca_sampled`] drives. Entry `(i, j)` reproduces the dense scatter
+/// exactly: the sum over member pairs `(β ∋ row i, α ∋ col j)` of the
+/// elemental value the sequential assembly would have added to the packed
+/// slot. Sampling whole rows/columns (instead of the per-entry closure the
+/// legacy [`fn@aca`] wrapper uses) is what lets the kernel run batched:
+/// every pair block inside a fill is one [`pair_block_eval`] call, and a
+/// one-entry memo folds the immediately repeated pair of a
+/// two-member row or column into a single kernel evaluation.
+///
+/// The sampler is a pure function of `(i, j)` (memoization caches a pure
+/// value), so serial and pooled compression remain bit-identical.
+struct FarSampler<'a> {
+    row_members: &'a [Vec<(u32, u8)>],
+    col_members: &'a [Vec<(u32, u8)>],
+    geoms: &'a [ElementGeom],
+    kernel: &'a SoilKernel,
+    quad: &'a OuterQuadrature,
+    eval: KernelEval,
+    /// Last `(lo, hi)` pair block computed — the repeat memo.
+    memo: std::cell::Cell<Option<((usize, usize), Block)>>,
+    cost: std::cell::Cell<KernelCost>,
+    batch: std::cell::RefCell<KernelBatch>,
+}
+
+impl FarSampler<'_> {
+    fn pair(&self, lo: usize, hi: usize) -> Block {
+        if let Some((key, blk)) = self.memo.get() {
+            if key == (lo, hi) {
+                return blk;
+            }
+        }
+        let (blk, c) = pair_block_eval(
+            &self.geoms[lo],
+            &self.geoms[hi],
+            self.kernel,
+            self.quad,
+            self.eval,
+            &mut self.batch.borrow_mut(),
+        );
+        let mut cost = self.cost.get();
+        cost.merge(c);
+        self.cost.set(cost);
+        self.memo.set(Some(((lo, hi), blk)));
+        blk
+    }
+
+    fn member_entry(&self, be: u32, jp: u8, ae: u32, iq: u8) -> f64 {
+        let (b, a) = (be as usize, ae as usize);
+        // Admissible clusters are element-disjoint, so b ≠ a; the dense
+        // engine computes the pair with the lower element as the field
+        // element.
+        let (lo, hi) = (b.min(a), b.max(a));
+        let blk = self.pair(lo, hi);
+        if b < a {
+            blk[jp as usize][iq as usize]
+        } else {
+            blk[iq as usize][jp as usize]
+        }
+    }
+}
+
+impl MatrixSampler for FarSampler<'_> {
+    fn nrows(&self) -> usize {
+        self.row_members.len()
+    }
+
+    fn ncols(&self) -> usize {
+        self.col_members.len()
+    }
+
+    fn fill_row(&self, i: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        for &(be, jp) in &self.row_members[i] {
+            for (j, members) in self.col_members.iter().enumerate() {
+                for &(ae, iq) in members {
+                    out[j] += self.member_entry(be, jp, ae, iq);
+                }
+            }
+        }
+    }
+
+    fn fill_col(&self, j: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        for &(ae, iq) in &self.col_members[j] {
+            for (i, members) in self.row_members.iter().enumerate() {
+                for &(be, jp) in members {
+                    out[i] += self.member_entry(be, jp, ae, iq);
+                }
+            }
+        }
+    }
 }
 
 /// Hierarchical Galerkin generation — the compressed-operator counterpart
@@ -803,19 +1063,24 @@ pub fn assemble_hierarchical(
     }
     let mut near = SparseSym::from_pattern(n, pattern);
 
+    let eval = opts.kernel_eval;
     let mut terms_total: u64 = 0;
+    let mut lanes_total = (0u64, 0u64);
     let mut stats = None;
     match &opts.parallelism {
         None => {
             // Sequential near-pair order — the accumulation order the
             // pooled branch reproduces per entry.
+            let mut batch = KernelBatch::new();
             for &(beta, alpha) in &parts.near {
                 let (b, a) = (beta as usize, alpha as usize);
                 let nb = map.element_nodes(b);
                 let na = map.element_nodes(a);
-                let (blk, t) = pair_block(&geoms[b], &geoms[a], kernel, &quad);
+                let (blk, c) = pair_block_eval(&geoms[b], &geoms[a], kernel, &quad, eval, &mut batch);
                 scatter_pair(nb, na, a == b, &blk, &mut |p, q, v| near.add(p, q, v));
-                terms_total += t as u64;
+                terms_total += c.terms as u64;
+                lanes_total.0 += c.lane_points;
+                lanes_total.1 += c.lane_slots;
             }
         }
         Some(par) => {
@@ -828,6 +1093,8 @@ pub fn assemble_hierarchical(
                 view: layerbem_numeric::SparseSymRowsMut<'a>,
                 work: &'a PairWorklist,
                 terms: u64,
+                lanes: (u64, u64),
+                batch: KernelBatch,
             }
             let mut nparts: Vec<NearPart> = near
                 .partition_rows(&ranges)
@@ -837,6 +1104,8 @@ pub fn assemble_hierarchical(
                     view,
                     work,
                     terms: 0,
+                    lanes: (0, 0),
+                    batch: KernelBatch::new(),
                 })
                 .collect();
             let map_ref = &map;
@@ -845,79 +1114,86 @@ pub fn assemble_hierarchical(
             let s =
                 par.pool
                     .scoped_partition(&mut nparts, dispatch.partition_dispatch(), |_, part| {
-                        let NearPart { view, work, terms } = part;
+                        let NearPart {
+                            view,
+                            work,
+                            terms,
+                            lanes,
+                            batch,
+                        } = part;
                         let rows = view.rows();
                         for (beta, alpha) in work.pairs() {
                             let nb = map_ref.element_nodes(beta);
                             let na = map_ref.element_nodes(alpha);
-                            let (blk, t) =
-                                pair_block(&geoms_ref[beta], &geoms_ref[alpha], kernel, quad_ref);
+                            let (blk, c) = pair_block_eval(
+                                &geoms_ref[beta],
+                                &geoms_ref[alpha],
+                                kernel,
+                                quad_ref,
+                                eval,
+                                batch,
+                            );
                             scatter_pair(nb, na, alpha == beta, &blk, &mut |p, q, v| {
                                 if view.owns(p, q) {
                                     view.add(p, q, v);
                                 }
                             });
                             if rows.contains(&map_ref.pair_hi(beta, alpha)) {
-                                *terms += t as u64;
+                                *terms += c.terms as u64;
+                                lanes.0 += c.lane_points;
+                                lanes.1 += c.lane_slots;
                             }
                         }
                     });
             stats = Some(s);
             terms_total += nparts.iter().map(|p| p.terms).sum::<u64>();
+            for p in &nparts {
+                lanes_total.0 += p.lanes.0;
+                lanes_total.1 += p.lanes.1;
+            }
             drop(nparts);
         }
     }
 
     // Far blocks: one deterministic ACA run per admissible cluster pair,
-    // in the fixed partition order. The entry oracle reproduces the dense
-    // scatter exactly: entry (p, q) of block σ×τ is the sum over member
-    // pairs (β ∋ p, α ∋ q) of the elemental value the sequential assembly
-    // would have added to packed slot (p, q).
+    // in the fixed partition order. Each block's rows and columns are
+    // sampled through a [`FarSampler`], whose entries reproduce the dense
+    // scatter exactly while the kernel runs batched per pair block.
     let geoms_ref = &geoms;
     let quad_ref = &quad;
     let map_ref = &map;
     let tree_ref = &tree;
-    let compress = |&(s, t): &(usize, usize)| -> Result<(FarBlock, u64), AcaError> {
+    let compress = |&(s, t): &(usize, usize)| -> Result<(FarBlock, KernelCost), AcaError> {
         let rows = tree_ref.cluster_rows(s, map_ref);
         let cols = tree_ref.cluster_rows(t, map_ref);
         let row_members = cluster_members(tree_ref.elements(s), &rows, map_ref);
         let col_members = cluster_members(tree_ref.elements(t), &cols, map_ref);
-        let terms = std::cell::Cell::new(0u64);
-        let entry = |i: usize, j: usize| -> f64 {
-            let mut v = 0.0;
-            for &(be, jp) in &row_members[i] {
-                for &(ae, iq) in &col_members[j] {
-                    let (b, a) = (be as usize, ae as usize);
-                    // Admissible clusters are element-disjoint, so b ≠ a;
-                    // the dense engine computes the pair with the lower
-                    // element as the field element.
-                    let (lo, hi) = (b.min(a), b.max(a));
-                    let (blk, tm) = pair_block(&geoms_ref[lo], &geoms_ref[hi], kernel, quad_ref);
-                    terms.set(terms.get() + tm as u64);
-                    v += if b < a {
-                        blk[jp as usize][iq as usize]
-                    } else {
-                        blk[iq as usize][jp as usize]
-                    };
-                }
-            }
-            v
+        let sampler = FarSampler {
+            row_members: &row_members,
+            col_members: &col_members,
+            geoms: geoms_ref,
+            kernel,
+            quad: quad_ref,
+            eval,
+            memo: std::cell::Cell::new(None),
+            cost: std::cell::Cell::new(KernelCost::default()),
+            batch: std::cell::RefCell::new(KernelBatch::new()),
         };
-        let factors = aca(rows.len(), cols.len(), entry, tol, MAX_FAR_RANK)?;
+        let factors = aca_sampled(&sampler, tol, MAX_FAR_RANK)?;
         Ok((
             FarBlock {
                 rows: rows.iter().map(|&p| p as u32).collect(),
                 cols: cols.iter().map(|&q| q as u32).collect(),
                 factors,
             },
-            terms.get(),
+            sampler.cost.get(),
         ))
     };
-    let results: Vec<Result<(FarBlock, u64), AcaError>> = match &opts.parallelism {
+    let results: Vec<Result<(FarBlock, KernelCost), AcaError>> = match &opts.parallelism {
         None => parts.far.iter().map(compress).collect(),
         Some(par) => {
             let far_pairs = &parts.far;
-            let mut slots: Vec<Option<Result<(FarBlock, u64), AcaError>>> =
+            let mut slots: Vec<Option<Result<(FarBlock, KernelCost), AcaError>>> =
                 vec![None; far_pairs.len()];
             par.pool
                 .parallel_fill(&mut slots, par.schedule, |k| Some(compress(&far_pairs[k])));
@@ -929,8 +1205,10 @@ pub fn assemble_hierarchical(
     };
     let mut far_blocks = Vec::with_capacity(results.len());
     for r in results {
-        let (fb, t) = r?;
-        terms_total += t;
+        let (fb, c) = r?;
+        terms_total += c.terms as u64;
+        lanes_total.0 += c.lane_points;
+        lanes_total.1 += c.lane_slots;
         far_blocks.push(fb);
     }
 
@@ -939,6 +1217,8 @@ pub fn assemble_hierarchical(
         rhs: galerkin_rhs(mesh),
         generation_seconds: t0.elapsed().as_secs_f64(),
         terms: terms_total,
+        lane_points: lanes_total.0,
+        lane_slots: lanes_total.1,
         stats,
     })
 }
@@ -955,7 +1235,9 @@ fn collocation_row(
     p: usize,
     incident: &[usize],
     row: &mut [f64],
-) {
+    eval: KernelEval,
+    batch: &mut KernelBatch,
+) -> KernelCost {
     // Collocation point: on the surface of the first incident element,
     // a quarter length in from the node (avoids junction end effects).
     let e = incident[0];
@@ -966,19 +1248,56 @@ fn collocation_row(
         0.75 * g.length
     };
     let (xp, xm) = g.surface_pair(s);
-    for (alpha, ga) in geoms.iter().enumerate() {
-        let (vp, _) = kernel.element_potential(xp, ga);
-        let (vm, _) = kernel.element_potential(xm, ga);
-        let na = mesh.elements[alpha].nodes;
-        row[na[0]] += 0.5 * (vp[0] + vm[0]);
-        row[na[1]] += 0.5 * (vp[1] + vm[1]);
+    let mut cost = KernelCost::default();
+    match eval {
+        KernelEval::Scalar => {
+            for (alpha, ga) in geoms.iter().enumerate() {
+                let (vp, tp) = kernel.element_potential(xp, ga);
+                let (vm, tm) = kernel.element_potential(xm, ga);
+                cost.terms += tp + tm;
+                let na = mesh.elements[alpha].nodes;
+                row[na[0]] += 0.5 * (vp[0] + vm[0]);
+                row[na[1]] += 0.5 * (vp[1] + vm[1]);
+            }
+        }
+        KernelEval::Batched => {
+            // Both surface points of the collocation pair ride in one
+            // two-point batch per source element; the batch content is
+            // fixed by the row alone, so rows stay schedule-invariant.
+            for (alpha, ga) in geoms.iter().enumerate() {
+                batch.clear();
+                batch.push(xp);
+                batch.push(xm);
+                cost.merge(kernel.element_potential_batch(batch, ga));
+                let vals = batch.values();
+                let na = mesh.elements[alpha].nodes;
+                row[na[0]] += 0.5 * (vals[0][0] + vals[1][0]);
+                row[na[1]] += 0.5 * (vals[0][1] + vals[1][1]);
+            }
+        }
     }
+    cost
 }
 
 /// Collocation matrix: row `p` states `V(x_p) = 1` at a surface point
 /// near node `p`. Nonsymmetric; solved by LU. Provided as the paper's
 /// "different formulations" alternative (§4.2) for cross-checks.
+///
+/// Runs the default [`KernelEval::Batched`] path; see
+/// [`assemble_collocation_counted`] for the strategy-selectable variant
+/// with kernel cost counters.
 pub fn assemble_collocation(mesh: &Mesh, kernel: &SoilKernel) -> (DenseMatrix, Vec<f64>) {
+    let (c, rhs, _) = assemble_collocation_counted(mesh, kernel, KernelEval::default());
+    (c, rhs)
+}
+
+/// [`assemble_collocation`] with an explicit kernel evaluation strategy,
+/// also returning the aggregate [`KernelCost`] of every row.
+pub fn assemble_collocation_counted(
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    eval: KernelEval,
+) -> (DenseMatrix, Vec<f64>, KernelCost) {
     let geoms = element_geoms(mesh);
     let n = mesh.dof();
     // The rows → owning-elements CSR half of the map: flat arrays, no
@@ -986,10 +1305,21 @@ pub fn assemble_collocation(mesh: &Mesh, kernel: &SoilKernel) -> (DenseMatrix, V
     // `Mesh::node_elements`.
     let map = ElementRowMap::from_mesh(mesh);
     let mut c = DenseMatrix::zeros(n, n);
+    let mut cost = KernelCost::default();
+    let mut batch = KernelBatch::new();
     for p in 0..n {
-        collocation_row(mesh, &geoms, kernel, p, map.row_elements(p), c.row_mut(p));
+        cost.merge(collocation_row(
+            mesh,
+            &geoms,
+            kernel,
+            p,
+            map.row_elements(p),
+            c.row_mut(p),
+            eval,
+            &mut batch,
+        ));
     }
-    (c, vec![1.0; n])
+    (c, vec![1.0; n], cost)
 }
 
 /// Pooled collocation assembly — the dense-path equivalent of
@@ -1007,6 +1337,29 @@ pub fn assemble_collocation_pooled(
     pool: &ThreadPool,
     schedule: Schedule,
 ) -> (DenseMatrix, Vec<f64>) {
+    let (c, rhs, _) =
+        assemble_collocation_pooled_counted(mesh, kernel, pool, schedule, KernelEval::default());
+    (c, rhs)
+}
+
+/// Per-partition state of the pooled collocation assembler: the disjoint
+/// row view plus this worker's kernel cost counters and reusable batch
+/// workspace.
+struct CollocationPart<'a> {
+    view: layerbem_numeric::DenseRowsMut<'a>,
+    cost: KernelCost,
+    batch: KernelBatch,
+}
+
+/// [`assemble_collocation_pooled`] with an explicit kernel evaluation
+/// strategy, also returning the aggregate [`KernelCost`] of every row.
+pub fn assemble_collocation_pooled_counted(
+    mesh: &Mesh,
+    kernel: &SoilKernel,
+    pool: &ThreadPool,
+    schedule: Schedule,
+    eval: KernelEval,
+) -> (DenseMatrix, Vec<f64>, KernelCost) {
     let geoms = element_geoms(mesh);
     let n = mesh.dof();
     let map = ElementRowMap::from_mesh(mesh);
@@ -1014,16 +1367,38 @@ pub fn assemble_collocation_pooled(
     // The same (schedule, n, threads) → row-range decomposition the
     // worklist assembler and the pooled PCG matvec use.
     let ranges = schedule.partition_ranges(n, pool.threads());
-    let mut views = c.partition_rows(&ranges);
+    let mut parts: Vec<CollocationPart> = c
+        .partition_rows(&ranges)
+        .into_iter()
+        .map(|view| CollocationPart {
+            view,
+            cost: KernelCost::default(),
+            batch: KernelBatch::new(),
+        })
+        .collect();
     let geoms = &geoms;
     let map = &map;
-    pool.scoped_partition(&mut views, schedule.partition_dispatch(), |_, view| {
+    pool.scoped_partition(&mut parts, schedule.partition_dispatch(), |_, part| {
+        let CollocationPart { view, cost, batch } = part;
         for p in view.rows() {
-            collocation_row(mesh, geoms, kernel, p, map.row_elements(p), view.row_mut(p));
+            cost.merge(collocation_row(
+                mesh,
+                geoms,
+                kernel,
+                p,
+                map.row_elements(p),
+                view.row_mut(p),
+                eval,
+                batch,
+            ));
         }
     });
-    drop(views);
-    (c, vec![1.0; n])
+    let mut cost = KernelCost::default();
+    for part in &parts {
+        cost.merge(part.cost);
+    }
+    drop(parts);
+    (c, vec![1.0; n], cost)
 }
 
 #[cfg(test)]
@@ -1363,7 +1738,7 @@ mod tests {
         // grids have far blocks below the cap, where ACA terminates
         // exactly. Drive the error path through `aca` directly instead:
         // a full-rank random block with rank cap 1.
-        let err = aca(
+        let err = layerbem_numeric::aca(
             8,
             8,
             |i, j| {

@@ -22,6 +22,7 @@
 //! `R ≥ radius > 0`, which is precisely the thin-wire regularization.
 
 use layerbem_geometry::Point3;
+use layerbem_numeric::{ln4, LANES};
 
 /// Geometry of one boundary element (a straight axis piece plus the
 /// conductor radius), precomputed for integration.
@@ -134,6 +135,160 @@ pub fn rod_integrals(x: Point3, a: Point3, b: Point3, len: f64) -> (f64, f64) {
     let p = (x - a).dot(t);
     let i1 = (rb - ra) + p * i0;
     (i0, i1)
+}
+
+/// Batched [`rod_integrals`]: the primitives `(I₀, I₁)` of **many** field
+/// points against **one** image segment, evaluated in fixed
+/// [`LANES`](layerbem_numeric::LANES)-wide chunks.
+///
+/// The field points arrive in structure-of-arrays form (`xs`/`ys`/`zs`)
+/// and the primitives land in `i0`/`i1` (all five slices the same
+/// length). The distance and projection arithmetic is straight-line
+/// fixed-width array code the autovectorizer packs; the logarithm — the
+/// one libm call LLVM will not vectorize — goes through the lane kernel
+/// [`layerbem_numeric::ln4`]. A partial final chunk is padded by
+/// replicating its first point, and every lane of `ln4` depends only on
+/// its own input, so each point's result is a pure function of that point
+/// — the values are independent of the batch it rides in (the property
+/// the schedule/partition determinism of the batched assembler rests on).
+///
+/// The results agree with the scalar [`rod_integrals`] to a few ulp (the
+/// lane `ln` differs from libm's in the last bits) but are **not** bitwise
+/// equal to it; callers pick one path and stay on it.
+#[inline]
+pub fn rod_integrals_batch(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    a: Point3,
+    b: Point3,
+    len: f64,
+    i0: &mut [f64],
+    i1: &mut [f64],
+) {
+    let tx = (b.x - a.x) / len;
+    let ty = (b.y - a.y) / len;
+    let tz = (b.z - a.z) / len;
+    rod_integrals_batch_dir(xs, ys, zs, a, b, len, [tx, ty, tz], i0, i1);
+}
+
+/// [`rod_integrals_batch`] with the unit tangent `t = (b − a)/len`
+/// precomputed by the caller.
+///
+/// The image-series driver evaluates one element against a whole family of
+/// image segments that differ only in a sign flip and offset of `z`: the
+/// tangent's `x`/`y` components are shared by every image and `t_z` only
+/// flips sign (negation is exact, so `sign · t_z` is bit-identical to
+/// re-deriving the division). Hoisting the three divisions out of the
+/// per-term loop is free precision-wise and removes the most expensive
+/// scalar ops from the series hot path.
+#[inline]
+pub fn rod_integrals_batch_dir(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    a: Point3,
+    b: Point3,
+    len: f64,
+    t: [f64; 3],
+    i0: &mut [f64],
+    i1: &mut [f64],
+) {
+    let n = xs.len();
+    debug_assert_eq!(ys.len(), n);
+    debug_assert_eq!(zs.len(), n);
+    debug_assert_eq!(i0.len(), n);
+    debug_assert_eq!(i1.len(), n);
+    // Full chunks first: each chunk is reborrowed as a `[f64; LANES]`
+    // array so the lane loop carries no bounds checks and the vectorizer
+    // packs contiguous unconditional loads (no padding select).
+    let mut base = 0usize;
+    while base + LANES <= n {
+        let px: &[f64; LANES] = xs[base..base + LANES].try_into().unwrap();
+        let py: &[f64; LANES] = ys[base..base + LANES].try_into().unwrap();
+        let pz: &[f64; LANES] = zs[base..base + LANES].try_into().unwrap();
+        let (r0, r1) = rod_chunk(px, py, pz, a, b, len, t);
+        let o0: &mut [f64; LANES] = (&mut i0[base..base + LANES]).try_into().unwrap();
+        let o1: &mut [f64; LANES] = (&mut i1[base..base + LANES]).try_into().unwrap();
+        *o0 = r0;
+        *o1 = r1;
+        base += LANES;
+    }
+    if base < n {
+        let m = n - base;
+        let (px, py, pz) = pad_chunk(xs, ys, zs, base, m);
+        let (r0, r1) = rod_chunk(&px, &py, &pz, a, b, len, t);
+        for l in 0..m {
+            i0[base + l] = r0[l];
+            i1[base + l] = r1[l];
+        }
+    }
+}
+
+/// Pads a partial chunk starting at `base` with `m < LANES` live points by
+/// replicating its first point: valid geometry in every lane, and lanes
+/// never mix, so the padding cannot perturb the live results.
+#[inline(always)]
+pub fn pad_chunk(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    base: usize,
+    m: usize,
+) -> ([f64; LANES], [f64; LANES], [f64; LANES]) {
+    let mut px = [0.0f64; LANES];
+    let mut py = [0.0f64; LANES];
+    let mut pz = [0.0f64; LANES];
+    for l in 0..LANES {
+        let i = base + if l < m { l } else { 0 };
+        px[l] = xs[i];
+        py[l] = ys[i];
+        pz[l] = zs[i];
+    }
+    (px, py, pz)
+}
+
+/// One 4-wide chunk of the batched rod primitives: `I₀` and `I₁` of
+/// [`rod_integrals`] for four field points against the segment `a → b`
+/// with precomputed unit tangent `t`. The building block both
+/// [`rod_integrals_batch_dir`] and the fused image-series accumulation in
+/// `kernel` share; `inline(always)` so the chunk folds into the callers'
+/// term loops as straight-line packed code.
+#[inline(always)]
+pub fn rod_chunk(
+    px: &[f64; LANES],
+    py: &[f64; LANES],
+    pz: &[f64; LANES],
+    a: Point3,
+    b: Point3,
+    len: f64,
+    t: [f64; 3],
+) -> ([f64; LANES], [f64; LANES]) {
+    let [tx, ty, tz] = t;
+    let mut arg = [0.0f64; LANES];
+    let mut dr = [0.0f64; LANES];
+    let mut proj = [0.0f64; LANES];
+    for l in 0..LANES {
+        let dxa = px[l] - a.x;
+        let dya = py[l] - a.y;
+        let dza = pz[l] - a.z;
+        let dxb = px[l] - b.x;
+        let dyb = py[l] - b.y;
+        let dzb = pz[l] - b.z;
+        let ra = (dxa * dxa + dya * dya + dza * dza).sqrt();
+        let rb = (dxb * dxb + dyb * dyb + dzb * dzb).sqrt();
+        let sum = ra + rb;
+        let denom = (sum - len).max(1e-300);
+        arg[l] = (sum + len) / denom;
+        dr[l] = rb - ra;
+        proj[l] = dxa * tx + dya * ty + dza * tz;
+    }
+    let lnv = ln4(arg);
+    let mut i1 = [0.0f64; LANES];
+    for l in 0..LANES {
+        i1[l] = dr[l] + proj[l] * lnv[l];
+    }
+    (lnv, i1)
 }
 
 /// `∫ N_i(s)/R ds` over an image segment for the two linear shape
@@ -288,6 +443,74 @@ mod tests {
         assert!(close(p.z, 0.8 + 0.75, 1e-12));
         let dx = ((p.x - 1.0).powi(2) + (p.y - 1.0).powi(2)).sqrt();
         assert!(close(dx, 0.007, 1e-12));
+    }
+
+    #[test]
+    fn batched_rod_integrals_match_scalar_to_roundoff() {
+        let a = Point3::new(0.0, 0.0, 1.2);
+        let b = Point3::new(4.0, 1.0, 1.2);
+        let len = a.distance(b);
+        // 7 points: one full lane chunk plus a padded remainder.
+        let pts = [
+            Point3::new(2.0, 3.0, 1.0),
+            Point3::new(-1.0, 0.5, 0.2),
+            Point3::new(5.0, -2.0, 4.0),
+            Point3::new(2.0, 0.01, 1.2),
+            Point3::new(0.3, 0.3, 0.3),
+            Point3::new(9.0, 9.0, 0.1),
+            Point3::new(1.0, -4.0, 2.0),
+        ];
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        let zs: Vec<f64> = pts.iter().map(|p| p.z).collect();
+        let mut i0 = vec![0.0; pts.len()];
+        let mut i1 = vec![0.0; pts.len()];
+        rod_integrals_batch(&xs, &ys, &zs, a, b, len, &mut i0, &mut i1);
+        for (k, &x) in pts.iter().enumerate() {
+            let (s0, s1) = rod_integrals(x, a, b, len);
+            assert!(close(i0[k], s0, 1e-14), "I0 point {k}: {} vs {s0}", i0[k]);
+            assert!(close(i1[k], s1, 1e-13), "I1 point {k}: {} vs {s1}", i1[k]);
+        }
+    }
+
+    #[test]
+    fn batched_rod_integrals_are_batch_size_invariant() {
+        // Each point's primitives must be a pure function of that point:
+        // evaluating it alone (remainder lane, padded) must be bitwise
+        // equal to evaluating it inside a longer batch.
+        let a = Point3::new(1.0, -2.0, 0.5);
+        let b = Point3::new(3.0, 1.0, 2.5);
+        let len = a.distance(b);
+        let pts = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(2.0, -0.5, 1.51),
+            Point3::new(10.0, 10.0, 3.0),
+            Point3::new(-3.0, 4.0, 1.0),
+            Point3::new(2.5, 2.5, 2.5),
+            Point3::new(0.1, 0.1, 3.0),
+        ];
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        let zs: Vec<f64> = pts.iter().map(|p| p.z).collect();
+        let mut i0 = vec![0.0; pts.len()];
+        let mut i1 = vec![0.0; pts.len()];
+        rod_integrals_batch(&xs, &ys, &zs, a, b, len, &mut i0, &mut i1);
+        for k in 0..pts.len() {
+            let mut s0 = [0.0];
+            let mut s1 = [0.0];
+            rod_integrals_batch(
+                &xs[k..k + 1],
+                &ys[k..k + 1],
+                &zs[k..k + 1],
+                a,
+                b,
+                len,
+                &mut s0,
+                &mut s1,
+            );
+            assert_eq!(i0[k].to_bits(), s0[0].to_bits(), "I0 point {k}");
+            assert_eq!(i1[k].to_bits(), s1[0].to_bits(), "I1 point {k}");
+        }
     }
 
     #[test]

@@ -63,8 +63,8 @@ use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
 use layerbem_numeric::{AcaError, CompressionStats, HMatrix, SymMatrix};
 
 use crate::assembly::{
-    assemble_collocation, assemble_collocation_pooled, assemble_hierarchical, galerkin_rhs,
-    AssemblyMode, AssemblyReport,
+    assemble_collocation_counted, assemble_collocation_pooled_counted, assemble_hierarchical,
+    galerkin_rhs, AssemblyMode, AssemblyReport,
 };
 use crate::formulation::{Formulation, OperatorBackend, SolverChoice};
 use crate::system::{GroundingSolution, GroundingSystem};
@@ -247,6 +247,22 @@ pub struct StudyProfile {
     /// hierarchical backend (resident bytes, far-block ranks, ratio vs
     /// the dense `8·N(N+1)/2`), `None` for the dense engines.
     pub compression: Option<CompressionStats>,
+    /// Series terms the one-time kernel evaluation consumed (identical to
+    /// [`Study::total_terms`]).
+    pub kernel_terms: u64,
+    /// Seconds spent inside kernel evaluation, split out of
+    /// `assembly_seconds`. For the dense Galerkin engines this is the
+    /// per-column profile's sum — worker CPU seconds, which can exceed
+    /// the wall-clock `assembly_seconds` when columns ran in parallel;
+    /// the hierarchical and collocation assemblies are kernel-dominated
+    /// with no finer attribution, so they report their full assembly
+    /// wall time.
+    pub kernel_seconds: f64,
+    /// Batched-lane occupancy of the kernel phase — occupied lane points
+    /// over padded lane slots, in `0.0..=1.0`. `None` when no batched
+    /// lanes ran (the scalar oracle path, or a soil model whose image
+    /// series never batched).
+    pub lane_occupancy: Option<f64>,
 }
 
 /// The retained solver state: exactly one variant per
@@ -294,6 +310,13 @@ pub struct Study {
     /// Compression accounting of the retained operator (hierarchical
     /// engine only).
     compression: Option<CompressionStats>,
+    /// Batched-lane accounting of the kernel phase: occupied lane points
+    /// and padded lane slots (both 0 on the scalar oracle path).
+    lane_points: u64,
+    lane_slots: u64,
+    /// Seconds inside kernel evaluation (see
+    /// [`StudyProfile::kernel_seconds`]).
+    kernel_seconds: f64,
     assembly_seconds: f64,
     factor_seconds: f64,
     factorizations: usize,
@@ -358,6 +381,11 @@ impl Study {
                         column_seconds: Vec::new(),
                         column_terms: Vec::new(),
                         bulk_terms: rep.terms,
+                        lane_points: rep.lane_points,
+                        lane_slots: rep.lane_slots,
+                        // Hierarchical generation is kernel-dominated and
+                        // has no per-column split: report it whole.
+                        kernel_seconds: rep.generation_seconds,
                         assembly_seconds,
                         factor_seconds: 0.0,
                         factorizations: 0,
@@ -372,14 +400,19 @@ impl Study {
                     ));
                 }
                 let t = Instant::now();
-                let (c, rhs) = match opts.parallelism {
-                    Some(par) => assemble_collocation_pooled(
+                let (c, rhs, cost) = match opts.parallelism {
+                    Some(par) => assemble_collocation_pooled_counted(
                         system.mesh(),
                         system.kernel(),
                         &par.pool,
                         par.schedule,
+                        opts.kernel_eval,
                     ),
-                    None => assemble_collocation(system.mesh(), system.kernel()),
+                    None => assemble_collocation_counted(
+                        system.mesh(),
+                        system.kernel(),
+                        opts.kernel_eval,
+                    ),
                 };
                 let assembly_seconds = t.elapsed().as_secs_f64();
                 let t = Instant::now();
@@ -399,7 +432,12 @@ impl Study {
                     nu: galerkin_rhs(system.mesh()),
                     column_seconds: Vec::new(),
                     column_terms: Vec::new(),
-                    bulk_terms: 0,
+                    bulk_terms: cost.terms as u64,
+                    lane_points: cost.lane_points,
+                    lane_slots: cost.lane_slots,
+                    // Collocation assembly is one kernel loop: report it
+                    // whole.
+                    kernel_seconds: assembly_seconds,
                     compression: None,
                     assembly_seconds,
                     factor_seconds: t.elapsed().as_secs_f64(),
@@ -431,6 +469,9 @@ impl Study {
             column_seconds: report.column_seconds.clone(),
             column_terms: report.column_terms.clone(),
             bulk_terms: 0,
+            lane_points: report.lane_points,
+            lane_slots: report.lane_slots,
+            kernel_seconds: report.kernel_seconds(),
             compression: None,
             assembly_seconds: report.generation_seconds,
             factor_seconds: t.elapsed().as_secs_f64(),
@@ -445,11 +486,14 @@ impl Study {
         assembly_seconds: f64,
     ) -> Result<Study, PrepareError> {
         let opts = *system.options();
+        let kernel_seconds = report.kernel_seconds();
         let AssemblyReport {
             matrix,
             rhs,
             column_seconds,
             column_terms,
+            lane_points,
+            lane_slots,
             ..
         } = report;
         let t = Instant::now();
@@ -463,6 +507,9 @@ impl Study {
             column_seconds,
             column_terms,
             bulk_terms: 0,
+            lane_points,
+            lane_slots,
+            kernel_seconds,
             compression: None,
             assembly_seconds,
             factor_seconds: t.elapsed().as_secs_f64(),
@@ -538,6 +585,13 @@ impl Study {
         self.bulk_terms + self.column_terms.iter().sum::<u64>()
     }
 
+    /// Batched-lane occupancy of the kernel phase: occupied lane points
+    /// over padded lane slots. `None` when no batched lanes ran (the
+    /// scalar oracle path).
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        (self.lane_slots > 0).then(|| self.lane_points as f64 / self.lane_slots as f64)
+    }
+
     /// Phase instrumentation: what `prepare` paid and how many scenarios
     /// it has served.
     pub fn profile(&self) -> StudyProfile {
@@ -548,6 +602,9 @@ impl Study {
             factor_seconds: self.factor_seconds,
             scenario_solves: self.solves.load(Ordering::Relaxed),
             compression: self.compression,
+            kernel_terms: self.total_terms(),
+            kernel_seconds: self.kernel_seconds,
+            lane_occupancy: self.lane_occupancy(),
         }
     }
 
@@ -802,6 +859,50 @@ mod tests {
         assert_eq!(profile.factorizations, 1);
         assert_eq!(profile.scenario_solves, 32);
         assert!(profile.assembly_seconds > 0.0);
+    }
+
+    #[test]
+    fn profile_reports_kernel_counters_per_eval_strategy() {
+        use crate::formulation::KernelEval;
+        let mesh = rod_mesh(8);
+        let soil = SoilModel::uniform(0.016);
+        let batched = GroundingSystem::new(mesh.clone(), &soil, SolveOptions::default())
+            .prepare()
+            .expect("prepare");
+        let bp = batched.profile();
+        assert_eq!(bp.kernel_terms, batched.total_terms());
+        assert!(bp.kernel_terms > 0);
+        assert!(bp.kernel_seconds > 0.0);
+        assert!(bp.kernel_seconds <= bp.assembly_seconds);
+        let occ = bp.lane_occupancy.expect("batched path fills lanes");
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+        // The scalar oracle runs no lanes at all.
+        let scalar = GroundingSystem::new(
+            mesh,
+            &soil,
+            SolveOptions::default().with_kernel_eval(KernelEval::Scalar),
+        )
+        .prepare()
+        .expect("prepare");
+        assert!(scalar.profile().lane_occupancy.is_none());
+        assert!(scalar.profile().kernel_terms > 0);
+    }
+
+    #[test]
+    fn collocation_profile_counts_kernel_terms() {
+        let sys = GroundingSystem::new(
+            rod_mesh(8),
+            &SoilModel::uniform(0.016),
+            SolveOptions {
+                formulation: Formulation::Collocation,
+                ..Default::default()
+            },
+        );
+        let study = sys.prepare().expect("prepare");
+        let p = study.profile();
+        assert!(p.kernel_terms > 0, "collocation terms now counted");
+        assert_eq!(p.kernel_terms, study.total_terms());
+        assert!(p.lane_occupancy.is_some(), "batched by default");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Fixed-width lane arithmetic for the batched kernel path.
+//!
+//! The batched structure-of-arrays kernel evaluation processes quadrature
+//! points in chunks of [`LANES`] = 4 `f64` values — the width of one AVX2
+//! register — using plain fixed-size arrays so the pinned stable toolchain
+//! auto-vectorizes the loops (no `std::simd`). The one operation LLVM will
+//! *not* vectorize on its own is `f64::ln` (a libm call), which sits on the
+//! critical path of every image-term rod integral. [`ln4`] provides a
+//! division-free table-based natural logarithm over four lanes — the same
+//! reduction glibc's scalar `log` uses, but inlined straight-line code the
+//! autovectorizer can pack. Absolute error is a few ulp of the result (or
+//! of 1 for results below 1), six orders of magnitude below the `1e-9`
+//! series tolerance that bounds the batched-vs-scalar contract.
+//!
+//! Lane functions here are **pure and deterministic**: the same four inputs
+//! always produce the same four outputs, independent of the surrounding
+//! schedule, thread count or partition. That property is what lets the
+//! batched assembly path promise bit-identical results across pools.
+
+/// Lane width of the batched kernel path: four `f64`s, one AVX2 register.
+pub const LANES: usize = 4;
+
+/// `ln(2)` split head/tail so `e·ln2` keeps full precision for large
+/// exponents (Cody–Waite style).
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Mantissa-cell table of the table-based log reduction: entry `i` holds
+/// `(1/cᵢ, ln cᵢ)` for the cell `m ∈ [1 + i/64, 1 + (i+1)/64)` of the
+/// reduced mantissa, with `cᵢ = 1 + (2i+1)/128` the cell midpoint (exactly
+/// representable, so `1/cᵢ` and `ln cᵢ` are correctly rounded constants).
+/// Cell 0 instead pins `c₀ = 1` so an input of exactly `1.0` reduces to
+/// `r = 0` and returns exactly `0.0`, and so results near zero (inputs
+/// just above 1) stay *relatively* accurate — there is no `ln c` to cancel
+/// against.
+#[rustfmt::skip]
+static LOG_TABLE: [(f64, f64); 64] = [
+    (1.0, 0.0),
+    (0.9770992366412213, 0.02316705928153438),
+    (0.9624060150375939, 0.0383188643021366),
+    (0.9481481481481482, 0.053244514518812285),
+    (0.9343065693430657, 0.06795066190850775),
+    (0.920863309352518, 0.08244366921107459),
+    (0.9078014184397163, 0.09672962645855111),
+    (0.8951048951048951, 0.11081436634029011),
+    (0.8827586206896552, 0.12470347850095724),
+    (0.8707482993197279, 0.13840232285911913),
+    (0.8590604026845637, 0.15191604202584197),
+    (0.847682119205298, 0.16524957289530717),
+    (0.8366013071895425, 0.1784076574728183),
+    (0.8258064516129032, 0.19139485299962947),
+    (0.8152866242038217, 0.2042155414286909),
+    (0.8050314465408805, 0.21687393830061436),
+    (0.7950310559006211, 0.22937410106484582),
+    (0.7852760736196319, 0.24171993688714516),
+    (0.7757575757575758, 0.25391520998096345),
+    (0.7664670658682635, 0.26596354849713794),
+    (0.757396449704142, 0.2778684510034563),
+    (0.7485380116959064, 0.28963329258304266),
+    (0.7398843930635838, 0.3012613305781618),
+    (0.7314285714285714, 0.3127557100038969),
+    (0.7231638418079096, 0.324119468654212),
+    (0.7150837988826816, 0.3353555419211378),
+    (0.7071823204419889, 0.34646676734620857),
+    (0.6994535519125683, 0.3574558889218038),
+    (0.6918918918918919, 0.3683255611587076),
+    (0.6844919786096256, 0.37907835293496944),
+    (0.6772486772486772, 0.3897167511400252),
+    (0.6701570680628273, 0.4002431641270127),
+    (0.6632124352331606, 0.4106599249852684),
+    (0.6564102564102564, 0.42096929464412963),
+    (0.649746192893401, 0.4311734648183713),
+    (0.6432160804020101, 0.4412745608048752),
+    (0.6368159203980099, 0.45127464413945856),
+    (0.6305418719211823, 0.46117571512217015),
+    (0.624390243902439, 0.470979715218791),
+    (0.6183574879227053, 0.4806885293457519),
+    (0.6124401913875598, 0.4903039880451938),
+    (0.6066350710900474, 0.4998278695564493),
+    (0.6009389671361502, 0.5092619017898079),
+    (0.5953488372093023, 0.5186077642080457),
+    (0.5898617511520737, 0.5278670896208424),
+    (0.5844748858447488, 0.5370414658968836),
+    (0.579185520361991, 0.5461324375981357),
+    (0.5739910313901345, 0.5551415075405016),
+    (0.5688888888888889, 0.564070138284803),
+    (0.5638766519823789, 0.5729197535617855),
+    (0.5589519650655022, 0.5816917396346225),
+    (0.5541125541125541, 0.5903874466021763),
+    (0.5493562231759657, 0.5990081896460834),
+    (0.5446808510638298, 0.6075552502245418),
+    (0.540084388185654, 0.616029877215514),
+    (0.5355648535564853, 0.6244332880118935),
+    (0.5311203319502075, 0.6327666695710378),
+    (0.5267489711934157, 0.6410311794209312),
+    (0.5224489795918368, 0.6492279466251099),
+    (0.5182186234817814, 0.65735807270836),
+    (0.5140562248995983, 0.6654226325450905),
+    (0.5099601593625498, 0.6734226752121667),
+    (0.5059288537549407, 0.6813592248079031),
+    (0.5019607843137255, 0.689233281238809),
+];
+
+/// Bit pattern of the smallest positive normal `f64`; `bits − NORMAL_MIN
+/// < NORMAL_SPAN` (wrapping) tests "positive, finite, normal" in one
+/// unsigned compare.
+const NORMAL_MIN: u64 = 0x0010_0000_0000_0000;
+const NORMAL_SPAN: u64 = 0x7ff0_0000_0000_0000 - NORMAL_MIN;
+
+/// `a·b + c`, fused when the build target has FMA (one rounding), plain
+/// multiply-add otherwise. Both [`ln_lane`] and [`ln4`] route their Horner
+/// chains through this one helper, so the hot and cold paths stay bit-equal
+/// within any build; builds with different target features may differ in
+/// the final ulps (far inside the series tolerance). Without the
+/// compile-time gate, `f64::mul_add` on a non-FMA target would fall back
+/// to the (slow, software) libm `fma` — the gate keeps the non-FMA path on
+/// ordinary arithmetic.
+#[inline(always)]
+fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// One lane of the table-based log reduction (the exact arithmetic of the
+/// [`ln4`] hot path on a single regular input — IEEE operations round
+/// identically whether packed or scalar, so this is bit-equal to the lane
+/// the 4-wide path would produce).
+#[inline]
+fn ln_lane(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let e = (((bits >> 52) & 0x7ff) as i32 - 1023) as f64;
+    let i = ((bits >> 46) & 63) as usize;
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    let (invc, logc) = LOG_TABLE[i];
+    // Exact for cell 0 (invc = 1); elsewhere one rounding of m/c.
+    let r = m * invc - 1.0;
+    // ln(1+r) = r + r²·P(r), Taylor to degree 9: |r| ≤ 1/64 puts the
+    // truncation at (1/64)⁹ ≈ 5e-17 relative to r — round-off level.
+    let p = -1.0 / 8.0;
+    let p = fmadd(p, r, 1.0 / 7.0);
+    let p = fmadd(p, r, -1.0 / 6.0);
+    let p = fmadd(p, r, 1.0 / 5.0);
+    let p = fmadd(p, r, -1.0 / 4.0);
+    let p = fmadd(p, r, 1.0 / 3.0);
+    let p = fmadd(p, r, -1.0 / 2.0);
+    // hi = e·ln2_hi + ln c is exact-ish (ln2_hi has a short mantissa, and
+    // when it cancels against ln c both are the same scale); the small
+    // terms join afterwards so near-1 results keep relative accuracy.
+    let hi = e * LN2_HI + logc;
+    (e * LN2_LO + (r * r) * p) + (hi + r)
+}
+
+/// Cold path of [`ln4`]: at least one lane is zero, negative, subnormal,
+/// infinite or NaN. Regular lanes still go through the table reduction
+/// (bit-equal to the hot path — see [`ln_lane`]); irregular lanes take the
+/// libm `f64::ln`, so edge-case semantics match the scalar path. Each
+/// lane's output depends only on its own input.
+#[cold]
+#[inline(never)]
+fn ln4_irregular(x: [f64; LANES]) -> [f64; LANES] {
+    let mut out = [0.0f64; LANES];
+    for l in 0..LANES {
+        out[l] = if x[l].to_bits().wrapping_sub(NORMAL_MIN) < NORMAL_SPAN {
+            ln_lane(x[l])
+        } else {
+            x[l].ln()
+        };
+    }
+    out
+}
+
+/// Natural logarithm of four lanes at once.
+///
+/// Argument reduction `x = m·2^e` with `m ∈ [1, 2)`, then a 64-cell
+/// mantissa table ([`LOG_TABLE`]) reduces further: `r = m·(1/cᵢ) − 1` with
+/// `|r| ≤ 1/64`, and `ln x = e·ln2 + ln cᵢ + ln(1+r)` with `ln(1+r)`
+/// a degree-9 polynomial — division-free straight-line float arithmetic
+/// that the autovectorizer turns into packed ops, unlike the scalar
+/// `f64::ln` libm call. An input of exactly `1.0` returns exactly `0.0`.
+///
+/// Lanes that are zero, negative, subnormal, infinite or NaN fall back to
+/// the libm `f64::ln` for that lane; every lane's output depends only on
+/// its own input (the purity the batched determinism contract rests on).
+///
+/// `inline(always)`: the callers' chunk loops feed register-resident
+/// arrays straight in; an outlined call would round-trip them through the
+/// stack on every chunk.
+#[inline(always)]
+pub fn ln4(x: [f64; LANES]) -> [f64; LANES] {
+    let mut all_regular = true;
+    for l in 0..LANES {
+        all_regular &= x[l].to_bits().wrapping_sub(NORMAL_MIN) < NORMAL_SPAN;
+    }
+    if !all_regular {
+        return ln4_irregular(x);
+    }
+    let mut e = [0.0f64; LANES];
+    let mut r = [0.0f64; LANES];
+    let mut lc = [0.0f64; LANES];
+    for l in 0..LANES {
+        let bits = x[l].to_bits();
+        e[l] = (((bits >> 52) & 0x7ff) as i32 - 1023) as f64;
+        let i = ((bits >> 46) & 63) as usize;
+        let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+        let (invc, logc) = LOG_TABLE[i];
+        r[l] = m * invc - 1.0;
+        lc[l] = logc;
+    }
+    let mut out = [0.0f64; LANES];
+    for l in 0..LANES {
+        let rr = r[l];
+        let p = -1.0 / 8.0;
+        let p = fmadd(p, rr, 1.0 / 7.0);
+        let p = fmadd(p, rr, -1.0 / 6.0);
+        let p = fmadd(p, rr, 1.0 / 5.0);
+        let p = fmadd(p, rr, -1.0 / 4.0);
+        let p = fmadd(p, rr, 1.0 / 3.0);
+        let p = fmadd(p, rr, -1.0 / 2.0);
+        let hi = e[l] * LN2_HI + lc[l];
+        out[l] = (e[l] * LN2_LO + (rr * rr) * p) + (hi + rr);
+    }
+    out
+}
+
+/// Number of 4-wide chunk *slots* needed to cover `n` values: `4·⌈n/4⌉`.
+/// The batched kernel reports `n` useful lanes out of this many issued
+/// slots as its lane-occupancy metric.
+#[inline]
+pub fn slots_for(n: usize) -> usize {
+    n.div_ceil(LANES) * LANES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ln1(x: f64) -> f64 {
+        ln4([x, 1.0, 1.0, 1.0])[0]
+    }
+
+    #[test]
+    fn matches_libm_to_a_few_ulp() {
+        for &x in &[
+            1e-300, 1e-12, 0.1, 0.5, 0.999_999, 1.0, 1.000_001, 1.5, 2.0, 3.0, 10.0, 1e4, 1e100,
+            1e300,
+        ] {
+            let got = ln1(x);
+            let want = x.ln();
+            let tol = 4.0 * f64::EPSILON * want.abs().max(1.0);
+            assert!(
+                (got - want).abs() <= tol,
+                "ln({x}): got {got}, libm {want}, diff {}",
+                (got - want).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn dense_sweep_stays_within_a_few_ulp() {
+        // Cell boundaries and both ends of every mantissa cell, across
+        // several binades — the arguments rod integrals actually produce
+        // (≥ 1) plus the reciprocal range.
+        let mut worst: f64 = 0.0;
+        for k in 0..64_000 {
+            let x = 0.25 * (1.0 + k as f64 * 1e-4) * (1.0 + (k % 7) as f64);
+            let got = ln1(x);
+            let want = x.ln();
+            let err = (got - want).abs() / want.abs().max(1.0);
+            worst = worst.max(err);
+        }
+        assert!(worst <= 4.0 * f64::EPSILON, "worst {worst:e}");
+    }
+
+    #[test]
+    fn exact_at_one() {
+        assert_eq!(ln1(1.0), 0.0);
+    }
+
+    #[test]
+    fn edge_lanes_fall_back_to_libm() {
+        let out = ln4([0.0, -1.0, f64::INFINITY, f64::NAN]);
+        assert_eq!(out[0], f64::NEG_INFINITY);
+        assert!(out[1].is_nan());
+        assert_eq!(out[2], f64::INFINITY);
+        assert!(out[3].is_nan());
+    }
+
+    #[test]
+    fn subnormal_inputs_fall_back_to_libm() {
+        let x = 1e-310; // subnormal
+        assert_eq!(ln1(x), x.ln());
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let out = ln4([2.0, 3.0, 5.0, 7.0]);
+        for (l, &x) in [2.0, 3.0, 5.0, 7.0].iter().enumerate() {
+            assert_eq!(out[l], ln1(x), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn slot_accounting_rounds_up_to_lane_width() {
+        assert_eq!(slots_for(0), 0);
+        assert_eq!(slots_for(1), 4);
+        assert_eq!(slots_for(4), 4);
+        assert_eq!(slots_for(5), 8);
+        assert_eq!(slots_for(8), 8);
+        assert_eq!(slots_for(9), 12);
+    }
+}

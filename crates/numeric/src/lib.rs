@@ -54,6 +54,7 @@ pub mod cholesky;
 pub mod dense;
 pub mod eigen;
 pub mod hmatrix;
+pub mod lanes;
 pub mod lu;
 pub mod pcg;
 pub mod quadrature;
@@ -61,16 +62,17 @@ pub mod series;
 pub mod symmetric;
 pub mod vector;
 
-pub use aca::{aca, AcaError, LowRank};
+pub use aca::{aca, aca_sampled, AcaError, LowRank, MatrixSampler};
 pub use cholesky::CholeskyFactor;
 pub use dense::{DenseMatrix, DenseRowsMut};
 pub use hmatrix::{CompressionStats, FarBlock, HMatrix, SparseSym, SparseSymRowsMut};
+pub use lanes::{ln4, slots_for, LANES};
 pub use lu::LuFactor;
 pub use pcg::{
     pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome, PooledSymOperator,
 };
 pub use quadrature::GaussLegendre;
-pub use series::{KahanSum, SeriesOptions, SeriesResult};
+pub use series::{BatchSeriesResult, ChunkedKahan, KahanSum, SeriesOptions, SeriesResult};
 pub use symmetric::{SymMatrix, SymRowsMut};
 
 /// Numerical tolerance used by the test-suites of this workspace when

@@ -132,6 +132,195 @@ pub fn sum_until<F: FnMut(usize) -> f64>(mut term: F, opts: SeriesOptions) -> Se
     }
 }
 
+/// Lane-ordered compensated accumulator for one batch of series: one
+/// Neumaier accumulator per lane, stored structure-of-arrays so the
+/// batched kernel path updates lanes in fixed 4-wide chunks.
+///
+/// The accumulation order is **fixed by construction** — lane `l` only
+/// ever receives its own terms, in term order — which is what makes the
+/// batched assembly path bit-identical across schedules, thread counts
+/// and partitions: the pool decides *who* runs a batch, never in what
+/// order its lanes accumulate.
+#[derive(Clone, Debug)]
+pub struct ChunkedKahan {
+    sum: Vec<f64>,
+    comp: Vec<f64>,
+}
+
+impl ChunkedKahan {
+    /// New zeroed accumulator over `lanes` independent sums.
+    pub fn new(lanes: usize) -> Self {
+        ChunkedKahan {
+            sum: vec![0.0; lanes],
+            comp: vec![0.0; lanes],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Adds `v` to lane `l` with Neumaier compensation — the exact per-lane
+    /// analogue of [`KahanSum::add`]. The magnitude test picks which
+    /// operand donates the rounding remainder; selecting the pair first
+    /// (instead of branching on the whole expression) computes the
+    /// identical result through a branch-free select the vectorizer packs.
+    #[inline]
+    pub fn add(&mut self, l: usize, v: f64) {
+        let s = self.sum[l];
+        let t = s + v;
+        let (big, small) = if s.abs() >= v.abs() { (s, v) } else { (v, s) };
+        self.comp[l] += (big - t) + small;
+        self.sum[l] = t;
+    }
+
+    /// Current compensated value of lane `l`.
+    #[inline]
+    pub fn value(&self, l: usize) -> f64 {
+        self.sum[l] + self.comp[l]
+    }
+
+    /// Compensated values of all lanes.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.lanes()).map(|l| self.value(l)).collect()
+    }
+
+    /// Largest compensated magnitude over all lanes — the shared scale of
+    /// the collective stopping rule in [`sum_until_batch`].
+    pub fn max_abs(&self) -> f64 {
+        (0..self.lanes())
+            .map(|l| self.value(l).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Outcome of a batched tolerance-controlled summation.
+#[derive(Clone, Debug)]
+pub struct BatchSeriesResult {
+    /// Compensated per-lane sums.
+    pub values: Vec<f64>,
+    /// Number of term indices consumed (each index covers every lane).
+    pub terms: usize,
+    /// Whether the collective tolerance was met (or the series exhausted)
+    /// before the cap.
+    pub converged: bool,
+}
+
+/// Reusable engine for repeated batched summations: owns the per-lane
+/// Neumaier accumulators and the term buffer, so steady-state callers (one
+/// engine per worker thread, one [`Self::run`] per element pair) stay
+/// allocation-free. The arithmetic is identical to [`sum_until_batch`],
+/// which is a thin wrapper over this type.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSeries {
+    sum: Vec<f64>,
+    comp: Vec<f64>,
+    buf: Vec<f64>,
+}
+
+impl BatchSeries {
+    /// An empty engine (buffers grow on first use and are then retained).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one collective summation over `lanes` lanes (see
+    /// [`sum_until_batch`] for the stopping rule), returning
+    /// `(terms, converged)`. Per-lane compensated values are read back
+    /// with [`Self::value`]; they stay valid until the next `run`.
+    pub fn run<F: FnMut(usize, &mut [f64]) -> bool>(
+        &mut self,
+        lanes: usize,
+        mut term: F,
+        opts: SeriesOptions,
+    ) -> (usize, bool) {
+        self.sum.clear();
+        self.sum.resize(lanes, 0.0);
+        self.comp.clear();
+        self.comp.resize(lanes, 0.0);
+        self.buf.clear();
+        self.buf.resize(lanes, 0.0);
+        let needed = opts.consecutive.max(1);
+        let mut streak = 0usize;
+        let mut terms = 0usize;
+        while terms < opts.max_terms {
+            let buf = &mut self.buf[..lanes];
+            buf.fill(0.0);
+            if !term(terms, buf) {
+                return (terms, true);
+            }
+            let sum = &mut self.sum[..lanes];
+            let comp = &mut self.comp[..lanes];
+            // Neumaier accumulation, branch-free select (identical
+            // arithmetic to ChunkedKahan::add). The shared-scale scan runs
+            // as its own pass so this one has no cross-lane dependency and
+            // vectorizes.
+            for l in 0..lanes {
+                let s = sum[l];
+                let v = buf[l];
+                let t = s + v;
+                let (big, small) = if s.abs() >= v.abs() { (s, v) } else { (v, s) };
+                comp[l] += (big - t) + small;
+                sum[l] = t;
+            }
+            let mut scale = 0.0f64;
+            for l in 0..lanes {
+                scale = scale.max((sum[l] + comp[l]).abs());
+            }
+            terms += 1;
+            let threshold = opts.rel_tol * scale + opts.abs_tol;
+            if buf.iter().all(|t| t.abs() <= threshold) {
+                streak += 1;
+                if streak >= needed {
+                    return (terms, true);
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        (terms, false)
+    }
+
+    /// Compensated value of lane `l` after the last [`Self::run`].
+    #[inline]
+    pub fn value(&self, l: usize) -> f64 {
+        self.sum[l] + self.comp[l]
+    }
+}
+
+/// Batched analogue of [`sum_until`]: sums one series per lane, all lanes
+/// in lockstep over the term index `l = 0, 1, 2, …`.
+///
+/// `term(l, out)` fills `out` (length `lanes`, pre-zeroed) with the `l`-th
+/// term of every lane and returns `true`; returning `false` signals the
+/// series is exhausted (nothing read from `out`, the sum stops converged).
+///
+/// **Collective stopping rule:** after each term index the largest
+/// compensated lane magnitude is the shared scale; the index counts toward
+/// the quiet streak only when *every* lane's term is below
+/// `rel_tol · scale + abs_tol`, and [`SeriesOptions::consecutive`] quiet
+/// indices in a row stop the sum. All lanes therefore consume the same
+/// number of terms — the whole batch runs as far as its slowest lane,
+/// which is what keeps the result independent of how points were grouped
+/// into batches by the caller *for a fixed batch*; the per-pair batching
+/// in the assembler fixes the batch content per element pair, making the
+/// assembled matrix bit-identical across schedules × thread counts ×
+/// partitions.
+pub fn sum_until_batch<F: FnMut(usize, &mut [f64]) -> bool>(
+    lanes: usize,
+    term: F,
+    opts: SeriesOptions,
+) -> BatchSeriesResult {
+    let mut engine = BatchSeries::new();
+    let (terms, converged) = engine.run(lanes, term, opts);
+    BatchSeriesResult {
+        values: (0..lanes).map(|l| engine.value(l)).collect(),
+        terms,
+        converged,
+    }
+}
+
 /// Applies one pass of Aitken's Δ² process to a sequence of partial sums,
 /// returning the accelerated sequence (two entries shorter).
 ///
@@ -290,6 +479,124 @@ mod tests {
         // With consecutive=2 the sum must survive past the interleaved tiny
         // terms and capture all three big ones.
         assert!(r.value >= 1.75);
+    }
+
+    #[test]
+    fn chunked_kahan_lanes_match_independent_kahan_sums() {
+        let mut chunked = ChunkedKahan::new(3);
+        let mut singles = [KahanSum::new(), KahanSum::new(), KahanSum::new()];
+        for i in 0..1000 {
+            for l in 0..3 {
+                let v = ((i * 7 + l * 13) % 29) as f64 * 1e-14 + (l as f64);
+                chunked.add(l, v);
+                singles[l].add(v);
+            }
+        }
+        for l in 0..3 {
+            assert_eq!(chunked.value(l).to_bits(), singles[l].value().to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_sum_matches_per_lane_scalar_sums_on_geometric_series() {
+        // Lanes with the same decay ratio stop at the same index as the
+        // scalar sum of the largest lane, so the per-lane values agree with
+        // independent scalar sums that ran as long.
+        let ratios = [0.5, 0.5, 0.5, 0.5, 0.5];
+        let r = sum_until_batch(
+            ratios.len(),
+            |l, out| {
+                for (lane, ratio) in ratios.iter().enumerate() {
+                    out[lane] = ratio_powi(*ratio, l);
+                }
+                true
+            },
+            SeriesOptions::default(),
+        );
+        assert!(r.converged);
+        let scalar = sum_until(|l| ratio_powi(0.5, l), SeriesOptions::default());
+        assert_eq!(r.terms, scalar.terms);
+        for v in &r.values {
+            assert_eq!(v.to_bits(), scalar.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_runs_as_far_as_its_slowest_lane() {
+        let ratios = [0.3, 0.95];
+        let r = sum_until_batch(
+            2,
+            |l, out| {
+                out[0] = ratio_powi(ratios[0], l);
+                out[1] = ratio_powi(ratios[1], l);
+                true
+            },
+            SeriesOptions::default(),
+        );
+        assert!(r.converged);
+        let slow = sum_until(|l| ratio_powi(0.95, l), SeriesOptions::default());
+        // The fast lane keeps summing (harmlessly) until the slow lane's
+        // terms drop below tolerance; both lanes land within tolerance of
+        // their closed forms.
+        assert!(r.terms >= slow.terms.saturating_sub(2));
+        assert!(approx_eq(r.values[0], 1.0 / 0.7, 1e-9));
+        assert!(approx_eq(r.values[1], 1.0 / 0.05, 1e-7));
+    }
+
+    #[test]
+    fn batch_exhaustion_signal_stops_converged() {
+        let r = sum_until_batch(
+            3,
+            |l, out| {
+                if l >= 4 {
+                    return false;
+                }
+                out.iter_mut().for_each(|v| *v = 1.0);
+                true
+            },
+            SeriesOptions {
+                rel_tol: 1e-30, // never quiet: only exhaustion can stop it
+                ..Default::default()
+            },
+        );
+        assert!(r.converged);
+        assert_eq!(r.terms, 4);
+        assert!(r.values.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn batch_cap_is_enforced() {
+        let r = sum_until_batch(
+            2,
+            |_, out| {
+                out[0] = 1.0;
+                out[1] = -1.0;
+                true
+            },
+            SeriesOptions {
+                max_terms: 9,
+                ..Default::default()
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.terms, 9);
+    }
+
+    #[test]
+    fn collective_scale_is_shared_across_lanes() {
+        // Lane 1 sums to ~0 (alternating); its terms are judged against the
+        // big lane-0 scale, so the batch still stops.
+        let r = sum_until_batch(
+            2,
+            |l, out| {
+                out[0] = ratio_powi(0.5, l) * 1e6;
+                out[1] = if l % 2 == 0 { 1e-4 } else { -1e-4 };
+                true
+            },
+            SeriesOptions::default(),
+        );
+        assert!(r.converged, "shared scale must allow the batch to stop");
+        assert!(approx_eq(r.values[0], 2e6, 1e-8));
     }
 
     #[test]

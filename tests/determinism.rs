@@ -27,7 +27,7 @@
 use layerbem_core::assembly::{
     assemble_collocation, assemble_collocation_pooled, assemble_galerkin, AssemblyMode,
 };
-use layerbem_core::formulation::{OperatorBackend, SolveOptions, SolverChoice};
+use layerbem_core::formulation::{KernelEval, OperatorBackend, SolveOptions, SolverChoice};
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
@@ -134,6 +134,67 @@ fn worklist_and_scan_direct_assembly_are_bit_identical_to_sequential() {
                     assert_eq!(seq.total_terms(), direct.total_terms(), "{label}");
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn batched_kernel_assembly_is_bit_identical_across_schedules_and_threads() {
+    // The PR-7 tentpole invariant: the batched structure-of-arrays kernel
+    // path evaluates per element pair, and a pair's batch content is
+    // fixed by the pair alone — so the worklist engine must reproduce the
+    // sequential batched assembly bit for bit (matrix, RHS, per-column
+    // terms, lane counters) for every schedule × thread count, and the
+    // batched operator must agree with the retained scalar oracle within
+    // the series tolerance.
+    for (grid, mesh, soil) in grid_cases() {
+        let kernel = SoilKernel::new(&soil);
+        let batched_opts = SolveOptions::default().with_kernel_eval(KernelEval::Batched);
+        let seq = assemble_galerkin(&mesh, &kernel, &batched_opts, &AssemblyMode::Sequential);
+        assert!(seq.lane_slots > 0, "{grid}: batched assembly fills lanes");
+        assert!(seq.lane_points <= seq.lane_slots, "{grid}");
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            for schedule in schedules() {
+                let direct = assemble_galerkin(
+                    &mesh,
+                    &kernel,
+                    &batched_opts,
+                    &AssemblyMode::ParallelDirect(pool, schedule),
+                );
+                let label = format!("{grid}: batched threads={threads} {}", schedule.label());
+                assert_eq!(seq.matrix.packed(), direct.matrix.packed(), "{label}");
+                assert_eq!(seq.rhs, direct.rhs, "{label}");
+                assert_eq!(seq.column_terms, direct.column_terms, "{label}");
+                assert_eq!(
+                    (seq.lane_points, seq.lane_slots),
+                    (direct.lane_points, direct.lane_slots),
+                    "{label}"
+                );
+            }
+        }
+        // The scalar oracle: same operator within the series tolerance,
+        // and no lanes at all on its path.
+        let scalar_opts = SolveOptions::default().with_kernel_eval(KernelEval::Scalar);
+        let scalar = assemble_galerkin(&mesh, &kernel, &scalar_opts, &AssemblyMode::Sequential);
+        assert_eq!(scalar.lane_slots, 0, "{grid}: scalar path runs no lanes");
+        let norm = scalar
+            .matrix
+            .packed()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        for (i, (a, b)) in scalar
+            .matrix
+            .packed()
+            .iter()
+            .zip(seq.matrix.packed())
+            .enumerate()
+        {
+            let rel = (a - b).abs() / norm;
+            assert!(
+                rel <= 1e-9,
+                "{grid}: packed entry {i}: scalar {a} vs batched {b} (rel {rel:.3e})"
+            );
         }
     }
 }
