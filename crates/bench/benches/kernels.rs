@@ -92,7 +92,13 @@ fn scalar_vs_batched_kernel(c: &mut Criterion) {
         0.006,
     );
     let pts: Vec<Point3> = (0..8)
-        .map(|i| Point3::new(3.0 + 0.37 * i as f64, -2.0 + 0.21 * i as f64, 0.3 + 0.11 * i as f64))
+        .map(|i| {
+            Point3::new(
+                3.0 + 0.37 * i as f64,
+                -2.0 + 0.21 * i as f64,
+                0.3 + 0.11 * i as f64,
+            )
+        })
         .collect();
     for (label, soil) in [
         ("uniform", SoilModel::uniform(0.016)),
@@ -103,20 +109,16 @@ fn scalar_vs_batched_kernel(c: &mut Criterion) {
         ),
     ] {
         let k = SoilKernel::new(&soil);
-        g.bench_with_input(
-            BenchmarkId::new("scalar", label),
-            &k,
-            |b, k| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for &p in &pts {
-                        let (v, _) = k.element_potential(black_box(p), &src);
-                        acc += v[0] + v[1];
-                    }
-                    black_box(acc)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("scalar", label), &k, |b, k| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &p in &pts {
+                    let (v, _) = k.element_potential(black_box(p), &src);
+                    acc += v[0] + v[1];
+                }
+                black_box(acc)
+            })
+        });
         let k = SoilKernel::new(&soil);
         let mut batch = KernelBatch::new();
         g.bench_with_input(BenchmarkId::new("batched", label), &k, |b, k| {

@@ -43,10 +43,20 @@
 //! batched kernel phase is at least `--kernel-speedup` (default 1.5×)
 //! faster than the scalar one.
 //!
+//! **Gate 5 — cold prepare vs cached-hit solve:** runs the refined
+//! Barberá grid through the serve crate's keyed study cache — one cold
+//! `get_or_prepare` (miss: assembly + factorization + sweep) against
+//! best-of-reps warm lookups (hit: back-substitution only), verifies the
+//! cached answers are bit-identical to a freshly prepared direct
+//! `Study::solve`, and **exits nonzero** unless the hit path is at least
+//! `--cache-speedup` (default 5×) faster. This pins the serving story:
+//! a resident factorization turns every further scenario request into
+//! O(N²) work.
+//!
 //! ```text
 //! bench_gate [--grid tiny|barbera|balaidos] [--reps N]
 //!            [--tolerance F] [--sweep-speedup F] [--kernel-speedup F]
-//!            [--json NAME.json]
+//!            [--cache-speedup F] [--json NAME.json]
 //! ```
 //!
 //! Thread count follows the environment pool (`LAYERBEM_THREADS`, which
@@ -71,10 +81,11 @@ use layerbem_core::formulation::{
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
-use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
-use layerbem_geometry::{Mesh, Mesher};
+use layerbem_geometry::grids::{self, rectangular_grid, RectGridSpec};
+use layerbem_geometry::{Mesh, MeshOptions, Mesher};
 use layerbem_numeric::{pcg_solve, LinearOperator, PcgOptions};
 use layerbem_parfor::{Schedule, ThreadPool};
+use layerbem_serve::{CacheOutcome, RequestError, StudyCache, StudyKey};
 use layerbem_soil::SoilModel;
 
 fn tiny_mesh() -> Mesh {
@@ -93,7 +104,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--grid tiny|barbera|balaidos] [--reps N] \
          [--tolerance F] [--sweep-speedup F] [--kernel-speedup F] \
-         [--json NAME.json]"
+         [--cache-speedup F] [--json NAME.json]"
     );
     std::process::exit(2);
 }
@@ -108,6 +119,9 @@ struct Args {
     /// Minimum kernel-phase speedup gate 4 demands of the batched kernel
     /// evaluation over the scalar oracle.
     kernel_speedup: f64,
+    /// Minimum speedup gate 5 demands of a cached-hit solve over the
+    /// cold prepare-and-solve through the serve study cache.
+    cache_speedup: f64,
     json: String,
 }
 
@@ -118,6 +132,7 @@ fn parse_args() -> Args {
         tolerance: 1.15,
         sweep_speedup: 2.0,
         kernel_speedup: 1.5,
+        cache_speedup: 5.0,
         json: "BENCH_pr.json".into(),
     };
     let mut argv = std::env::args().skip(1);
@@ -147,6 +162,13 @@ fn parse_args() -> Args {
             }
             "--kernel-speedup" => {
                 args.kernel_speedup = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 1.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--cache-speedup" => {
+                args.cache_speedup = argv
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&t: &f64| t.is_finite() && t >= 1.0)
@@ -612,7 +634,10 @@ fn main() {
 
     let mut best = [(f64::INFINITY, f64::INFINITY); 2]; // (wall, kernel) per eval
     let mut reports: Vec<AssemblyReport> = Vec::new();
-    for (slot, eval) in [KernelEval::Scalar, KernelEval::Batched].into_iter().enumerate() {
+    for (slot, eval) in [KernelEval::Scalar, KernelEval::Batched]
+        .into_iter()
+        .enumerate()
+    {
         let kopts = SolveOptions::default().with_kernel_eval(eval);
         let mut report = None;
         for _ in 0..kernel_reps {
@@ -703,7 +728,11 @@ fn main() {
                     "batched".into(),
                     format!("{batched_kernel:.6}"),
                     format!("{kernel_speedup:.2}x"),
-                    if kernel_ok { "ok".into() } else { "FAIL".into() },
+                    if kernel_ok {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
                 ],
             ],
         )
@@ -720,6 +749,150 @@ fn main() {
             .unwrap_or_else(|| "-".into()),
     );
 
+    // ---- Gate 5: cold prepare vs cached-hit solve (the serve cache). ----
+    //
+    // The serving claim, measured through the same `StudyCache` the TCP
+    // server uses: the first request for a study pays assembly +
+    // factorization + the scenario sweep (a miss), every further request
+    // for the same key answers from the resident factors with O(N²)
+    // back-substitutions only (a hit). Run on the refined Barberá grid
+    // (the largest in-repo discretization, where the O(N³) cold cost is
+    // unambiguous) with Cholesky — the retained-factor headline case.
+    let sgrid = "Barbera refined";
+    let snetwork = grids::barbera();
+    let smesh_opts = MeshOptions {
+        max_element_length: 1.0,
+        ..Default::default()
+    };
+    let ssoil = soils::barbera_uniform();
+    let sbase = SolveOptions {
+        solver: SolverChoice::Cholesky,
+        ..SolveOptions::default()
+    };
+    let sopts = if threads > 1 {
+        sbase.with_parallelism(pool, Schedule::dynamic(1))
+    } else {
+        sbase
+    };
+    // The canonical key — same hash the server derives from a deck.
+    // `parallelism` is excluded (pooled == serial bitwise), so this key
+    // is stable whether the prepare below runs pooled or serial.
+    let skey = StudyKey::of_parts(snetwork.conductors(), &smesh_opts, &ssoil, &sbase);
+    let sscenarios: Vec<Scenario> = (1..=4).map(|i| Scenario::gpr(1250.0 * i as f64)).collect();
+    let prepare_study = || -> Result<_, RequestError> {
+        let mesh = Mesher::new(smesh_opts).mesh(&snetwork);
+        GroundingSystem::new(mesh, &ssoil, sopts)
+            .prepare()
+            .map_err(RequestError::from)
+    };
+
+    // Reference: a fresh direct study, bypassing the cache entirely.
+    let reference = prepare_study().expect("refined Barbera grid is well-posed");
+    let want: Vec<_> = sscenarios
+        .iter()
+        .map(|s| reference.solve(s).expect("sweep scenarios are positive"))
+        .collect();
+
+    let cache = StudyCache::new(0);
+    // Cold: one miss paying prepare + the sweep.
+    let t0 = Instant::now();
+    let (study, outcome) = cache
+        .get_or_prepare(skey, prepare_study)
+        .expect("cold prepare succeeds");
+    let cold_solutions = study
+        .solve_batch(&sscenarios)
+        .expect("sweep scenarios are positive");
+    let cold = t0.elapsed().as_secs_f64();
+    assert_eq!(outcome, CacheOutcome::Miss, "first request must prepare");
+
+    // Warm: best-of-reps hits answering the same sweep from residency.
+    let mut hit = f64::INFINITY;
+    for _ in 0..args.reps {
+        let t0 = Instant::now();
+        let (study, outcome) = cache
+            .get_or_prepare(skey, || unreachable!("study is resident"))
+            .expect("hit never rebuilds");
+        let sols = study
+            .solve_batch(&sscenarios)
+            .expect("sweep scenarios are positive");
+        hit = hit.min(t0.elapsed().as_secs_f64());
+        assert_eq!(outcome, CacheOutcome::Hit, "resident study must hit");
+        // Cached answers are bit-identical to the direct study's.
+        for (a, b) in sols.iter().zip(&want) {
+            assert_eq!(
+                a.leakage, b.leakage,
+                "{sgrid}: cached-hit solve differs from the direct study"
+            );
+            assert_eq!(a.equivalent_resistance, b.equivalent_resistance);
+        }
+    }
+    for (a, b) in cold_solutions.iter().zip(&want) {
+        assert_eq!(a.leakage, b.leakage, "{sgrid}: cold solve differs");
+    }
+
+    let cache_ratio = cold / hit;
+    let cache_ok = cache_ratio >= args.cache_speedup;
+    if !cache_ok {
+        failures.push(format!(
+            "cached-hit solve only {cache_ratio:.2}x faster than cold prepare \
+             ({hit:.6}s vs {cold:.6}s; gate requires {:.2}x)",
+            args.cache_speedup
+        ));
+    }
+    let study_bytes = Some(study.resident_bytes() as u64);
+    records.push(BenchRecord {
+        grid: sgrid.into(),
+        mode: "cache_miss".into(),
+        schedule: "Dynamic,1".into(),
+        threads,
+        wall_seconds: cold,
+        series_terms: study.total_terms(),
+        resident_bytes: study_bytes,
+        kernel_seconds: None,
+        lane_occupancy: None,
+    });
+    records.push(BenchRecord {
+        grid: sgrid.into(),
+        mode: "cache_hit".into(),
+        schedule: "Dynamic,1".into(),
+        threads,
+        wall_seconds: hit,
+        series_terms: 0,
+        resident_bytes: study_bytes,
+        kernel_seconds: None,
+        lane_occupancy: None,
+    });
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["cache path", "best (s)", "speedup", "gate"],
+            &[
+                vec![
+                    "cache_miss".into(),
+                    format!("{cold:.6}"),
+                    "1.00x".into(),
+                    "baseline".into(),
+                ],
+                vec![
+                    "cache_hit".into(),
+                    format!("{hit:.6}"),
+                    format!("{cache_ratio:.2}x"),
+                    if cache_ok { "ok".into() } else { "FAIL".into() },
+                ],
+            ],
+        )
+    );
+    println!(
+        "{sgrid} ({} dof), key {skey}, {}-scenario sweep, {threads} threads, \
+         hit best of {} repetitions; cached answers verified bit-identical to \
+         a fresh direct study ({} resident bytes).",
+        study.dof(),
+        sscenarios.len(),
+        args.reps,
+        study.resident_bytes(),
+    );
+
     write_bench_json(&args.json, &records);
 
     if !failures.is_empty() {
@@ -732,8 +905,9 @@ fn main() {
     println!(
         "bench gates passed: worklist >= scan-path speed, staged sweep >= \
          {:.1}x resolve-each at {threads} threads, the hierarchical \
-         operator beats dense on bytes and matvec speed, and the batched \
-         kernel phase is >= {:.1}x the scalar oracle at 4 threads",
-        args.sweep_speedup, args.kernel_speedup
+         operator beats dense on bytes and matvec speed, the batched \
+         kernel phase is >= {:.1}x the scalar oracle at 4 threads, and a \
+         cached-hit solve is >= {:.1}x faster than a cold prepare",
+        args.sweep_speedup, args.kernel_speedup, args.cache_speedup
     );
 }

@@ -99,10 +99,42 @@ fn parse_floats(line: usize, parts: &[&str], n: usize, what: &str) -> Result<Vec
     parts
         .iter()
         .map(|p| {
+            // Non-finite values are rejected here rather than downstream:
+            // Rust's f64 parser accepts "inf"/"NaN" and huge literals like
+            // 1e999 overflow to ∞, none of which describe a physical deck
+            // quantity (a resident solver must see them as typed errors,
+            // never as NaNs propagating through assembly).
             p.parse::<f64>()
-                .map_err(|_| err(line, format!("invalid number '{p}' in {what}")))
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| err(line, format!("invalid number '{p}' in {what}")))
         })
         .collect()
+}
+
+/// Ceiling on grid cells per axis and per grid: a deck is a hand-written
+/// description of one substation, so counts beyond this are typos (e.g.
+/// `1e30`, which passes an integrality check) that would OOM the process
+/// generating conductors.
+const MAX_GRID_CELLS_PER_AXIS: f64 = 10_000.0;
+const MAX_GRID_CELLS: f64 = 1_000_000.0;
+
+/// Validates a grid stanza's `(nx, ny)` fields: positive integers within
+/// the generation budget.
+fn parse_grid_counts(line: usize, x: f64, y: f64) -> Result<(usize, usize), ParseError> {
+    if !(x >= 1.0 && y >= 1.0 && x.fract() == 0.0 && y.fract() == 0.0) {
+        return Err(err(line, "grid cell counts must be positive integers"));
+    }
+    if x > MAX_GRID_CELLS_PER_AXIS || y > MAX_GRID_CELLS_PER_AXIS || x * y > MAX_GRID_CELLS {
+        return Err(err(
+            line,
+            format!(
+                "grid cell counts capped at {MAX_GRID_CELLS_PER_AXIS} per axis \
+                 and {MAX_GRID_CELLS} total"
+            ),
+        ));
+    }
+    Ok((x as usize, y as usize))
 }
 
 /// Parses a case deck from text.
@@ -123,8 +155,15 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
         if line.is_empty() {
             continue;
         }
+        // A tokenless line is as blank as the ones skipped above. The old
+        // `.expect("non-empty line has a token")` coupled this loop to
+        // trim() and split_whitespace() agreeing exactly on what counts
+        // as whitespace — a panic path a resident server cannot afford if
+        // either ever diverges.
         let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().expect("non-empty line has a token");
+        let Some(keyword) = tokens.next() else {
+            continue;
+        };
         let rest: Vec<&str> = tokens.collect();
         match keyword {
             "title" => {
@@ -162,17 +201,37 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                             ));
                         }
                         let mut layers = Vec::new();
-                        for pair in nums.chunks(2) {
+                        let pair_count = nums.len() / 2;
+                        for (i, pair) in nums.chunks(2).enumerate() {
                             let g: f64 = pair[0]
-                                .parse()
-                                .map_err(|_| err(line_no, "invalid conductivity"))?;
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|g| g.is_finite() && *g > 0.0)
+                                .ok_or_else(|| {
+                                    err(line_no, "conductivity must be a positive finite number")
+                                })?;
+                            // Only the literal keyword "inf" means the
+                            // bottom half-space; the float parser's own
+                            // "inf"/"NaN" spellings and non-positive
+                            // thicknesses are rejected (interior layers
+                            // must be finite slabs).
                             let h: f64 = if pair[1] == "inf" {
                                 f64::INFINITY
                             } else {
                                 pair[1]
-                                    .parse()
-                                    .map_err(|_| err(line_no, "invalid thickness"))?
+                                    .parse::<f64>()
+                                    .ok()
+                                    .filter(|h| h.is_finite() && *h > 0.0)
+                                    .ok_or_else(|| {
+                                        err(line_no, "thickness must be a positive finite number")
+                                    })?
                             };
+                            if h.is_infinite() && i + 1 != pair_count {
+                                return Err(err(
+                                    line_no,
+                                    "only the last layer may have thickness 'inf'",
+                                ));
+                            }
                             layers.push(Layer {
                                 conductivity: g,
                                 thickness: h,
@@ -225,10 +284,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                 match kind {
                     "rect" => {
                         let v = parse_floats(line_no, &rest[1..], 8, "grid rect")?;
-                        let (nx, ny) = (v[4] as usize, v[5] as usize);
-                        if nx == 0 || ny == 0 || v[4].fract() != 0.0 || v[5].fract() != 0.0 {
-                            return Err(err(line_no, "grid cell counts must be positive integers"));
-                        }
+                        let (nx, ny) = parse_grid_counts(line_no, v[4], v[5])?;
                         network.extend(
                             rectangular_grid(RectGridSpec {
                                 origin: (v[0], v[1]),
@@ -247,10 +303,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                     "triangle" => {
                         // leg_x leg_y nx ny depth radius
                         let v = parse_floats(line_no, &rest[1..], 6, "grid triangle")?;
-                        let (nx, ny) = (v[2] as usize, v[3] as usize);
-                        if nx == 0 || ny == 0 || v[2].fract() != 0.0 || v[3].fract() != 0.0 {
-                            return Err(err(line_no, "grid cell counts must be positive integers"));
-                        }
+                        let (nx, ny) = parse_grid_counts(line_no, v[2], v[3])?;
                         network.extend(
                             triangle_grid(TriangleGridSpec {
                                 leg_x: v[0],
@@ -316,8 +369,14 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
             }
             "max-element-length" => {
                 let v = parse_floats(line_no, &rest, 1, "max-element-length")?;
-                if v[0] <= 0.0 {
-                    return Err(err(line_no, "max-element-length must be positive"));
+                // Floor at 1 mm: grounding conductors are meters long, so
+                // anything finer is a typo that would explode the element
+                // count (and the O(N³) prepare) without bound.
+                if v[0] < 1e-3 {
+                    return Err(err(
+                        line_no,
+                        "max-element-length must be at least 1e-3 meters",
+                    ));
                 }
                 mesh_options.max_element_length = v[0];
             }
@@ -489,5 +548,91 @@ max-element-length 5
     fn bad_solver_rejected() {
         assert!(parse_case("solver gmres\nrod 0 0 0.5 1 0.01\n").is_err());
         assert!(parse_case("formulation fem\nrod 0 0 0.5 1 0.01\n").is_err());
+    }
+
+    #[test]
+    fn tokenless_lines_are_skipped_not_panics() {
+        // Regression: lines that are non-empty but tokenize to nothing —
+        // a lone '#', comment-markers with trailing whitespace, and
+        // non-ASCII whitespace that survives the ASCII trim — used to hit
+        // an `.expect()` panic path.
+        for deck in [
+            "#\nrod 0 0 0.5 1 0.01\n",
+            "   #   \nrod 0 0 0.5 1 0.01\n",
+            "# x # y\nrod 0 0 0.5 1 0.01\n",
+            "\u{00A0}\u{2003}\nrod 0 0 0.5 1 0.01\n",
+            "\u{00A0} # c\nrod 0 0 0.5 1 0.01\n",
+            "\t \r\nrod 0 0 0.5 1 0.01\n",
+        ] {
+            let case = parse_case(deck).unwrap_or_else(|e| panic!("{deck:?}: {e}"));
+            assert_eq!(case.network.len(), 1, "{deck:?}");
+        }
+        // A deck of ONLY such lines still reports the no-electrode error.
+        let e = parse_case("#\n\u{00A0}\n # tail\n").unwrap_err();
+        assert!(e.message.contains("no electrodes"));
+    }
+
+    #[test]
+    fn non_finite_deck_floats_are_typed_errors() {
+        // f64::parse accepts these spellings; the deck must not.
+        for deck in [
+            "gpr inf\nrod 0 0 0.5 1 0.01\n",
+            "gpr NaN\nrod 0 0 0.5 1 0.01\n",
+            "gpr 1e999\nrod 0 0 0.5 1 0.01\n",
+            "rod 0 0 0.5 inf 0.01\n",
+            "conductor 0 0 nan 5 0 1 0.01\n",
+            "soil uniform inf\nrod 0 0 0.5 1 0.01\n",
+            "scenario gpr inf\nrod 0 0 0.5 1 0.01\n",
+            "max-element-length inf\nrod 0 0 0.5 1 0.01\n",
+        ] {
+            let e = parse_case(deck).unwrap_err();
+            assert!(
+                e.message.contains("invalid number"),
+                "{deck:?} gave: {}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn multi_layer_parameters_are_validated() {
+        // The last-layer 'inf' literal keeps working…
+        assert!(parse_case("soil multi-layer 0.01 1.0 0.02 inf\nrod 0 0 0.5 1 0.01\n").is_ok());
+        // …but non-finite / non-positive layer parameters are typed errors
+        // (these previously flowed into SoilModel's asserting constructor).
+        for deck in [
+            "soil multi-layer inf 1.0 0.02 inf\nrod 0 0 0.5 1 0.01\n",
+            "soil multi-layer -0.01 1.0 0.02 inf\nrod 0 0 0.5 1 0.01\n",
+            "soil multi-layer 0.01 nan 0.02 inf\nrod 0 0 0.5 1 0.01\n",
+            "soil multi-layer 0.01 -1.0 0.02 inf\nrod 0 0 0.5 1 0.01\n",
+            "soil multi-layer 0.01 inf 0.02 inf\nrod 0 0 0.5 1 0.01\n",
+            "soil multi-layer 0.01 1e999 0.02 inf\nrod 0 0 0.5 1 0.01\n",
+        ] {
+            assert!(parse_case(deck).is_err(), "{deck:?}");
+        }
+    }
+
+    #[test]
+    fn absurd_grid_counts_are_rejected_before_generation() {
+        // 1e30 is integral to f64 — the old `fract()` check passed it and
+        // the generator would try to allocate 2e30 conductors.
+        for deck in [
+            "grid rect 0 0 80 60 1e30 2 0.8 0.006\n",
+            "grid rect 0 0 80 60 2 99999 0.8 0.006\n",
+            "grid rect 0 0 80 60 5000 5000 0.8 0.006\n",
+            "grid triangle 89 143 1e30 11 0.8 0.006\n",
+        ] {
+            let e = parse_case(deck).unwrap_err();
+            assert!(e.message.contains("cap"), "{deck:?} gave: {}", e.message);
+        }
+        // Within-cap grids keep parsing.
+        assert!(parse_case("grid rect 0 0 80 60 8 6 0.8 0.006\n").is_ok());
+    }
+
+    #[test]
+    fn microscopic_element_length_is_rejected() {
+        let e = parse_case("max-element-length 1e-9\nrod 0 0 0.5 1 0.01\n").unwrap_err();
+        assert!(e.message.contains("1e-3"));
+        assert!(parse_case("max-element-length 0.001\nrod 0 0 0.5 1 0.01\n").is_ok());
     }
 }

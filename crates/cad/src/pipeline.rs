@@ -52,6 +52,20 @@ impl Phase {
         ]
     }
 
+    /// Position of the phase in [`Phase::all`]'s execution order — a
+    /// total match, so adding a phase without indexing it is a compile
+    /// error rather than a runtime `expect` (the old lookup was the last
+    /// panic path a malformed case could reach inside a resident server).
+    pub fn index(&self) -> usize {
+        match self {
+            Phase::DataInput => 0,
+            Phase::DataPreprocessing => 1,
+            Phase::MatrixGeneration => 2,
+            Phase::LinearSystemSolving => 3,
+            Phase::ResultsStorage => 4,
+        }
+    }
+
     /// The paper's row label in Table 6.1.
     pub fn label(&self) -> &'static str {
         match self {
@@ -74,11 +88,7 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Seconds of one phase.
     pub fn of(&self, phase: Phase) -> f64 {
-        let idx = Phase::all()
-            .iter()
-            .position(|p| *p == phase)
-            .expect("known");
-        self.seconds[idx]
+        self.seconds[phase.index()]
     }
 
     /// Total pipeline seconds.
@@ -108,6 +118,11 @@ impl PhaseTimes {
 /// typed errors, forwarded with context.
 #[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
+    /// The case parsed but does not describe a solvable model (an empty
+    /// discretization, or electrodes forming disconnected islands). These
+    /// used to trip `GroundingSystem::new`'s assertions — fatal in a
+    /// resident server — and are now checked first.
+    Model(String),
     /// Assembly/factorization failed (ill-posed system).
     Prepare(PrepareError),
     /// A scenario could not be answered.
@@ -117,6 +132,7 @@ pub enum PipelineError {
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PipelineError::Model(why) => write!(f, "case describes no solvable model: {why}"),
             PipelineError::Prepare(e) => write!(f, "pipeline preparation failed: {e}"),
             PipelineError::Solve(e) => write!(f, "pipeline scenario solve failed: {e}"),
         }
@@ -135,6 +151,26 @@ impl From<SolveError> for PipelineError {
     fn from(e: SolveError) -> Self {
         PipelineError::Solve(e)
     }
+}
+
+/// Checks that a discretized mesh describes one solvable electrode — the
+/// guard both the pipeline and the resident server run *before*
+/// [`GroundingSystem::new`], whose assertions would otherwise abort the
+/// process on a degenerate or disconnected case.
+pub fn check_model(mesh: &Mesh) -> Result<(), PipelineError> {
+    if mesh.dof() == 0 {
+        return Err(PipelineError::Model(
+            "discretization produced no degrees of freedom".to_string(),
+        ));
+    }
+    if !mesh.is_connected() {
+        return Err(PipelineError::Model(
+            "electrode network is not connected (grounding grids are one \
+             bonded structure; merge or remove the isolated conductors)"
+                .to_string(),
+        ));
+    }
+    Ok(())
 }
 
 /// Everything the pipeline produces.
@@ -206,9 +242,11 @@ pub fn run_pipeline_with_assembly(
     let mut times = PhaseTimes::default();
     times.seconds[0] = input_seconds;
 
-    // Phase 2: preprocessing (discretization).
+    // Phase 2: preprocessing (discretization), with the model validated
+    // before the system constructor can assert on it.
     let t = Instant::now();
     let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    check_model(&mesh)?;
     let system = GroundingSystem::new(mesh.clone(), &case.soil, opts);
     times.seconds[1] = t.elapsed().as_secs_f64();
 
@@ -405,5 +443,25 @@ grid rect 0 0 20 20 2 2 0.8 0.006
     fn phase_labels_match_paper() {
         assert_eq!(Phase::MatrixGeneration.label(), "Matrix Generation");
         assert_eq!(Phase::all().len(), 5);
+    }
+
+    #[test]
+    fn phase_index_agrees_with_execution_order() {
+        for (i, phase) in Phase::all().iter().enumerate() {
+            assert_eq!(phase.index(), i, "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_electrodes_are_a_typed_model_error() {
+        // Two rods hundreds of meters apart never merge into one mesh
+        // island; this used to abort in GroundingSystem::new's assert.
+        let case = parse_case("rod 0 0 0.5 2 0.01\nrod 900 900 0.5 2 0.01\n").unwrap();
+        let err = run_pipeline(&case, SolveOptions::default(), 0.0).unwrap_err();
+        match &err {
+            PipelineError::Model(why) => assert!(why.contains("connected"), "{why}"),
+            other => panic!("expected Model error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("no solvable model"));
     }
 }

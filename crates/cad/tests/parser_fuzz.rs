@@ -1,0 +1,128 @@
+//! Property fuzz of the deck parser: `parse_case` must classify any
+//! input as `Ok` or a typed `ParseError` — it must never panic, whatever
+//! soup of keywords, numbers, and junk arrives on stdin or over the
+//! serve protocol.
+//!
+//! The shim has no string strategies, so decks are assembled from
+//! generated index vectors over a token pool that mixes every deck
+//! keyword with boundary numbers (`nan`, `1e999`, `-0`, huge counts),
+//! separators, and non-ASCII junk — exactly the inputs that historically
+//! hit `expect`/assert paths in the parser and the mesher behind it.
+
+use proptest::prelude::*;
+
+use layerbem_cad::parse_case;
+
+/// Tokens the fuzzer draws from. Deliberately heavy on deck keywords so
+/// generated lines often get deep into each branch's argument parsing.
+const TOKENS: &[&str] = &[
+    "title",
+    "soil",
+    "uniform",
+    "two-layer",
+    "multi-layer",
+    "gpr",
+    "conductor",
+    "rod",
+    "grid",
+    "rect",
+    "triangle",
+    "formulation",
+    "galerkin",
+    "collocation",
+    "solver",
+    "cg",
+    "cholesky",
+    "lu",
+    "scenario",
+    "fault-current",
+    "max-element-length",
+    "merge-tolerance",
+    "0",
+    "1",
+    "2",
+    "10",
+    "-1",
+    "0.5",
+    "1e3",
+    "-0",
+    "inf",
+    "-inf",
+    "nan",
+    "NaN",
+    "1e999",
+    "-1e999",
+    "1e-999",
+    "9999999999",
+    "1e30",
+    "0.0001",
+    "#",
+    "comment",
+    "µΩ",
+    "ソ",
+    "..",
+    "--",
+    "",
+];
+
+/// Things a "line" can be separated by — includes exotic whitespace the
+/// tokenizer must survive.
+const SEPARATORS: &[&str] = &[" ", "  ", "\t", "\u{a0}", "\u{2003}"];
+
+fn render(line_specs: &[(Vec<usize>, usize)]) -> String {
+    let mut deck = String::new();
+    for (token_idxs, sep_idx) in line_specs {
+        let sep = SEPARATORS[sep_idx % SEPARATORS.len()];
+        let mut first = true;
+        for &t in token_idxs {
+            if !first {
+                deck.push_str(sep);
+            }
+            deck.push_str(TOKENS[t % TOKENS.len()]);
+            first = false;
+        }
+        deck.push('\n');
+    }
+    deck
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary token soup never panics the parser; every outcome is a
+    /// normal `Ok`/`Err` return.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        lines in proptest::collection::vec(
+            (proptest::collection::vec(0usize..64, 0..10), 0usize..8),
+            0..8,
+        ),
+    ) {
+        let deck = render(&lines);
+        // The property IS "this returns": panics would fail the test
+        // through the harness. Touch the result so neither arm is
+        // optimized away.
+        match parse_case(&deck) {
+            Ok(case) => prop_assert!(!case.title.is_empty()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Decks that start from a valid skeleton and get one fuzzed line
+    /// appended also never panic — this biases coverage toward the
+    /// later, stateful parts of parsing (soil chosen, network non-empty).
+    #[test]
+    fn parser_never_panics_on_perturbed_valid_decks(
+        tokens in proptest::collection::vec(0usize..64, 0..10),
+        sep in 0usize..8,
+    ) {
+        let mut deck = String::from(
+            "title fuzz base\nsoil two-layer 0.02 0.01 1.5\nrod 0 0 0.5 2 0.01\n",
+        );
+        deck.push_str(&render(std::slice::from_ref(&(tokens, sep))));
+        match parse_case(&deck) {
+            Ok(case) => prop_assert!(!case.network.is_empty()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}

@@ -916,7 +916,7 @@ fn cluster_members(elems: &[u32], rows: &[usize], map: &ElementRowMap) -> Vec<Ve
 /// exactly: the sum over member pairs `(β ∋ row i, α ∋ col j)` of the
 /// elemental value the sequential assembly would have added to the packed
 /// slot. Sampling whole rows/columns (instead of the per-entry closure the
-/// legacy [`fn@aca`] wrapper uses) is what lets the kernel run batched:
+/// legacy [`aca`](layerbem_numeric::aca()) wrapper uses) is what lets the kernel run batched:
 /// every pair block inside a fill is one [`pair_block_eval`] call, and a
 /// one-entry memo folds the immediately repeated pair of a
 /// two-member row or column into a single kernel evaluation.
@@ -1012,7 +1012,7 @@ impl MatrixSampler for FarSampler<'_> {
 /// into **near** pairs (assembled densely, entry for entry in the
 /// sequential near-pair order, into a [`SparseSym`] whose pattern is
 /// exactly the near scatter targets) and admissible **far** cluster pairs
-/// (each compressed by partially pivoted [`fn@aca`] into a `U·Vᵀ`
+/// (each compressed by partially pivoted [`aca`](layerbem_numeric::aca()) into a `U·Vᵀ`
 /// [`FarBlock`], sampling kernel entries on demand through an oracle that
 /// reproduces the dense pair scatter bit for bit). The result answers
 /// matvecs in `O(nnz + Σ r·(|σ|+|τ|))` instead of `O(N²)` and holds the
@@ -1076,7 +1076,8 @@ pub fn assemble_hierarchical(
                 let (b, a) = (beta as usize, alpha as usize);
                 let nb = map.element_nodes(b);
                 let na = map.element_nodes(a);
-                let (blk, c) = pair_block_eval(&geoms[b], &geoms[a], kernel, &quad, eval, &mut batch);
+                let (blk, c) =
+                    pair_block_eval(&geoms[b], &geoms[a], kernel, &quad, eval, &mut batch);
                 scatter_pair(nb, na, a == b, &blk, &mut |p, q, v| near.add(p, q, v));
                 terms_total += c.terms as u64;
                 lanes_total.0 += c.lane_points;
@@ -1228,6 +1229,7 @@ pub fn assemble_hierarchical(
 /// and the pooled assembler funnel every row through this function, so a
 /// row is the identical scalar sequence no matter which thread — or how
 /// many — computed it.
+#[allow(clippy::too_many_arguments)]
 fn collocation_row(
     mesh: &Mesh,
     geoms: &[ElementGeom],

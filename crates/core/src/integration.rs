@@ -139,7 +139,7 @@ pub fn rod_integrals(x: Point3, a: Point3, b: Point3, len: f64) -> (f64, f64) {
 
 /// Batched [`rod_integrals`]: the primitives `(I₀, I₁)` of **many** field
 /// points against **one** image segment, evaluated in fixed
-/// [`LANES`](layerbem_numeric::LANES)-wide chunks.
+/// [`layerbem_numeric::LANES`]-wide chunks.
 ///
 /// The field points arrive in structure-of-arrays form (`xs`/`ys`/`zs`)
 /// and the primitives land in `i0`/`i1` (all five slices the same
@@ -156,6 +156,7 @@ pub fn rod_integrals(x: Point3, a: Point3, b: Point3, len: f64) -> (f64, f64) {
 /// lane `ln` differs from libm's in the last bits) but are **not** bitwise
 /// equal to it; callers pick one path and stay on it.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn rod_integrals_batch(
     xs: &[f64],
     ys: &[f64],
@@ -183,6 +184,7 @@ pub fn rod_integrals_batch(
 /// per-term loop is free precision-wise and removes the most expensive
 /// scalar ops from the series hot path.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn rod_integrals_batch_dir(
     xs: &[f64],
     ys: &[f64],
@@ -218,10 +220,8 @@ pub fn rod_integrals_batch_dir(
         let m = n - base;
         let (px, py, pz) = pad_chunk(xs, ys, zs, base, m);
         let (r0, r1) = rod_chunk(&px, &py, &pz, a, b, len, t);
-        for l in 0..m {
-            i0[base + l] = r0[l];
-            i1[base + l] = r1[l];
-        }
+        i0[base..base + m].copy_from_slice(&r0[..m]);
+        i1[base..base + m].copy_from_slice(&r1[..m]);
     }
 }
 

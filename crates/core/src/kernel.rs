@@ -309,7 +309,11 @@ impl SoilKernel {
     ///
     /// Values agree with the scalar path to the series tolerance but are
     /// **not** bitwise equal to it (lane `ln`, shared stopping rule).
-    pub fn element_potential_batch(&self, batch: &mut KernelBatch, src: &ElementGeom) -> KernelCost {
+    pub fn element_potential_batch(
+        &self,
+        batch: &mut KernelBatch,
+        src: &ElementGeom,
+    ) -> KernelCost {
         let npts = batch.len();
         batch.vals.clear();
         batch.vals.resize(npts, [0.0f64; 2]);
@@ -325,7 +329,9 @@ impl SoilKernel {
                     prefactor: 1.0 / (PI4 * gamma),
                     family: Family::UpperUpper,
                 };
-                integrate_sub_element_batch(batch, src, 0.0, src.length, &exp, self.opts, &mut cost);
+                integrate_sub_element_batch(
+                    batch, src, 0.0, src.length, &exp, self.opts, &mut cost,
+                );
             }
             Strategy::TwoLayer {
                 gamma1,
@@ -1107,7 +1113,11 @@ mod tests {
         let lo = scalar_terms as f64 * 0.9;
         let hi = scalar_terms as f64 * 1.2;
         let t = cost.terms as f64;
-        assert!(t >= lo && t <= hi, "{} vs scalar {scalar_terms}", cost.terms);
+        assert!(
+            t >= lo && t <= hi,
+            "{} vs scalar {scalar_terms}",
+            cost.terms
+        );
     }
 
     #[test]

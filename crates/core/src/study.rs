@@ -561,6 +561,25 @@ impl Study {
         self.rhs.len()
     }
 
+    /// Bytes this study keeps resident for the lifetime of the handle —
+    /// the currency of a serving cache's eviction policy. Counts the
+    /// retained engine (packed Cholesky triangle `8·N(N+1)/2`, dense LU
+    /// `8·N²` plus its pivot permutation, the packed PCG operator, or the
+    /// hierarchical backend's exact compressed footprint) plus the
+    /// right-hand-side and weight vectors. The per-column instrumentation
+    /// profiles are excluded: they are diagnostics, not factors, and
+    /// scale as O(N) next to the O(N²) engine.
+    pub fn resident_bytes(&self) -> usize {
+        let vectors = 8 * (self.rhs.len() + self.nu.len());
+        let engine = match &self.engine {
+            Engine::Cholesky(f) => 8 * f.packed_l().len(),
+            Engine::Lu(f) => 8 * f.lu_entries().len() + std::mem::size_of_val(f.permutation()),
+            Engine::Pcg(m) => 8 * m.packed().len(),
+            Engine::Hierarchical(hm) => hm.resident_bytes(),
+        };
+        engine + vectors
+    }
+
     /// The solve options the study was prepared with.
     pub fn options(&self) -> &crate::formulation::SolveOptions {
         &self.opts
@@ -787,6 +806,20 @@ impl Study {
         })
     }
 }
+
+/// Compile-time guarantee that prepared studies may be shared across
+/// server threads behind an `Arc`: every engine variant is immutable
+/// after prepare and the only interior mutability is the atomic solve
+/// counter. If a future engine smuggles in a non-`Sync` member (an `Rc`,
+/// a raw pointer, a `RefCell`), this stops compiling — the serving layer
+/// finds out at build time, not as a data race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Study>();
+    assert_send_sync::<Scenario>();
+    assert_send_sync::<PrepareError>();
+    assert_send_sync::<SolveError>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -1092,6 +1125,65 @@ mod tests {
             .expect_err("must reject");
         assert!(matches!(err, PrepareError::UnsupportedBackend(_)));
         assert!(err.to_string().contains("Galerkin"), "{err}");
+    }
+
+    #[test]
+    fn resident_bytes_match_the_engine_formulas() {
+        let n = system(SolverChoice::Cholesky).prepare().expect("prepare");
+        let dof = n.dof();
+        let vectors = 8 * 2 * dof;
+        // Cholesky and PCG both keep one packed triangle.
+        let packed = 8 * dof * (dof + 1) / 2;
+        assert_eq!(n.resident_bytes(), packed + vectors);
+        let pcg = system(SolverChoice::ConjugateGradient)
+            .prepare()
+            .expect("prepare");
+        assert_eq!(pcg.resident_bytes(), packed + vectors);
+        // LU keeps the full dense matrix plus its pivot permutation.
+        let lu = system(SolverChoice::Lu).prepare().expect("prepare");
+        assert_eq!(
+            lu.resident_bytes(),
+            8 * dof * dof + std::mem::size_of::<usize>() * dof + vectors
+        );
+    }
+
+    #[test]
+    fn hierarchical_resident_bytes_are_the_exact_compressed_footprint() {
+        use crate::formulation::OperatorBackend;
+        let mesh = rod_mesh(24);
+        let soil = SoilModel::uniform(0.016);
+        let opts = SolveOptions::default().with_backend(OperatorBackend::Hierarchical {
+            tol: 1e-8,
+            leaf_size: 4,
+        });
+        let study = GroundingSystem::new(mesh, &soil, opts)
+            .prepare()
+            .expect("prepare");
+        let stats = study.profile().compression.expect("compression stats");
+        let vectors = 8 * 2 * study.dof();
+        assert_eq!(study.resident_bytes(), stats.resident_bytes + vectors);
+        assert!(study.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn studies_are_shareable_across_threads() {
+        // The runtime counterpart of the compile-time Send+Sync
+        // assertion: concurrent solves through one Arc'd study agree
+        // bitwise with a serial solve.
+        let study = std::sync::Arc::new(system(SolverChoice::Cholesky).prepare().expect("prepare"));
+        let expected = study.solve(&Scenario::gpr(5_000.0)).expect("solve");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let study = std::sync::Arc::clone(&study);
+                std::thread::spawn(move || study.solve(&Scenario::gpr(5_000.0)).expect("solve"))
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().expect("thread");
+            assert_eq!(got.leakage, expected.leakage);
+            assert_eq!(got.equivalent_resistance, expected.equivalent_resistance);
+        }
+        assert_eq!(study.profile().scenario_solves, 5);
     }
 
     #[test]

@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn lane_bessels_are_bit_identical_to_scalar() {
-        let xs = [0.0, 0.7, 2.9, 3.0, 3.1, 7.5, 19.4, -2.2, -8.8, 41.0, 0.001, 2.999];
+        let xs = [
+            0.0, 0.7, 2.9, 3.0, 3.1, 7.5, 19.4, -2.2, -8.8, 41.0, 0.001, 2.999,
+        ];
         for chunk in xs.chunks(4) {
             let arg = [chunk[0], chunk[1], chunk[2], chunk[3]];
             let b0 = j0x4(arg);

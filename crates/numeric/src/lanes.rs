@@ -178,7 +178,7 @@ fn ln4_irregular(x: [f64; LANES]) -> [f64; LANES] {
 /// Natural logarithm of four lanes at once.
 ///
 /// Argument reduction `x = m·2^e` with `m ∈ [1, 2)`, then a 64-cell
-/// mantissa table ([`LOG_TABLE`]) reduces further: `r = m·(1/cᵢ) − 1` with
+/// mantissa table (`LOG_TABLE`) reduces further: `r = m·(1/cᵢ) − 1` with
 /// `|r| ≤ 1/64`, and `ln x = e·ln2 + ln cᵢ + ln(1+r)` with `ln(1+r)`
 /// a degree-9 polynomial — division-free straight-line float arithmetic
 /// that the autovectorizer turns into packed ops, unlike the scalar
@@ -194,8 +194,8 @@ fn ln4_irregular(x: [f64; LANES]) -> [f64; LANES] {
 #[inline(always)]
 pub fn ln4(x: [f64; LANES]) -> [f64; LANES] {
     let mut all_regular = true;
-    for l in 0..LANES {
-        all_regular &= x[l].to_bits().wrapping_sub(NORMAL_MIN) < NORMAL_SPAN;
+    for v in x {
+        all_regular &= v.to_bits().wrapping_sub(NORMAL_MIN) < NORMAL_SPAN;
     }
     if !all_regular {
         return ln4_irregular(x);

@@ -486,14 +486,14 @@ mod tests {
         let mut chunked = ChunkedKahan::new(3);
         let mut singles = [KahanSum::new(), KahanSum::new(), KahanSum::new()];
         for i in 0..1000 {
-            for l in 0..3 {
+            for (l, single) in singles.iter_mut().enumerate() {
                 let v = ((i * 7 + l * 13) % 29) as f64 * 1e-14 + (l as f64);
                 chunked.add(l, v);
-                singles[l].add(v);
+                single.add(v);
             }
         }
-        for l in 0..3 {
-            assert_eq!(chunked.value(l).to_bits(), singles[l].value().to_bits());
+        for (l, single) in singles.iter().enumerate() {
+            assert_eq!(chunked.value(l).to_bits(), single.value().to_bits());
         }
     }
 

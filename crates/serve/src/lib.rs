@@ -1,0 +1,46 @@
+//! # layerbem-serve
+//!
+//! Grounding-as-a-service: a resident study server over the staged
+//! prepare/solve API. The library crates made one study fast — `prepare`
+//! once at O(N³), answer every scenario at O(N²) — but a one-shot process
+//! still pays the prepare per invocation. This crate keeps the prepared
+//! factors **resident**: a long-lived TCP server speaks newline-delimited
+//! JSON, hashes the canonical form of each request's (geometry + soil +
+//! solver configuration) to a [`key::StudyKey`], and answers
+//! scenario sweeps from a shared [`cache::StudyCache`] of
+//! `Arc<Study>` — single-flight prepares, concurrent readers, LRU
+//! eviction under a resident-bytes budget, and p50/p99 latency metrics
+//! via a `stats` request.
+//!
+//! Module map:
+//!
+//! * [`json`] — a dependency-free JSON parser/writer whose float
+//!   formatting round-trips bit-identically;
+//! * [`protocol`] — the request/response documents;
+//! * [`key`] — canonical FNV-1a study keys (what "the same study" means);
+//! * [`cache`] — the single-flight, LRU-by-resident-bytes study cache;
+//! * [`metrics`] — counters and log₂ latency histograms;
+//! * [`errors`] — typed request errors (`protocol`/`parse`/`model`/
+//!   `prepare`/`solve`/`internal`) — the resident process never panics on
+//!   input;
+//! * [`server`] — the accept loop, connection workers and
+//!   [`server::Service`] request core;
+//! * [`client`] — the blocking client the tests, CI smoke job and
+//!   example use.
+
+pub mod cache;
+pub mod client;
+pub mod errors;
+pub mod json;
+pub mod key;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheOutcome, StudyCache};
+pub use client::{ClientError, ScenarioAnswer, ServeClient, SolveReply};
+pub use errors::{ErrorKind, RequestError};
+pub use json::Json;
+pub use key::StudyKey;
+pub use metrics::Metrics;
+pub use server::{build_study, spawn, ServerConfig, ServerHandle, Service};

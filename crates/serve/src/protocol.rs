@@ -1,0 +1,256 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! → {"op":"ping"}
+//! ← {"ok":true,"op":"ping"}
+//! → {"op":"solve","deck":"rod 0 0 0.5 2 0.01\n","scenarios":[{"kind":"gpr","value":5000}]}
+//! ← {"ok":true,"op":"solve","key":"…16 hex…","cache_hit":false,"dof":4,…,"solutions":[…]}
+//! → {"op":"stats"}
+//! ← {"ok":true,"op":"stats","requests":2,…}
+//! ```
+//!
+//! Failures are `{"ok":false,"error":{"kind":…,"message":…}}` — see
+//! [`RequestError`]. Floating-point payloads are written with Rust's
+//! shortest-round-trip formatting, so a client that parses them back with
+//! `str::parse::<f64>()` recovers **bit-identical** values — the property
+//! the server tests use to check cached responses against a direct
+//! [`Study::solve`](layerbem_core::study::Study::solve).
+
+use layerbem_core::study::Scenario;
+use layerbem_core::system::GroundingSolution;
+
+use crate::errors::RequestError;
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Metrics snapshot.
+    Stats,
+    /// Prepare-or-reuse a study and answer scenarios.
+    Solve {
+        /// The case deck, verbatim (the same text format the CLI reads).
+        deck: String,
+        /// Scenario overrides; `None` answers the deck's own scenarios
+        /// (its `scenario` stanzas, else the implicit `gpr` line).
+        scenarios: Option<Vec<Scenario>>,
+        /// Whether to include the per-element leakage vector in each
+        /// solution (large; off by default).
+        include_leakage: bool,
+    },
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let v = Json::parse(line)?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| RequestError::protocol("request must carry a string 'op' field"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "solve" => {
+            let deck = v
+                .get("deck")
+                .and_then(Json::as_str)
+                .ok_or_else(|| RequestError::protocol("solve expects a string 'deck' field"))?
+                .to_string();
+            let scenarios = match v.get("scenarios") {
+                None | Some(Json::Null) => None,
+                Some(list) => {
+                    let items = list
+                        .as_arr()
+                        .ok_or_else(|| RequestError::protocol("'scenarios' must be an array"))?;
+                    if items.is_empty() {
+                        return Err(RequestError::protocol(
+                            "'scenarios' must not be empty (omit it to use the deck's)",
+                        ));
+                    }
+                    Some(
+                        items
+                            .iter()
+                            .map(scenario_from_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+            };
+            let include_leakage = match v.get("include_leakage") {
+                None | Some(Json::Null) => false,
+                Some(flag) => flag
+                    .as_bool()
+                    .ok_or_else(|| RequestError::protocol("'include_leakage' must be a boolean"))?,
+            };
+            Ok(Request::Solve {
+                deck,
+                scenarios,
+                include_leakage,
+            })
+        }
+        other => Err(RequestError::protocol(format!("unknown op '{other}'"))),
+    }
+}
+
+/// Parses `{"kind":"gpr"|"fault-current","value":N}`. The drive's
+/// *finiteness* is deliberately not checked here: it flows into
+/// [`Study::solve`](layerbem_core::study::Study::solve)'s own validation
+/// so NaN/∞ drives surface as typed `solve` errors, exercising the same
+/// boundary every caller goes through.
+fn scenario_from_json(v: &Json) -> Result<Scenario, RequestError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| RequestError::protocol("scenario expects a string 'kind'"))?;
+    let value = v
+        .get("value")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| RequestError::protocol("scenario expects a numeric 'value'"))?;
+    match kind {
+        "gpr" => Ok(Scenario::gpr(value)),
+        "fault-current" => Ok(Scenario::fault_current(value)),
+        other => Err(RequestError::protocol(format!(
+            "scenario kind must be gpr|fault-current, got '{other}'"
+        ))),
+    }
+}
+
+/// The `{"kind":…,"value":…}` form of a scenario.
+pub fn scenario_json(s: &Scenario) -> Json {
+    let kind = match s {
+        Scenario::Gpr { .. } => "gpr",
+        Scenario::FaultCurrent { .. } => "fault-current",
+    };
+    Json::obj(vec![
+        ("kind", Json::str(kind)),
+        ("value", Json::Num(s.drive())),
+    ])
+}
+
+/// One solution object of a solve response.
+pub fn solution_json(sol: &GroundingSolution, include_leakage: bool) -> Json {
+    let mut pairs = vec![
+        ("scenario", scenario_json(&sol.scenario)),
+        ("gpr", Json::Num(sol.gpr)),
+        ("total_current", Json::Num(sol.total_current)),
+        (
+            "equivalent_resistance",
+            Json::Num(sol.equivalent_resistance),
+        ),
+        ("solver_iterations", Json::Num(sol.solver_iterations as f64)),
+    ];
+    if include_leakage {
+        pairs.push((
+            "leakage",
+            Json::Arr(sol.leakage.iter().map(|q| Json::Num(*q)).collect()),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::ErrorKind;
+
+    #[test]
+    fn ping_stats_and_solve_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        let r = parse_request(
+            r#"{"op":"solve","deck":"rod 0 0 0.5 2 0.01\n","scenarios":[{"kind":"gpr","value":5000},{"kind":"fault-current","value":25000}],"include_leakage":true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Solve {
+                deck: "rod 0 0 0.5 2 0.01\n".into(),
+                scenarios: Some(vec![
+                    Scenario::gpr(5_000.0),
+                    Scenario::fault_current(25_000.0)
+                ]),
+                include_leakage: true,
+            }
+        );
+    }
+
+    #[test]
+    fn omitted_scenarios_defer_to_the_deck() {
+        let r = parse_request(r#"{"op":"solve","deck":"gpr 10\n"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Solve {
+                deck: "gpr 10\n".into(),
+                scenarios: None,
+                include_leakage: false,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "not json",
+            r#"{"deck":"x"}"#,
+            r#"{"op":"reboot"}"#,
+            r#"{"op":"solve"}"#,
+            r#"{"op":"solve","deck":7}"#,
+            r#"{"op":"solve","deck":"x","scenarios":"gpr"}"#,
+            r#"{"op":"solve","deck":"x","scenarios":[]}"#,
+            r#"{"op":"solve","deck":"x","scenarios":[{"kind":"volts","value":1}]}"#,
+            r#"{"op":"solve","deck":"x","scenarios":[{"kind":"gpr"}]}"#,
+            r#"{"op":"solve","deck":"x","include_leakage":"yes"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Protocol, "{bad}");
+        }
+    }
+
+    #[test]
+    fn non_finite_drives_parse_and_defer_to_solve_validation() {
+        // 1e999 overflows to +inf in the lenient number scan; the
+        // scenario must survive parsing so the SOLVE boundary rejects it.
+        let r = parse_request(
+            r#"{"op":"solve","deck":"rod 0 0 0.5 2 0.01\n","scenarios":[{"kind":"gpr","value":1e999}]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Solve { scenarios, .. } => {
+                assert_eq!(scenarios.unwrap()[0].drive(), f64::INFINITY);
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenario_json_round_trips() {
+        for s in [Scenario::gpr(5_000.5), Scenario::fault_current(0.1 + 0.2)] {
+            let line = scenario_json(&s).to_line();
+            let v = Json::parse(&line).unwrap();
+            let back = scenario_from_json(&v).unwrap();
+            assert_eq!(back.drive().to_bits(), s.drive().to_bits());
+        }
+    }
+
+    #[test]
+    fn solution_json_includes_leakage_only_on_request() {
+        let sol = GroundingSolution {
+            leakage: vec![0.25, 0.5],
+            gpr: 5_000.0,
+            total_current: 1_234.5,
+            equivalent_resistance: 4.05,
+            solver_iterations: 7,
+            scenario: Scenario::gpr(5_000.0),
+        };
+        let lean = solution_json(&sol, false);
+        assert!(lean.get("leakage").is_none());
+        assert_eq!(lean.get("gpr").and_then(Json::as_f64), Some(5_000.0));
+        let fat = solution_json(&sol, true);
+        let leak = fat.get("leakage").and_then(Json::as_arr).unwrap();
+        assert_eq!(leak.len(), 2);
+        assert_eq!(leak[1].as_f64(), Some(0.5));
+    }
+}

@@ -1,0 +1,567 @@
+//! The resident TCP server: accept loop, connection workers, and the
+//! request handler shared by both (and by the fuzz tests, which drive
+//! [`Service::handle_line`] directly — no socket required).
+//!
+//! Threading model: one accept thread pushes connections into an mpsc
+//! queue drained by a fixed pool of connection workers (one connection
+//! per worker at a time; scenario answers within a request may still use
+//! the solver's own pool via [`SolveOptions::parallelism`]). All workers
+//! share one [`Service`] — the study cache, metrics registry and solve
+//! options — through an `Arc`, which is sound because
+//! [`layerbem_core::study::Study`] is `Send + Sync` and its
+//! factors are immutable after prepare.
+//!
+//! Robustness invariants, each pinned by a test:
+//!
+//! * a request line is capped at 16 MiB — oversized lines get a typed
+//!   protocol error, not unbounded buffering;
+//! * every request is answered under `catch_unwind`: a panic anywhere in
+//!   parse/prepare/solve becomes an `internal` error line and the worker
+//!   lives on;
+//! * malformed JSON, bad decks, disconnected electrodes, singular
+//!   systems and non-finite drives all map to typed error kinds (see
+//!   [`crate::errors::ErrorKind`]).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use layerbem_cad::pipeline::check_model;
+use layerbem_cad::{parse_case, CadCase};
+use layerbem_core::formulation::SolveOptions;
+use layerbem_core::study::Study;
+use layerbem_core::system::GroundingSystem;
+use layerbem_geometry::Mesher;
+
+use crate::cache::{CacheOutcome, StudyCache};
+use crate::errors::{ErrorKind, RequestError};
+use crate::json::Json;
+use crate::key::StudyKey;
+use crate::metrics::Metrics;
+use crate::protocol::{parse_request, solution_json, Request};
+
+/// Hard cap on one request line (a deck embedded in JSON): 16 MiB.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Read-poll interval: how often an idle connection checks for shutdown.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub listen: String,
+    /// Study-cache residency budget in bytes (0 = unlimited).
+    pub max_resident_bytes: usize,
+    /// Connection worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Solve options used for every study (deck `formulation`/`solver`
+    /// keywords override their two fields, exactly like the CLI).
+    pub solve: SolveOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_resident_bytes: 0,
+            workers: 2,
+            solve: SolveOptions::default(),
+        }
+    }
+}
+
+/// The request-handling core shared by every worker (and usable without
+/// any socket — the fuzz suite feeds lines straight in).
+pub struct Service {
+    cache: StudyCache,
+    metrics: Metrics,
+    solve: SolveOptions,
+}
+
+impl Service {
+    /// A service answering with `solve` options under a residency budget.
+    pub fn new(max_resident_bytes: usize, solve: SolveOptions) -> Self {
+        Service {
+            cache: StudyCache::new(max_resident_bytes),
+            metrics: Metrics::default(),
+            solve,
+        }
+    }
+
+    /// The shared study cache.
+    pub fn cache(&self) -> &StudyCache {
+        &self.cache
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Answers one request line with one response line (no trailing
+    /// newline). **Never panics**: any panic in the handler is caught and
+    /// reported as an `internal` error response.
+    pub fn handle_line(&self, line: &str) -> String {
+        Metrics::bump(&self.metrics.requests);
+        let reply = match catch_unwind(AssertUnwindSafe(|| self.answer(line))) {
+            Ok(Ok(reply)) => reply,
+            Ok(Err(e)) => {
+                Metrics::bump(&self.metrics.errors);
+                e.to_json()
+            }
+            Err(_) => {
+                Metrics::bump(&self.metrics.errors);
+                RequestError::new(ErrorKind::Internal, "request handler panicked").to_json()
+            }
+        };
+        reply.to_line()
+    }
+
+    fn answer(&self, line: &str) -> Result<Json, RequestError> {
+        match parse_request(line)? {
+            Request::Ping => Ok(ok_obj("ping", Json::Obj(Vec::new()))),
+            Request::Stats => {
+                let (studies, bytes, _) = self.cache.residency();
+                Ok(ok_obj(
+                    "stats",
+                    self.metrics
+                        .to_json(studies, bytes, self.cache.max_resident_bytes()),
+                ))
+            }
+            Request::Solve {
+                deck,
+                scenarios,
+                include_leakage,
+            } => self.solve(&deck, scenarios, include_leakage),
+        }
+    }
+
+    fn solve(
+        &self,
+        deck: &str,
+        scenarios: Option<Vec<layerbem_core::study::Scenario>>,
+        include_leakage: bool,
+    ) -> Result<Json, RequestError> {
+        let case = parse_case(deck)?;
+        let opts = SolveOptions {
+            formulation: case.formulation,
+            solver: case.solver,
+            ..self.solve
+        };
+        let key = StudyKey::of(&case, &self.solve);
+
+        let t = Instant::now();
+        let (study, outcome) = self
+            .cache
+            .get_or_prepare(key, || build_study(&case, opts))?;
+        let prepare_seconds = t.elapsed();
+        match outcome {
+            CacheOutcome::Miss => {
+                Metrics::bump(&self.metrics.cache_misses);
+                self.metrics.prepare.record(prepare_seconds);
+            }
+            CacheOutcome::Hit => Metrics::bump(&self.metrics.cache_hits),
+        }
+        // Evictions are owned by the cache; mirror its counter into the
+        // metrics registry so `stats` tells one story.
+        let (_, _, evictions) = self.cache.residency();
+        self.metrics
+            .evictions
+            .store(evictions, std::sync::atomic::Ordering::Relaxed);
+
+        let scenarios = scenarios.unwrap_or_else(|| case.effective_scenarios());
+        let t = Instant::now();
+        let solutions = study.solve_batch(&scenarios)?;
+        let solve_seconds = t.elapsed();
+        self.metrics.solve.record(solve_seconds);
+
+        Ok(ok_obj(
+            "solve",
+            Json::obj(vec![
+                ("key", Json::str(key.to_string())),
+                ("cache_hit", Json::Bool(outcome == CacheOutcome::Hit)),
+                ("dof", Json::Num(study.dof() as f64)),
+                ("prepare_seconds", Json::Num(prepare_seconds.as_secs_f64())),
+                ("solve_seconds", Json::Num(solve_seconds.as_secs_f64())),
+                (
+                    "solutions",
+                    Json::Arr(
+                        solutions
+                            .iter()
+                            .map(|s| solution_json(s, include_leakage))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ))
+    }
+}
+
+/// Meshes and prepares a parsed case — the cache's build closure. The
+/// model checks run *before* [`GroundingSystem::new`] so an empty or
+/// disconnected discretization surfaces as a typed `model` error instead
+/// of tripping the constructor's assertions.
+pub fn build_study(case: &CadCase, opts: SolveOptions) -> Result<Study, RequestError> {
+    let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
+    check_model(&mesh)?;
+    Ok(GroundingSystem::new(mesh, &case.soil, opts).prepare()?)
+}
+
+/// `{"ok":true,"op":…, …body fields…}`.
+fn ok_obj(op: &str, body: Json) -> Json {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::str(op)),
+    ];
+    if let Json::Obj(rest) = body {
+        pairs.extend(rest);
+    }
+    Json::Obj(pairs)
+}
+
+/// A running server: join handles plus the shared service.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when the config said 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (test hook: inspect cache/metrics in-process).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server stops (the binary's foreground mode; only
+    /// a signal or process kill ends it).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and worker pool, and returns the handle.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Service::new(config.max_resident_bytes, config.solve));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || loop {
+                let next = rx.lock().expect("worker queue lock").recv();
+                match next {
+                    Ok(stream) => serve_connection(&service, stream, &shutdown),
+                    // Sender dropped: the accept loop is gone, we drain out.
+                    Err(_) => return,
+                }
+            })
+        })
+        .collect();
+
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = incoming {
+                    // A send only fails when the workers are gone, which
+                    // only happens at shutdown.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping `tx` here wakes every idle worker to exit.
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        shutdown,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete `\n`-terminated line is in the buffer (without the
+    /// terminator).
+    Line,
+    /// The peer closed the connection.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    TooLong,
+}
+
+/// Reads one newline-terminated line into `buf`, capped at `max` bytes.
+/// On timeout the partial line stays in `buf` and the caller retries.
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let (done, used) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                // EOF; an unterminated trailing fragment is dropped (the
+                // protocol requires newline-terminated requests).
+                return Ok(LineRead::Eof);
+            }
+            match available.iter().position(|b| *b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    (true, i + 1)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+        if done {
+            return Ok(LineRead::Line);
+        }
+    }
+}
+
+/// Serves one connection: request line in, response line out, until EOF,
+/// an I/O error, an oversized line, or server shutdown.
+fn serve_connection(service: &Service, stream: TcpStream, shutdown: &AtomicBool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = read_half.set_read_timeout(Some(READ_POLL));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_line_limited(&mut reader, &mut buf, MAX_LINE_BYTES) {
+            Ok(LineRead::Eof) => return,
+            Ok(LineRead::TooLong) => {
+                let e =
+                    RequestError::protocol(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                let _ = writeln!(writer, "{}", e.to_json().to_line());
+                let _ = writer.flush();
+                return;
+            }
+            Ok(LineRead::Line) => {
+                let line = String::from_utf8_lossy(&buf);
+                let reply = service.handle_line(line.trim_end_matches('\r'));
+                buf.clear();
+                if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll: keep any partial line and re-check shutdown.
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::ErrorKind;
+
+    const ROD_DECK: &str = "rod 0 0 0.5 2 0.01\n";
+
+    fn service() -> Service {
+        Service::new(0, SolveOptions::default())
+    }
+
+    fn solve_line(deck: &str) -> String {
+        Json::obj(vec![("op", Json::str("solve")), ("deck", Json::str(deck))]).to_line()
+    }
+
+    #[test]
+    fn ping_answers_ok() {
+        let s = service();
+        let v = Json::parse(&s.handle_line(r#"{"op":"ping"}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("ping"));
+    }
+
+    #[test]
+    fn solve_misses_then_hits_and_stats_reflect_it() {
+        let s = service();
+        let first = Json::parse(&s.handle_line(&solve_line(ROD_DECK))).unwrap();
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(first.get("cache_hit").and_then(Json::as_bool), Some(false));
+        let second = Json::parse(&s.handle_line(&solve_line(ROD_DECK))).unwrap();
+        assert_eq!(second.get("cache_hit").and_then(Json::as_bool), Some(true));
+        // Identical payloads modulo the hit flag and timings.
+        assert_eq!(
+            first.get("solutions").unwrap().to_line(),
+            second.get("solutions").unwrap().to_line()
+        );
+        let stats = Json::parse(&s.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            cache.get("resident_studies").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(cache.get("resident_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(stats.get("requests").and_then(Json::as_f64), Some(3.0));
+    }
+
+    fn error_kind(reply: &str) -> String {
+        let v = Json::parse(reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{reply}");
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn every_failure_mode_maps_to_its_typed_kind() {
+        let s = service();
+        // Protocol: not JSON at all.
+        assert_eq!(error_kind(&s.handle_line("garbage")), "protocol");
+        // Parse: bad deck keyword.
+        assert_eq!(
+            error_kind(&s.handle_line(&solve_line("bogus 1\n"))),
+            "parse"
+        );
+        // Model: two disconnected electrodes.
+        let disconnected = "rod 0 0 0.5 2 0.01\nrod 500 500 0.5 2 0.01\n";
+        assert_eq!(
+            error_kind(&s.handle_line(&solve_line(disconnected))),
+            "model"
+        );
+        // Solve: a non-finite drive smuggled through the protocol.
+        let line = r#"{"op":"solve","deck":"rod 0 0 0.5 2 0.01\n","scenarios":[{"kind":"gpr","value":1e999}]}"#;
+        assert_eq!(error_kind(&s.handle_line(line)), "solve");
+        // The service survived all of it.
+        let v = Json::parse(&s.handle_line(r#"{"op":"ping"}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            s.metrics().errors.load(Ordering::Relaxed),
+            4,
+            "each failure counted"
+        );
+    }
+
+    #[test]
+    fn request_scenarios_override_the_decks() {
+        let s = service();
+        let line = r#"{"op":"solve","deck":"gpr 8000\nrod 0 0 0.5 2 0.01\n","scenarios":[{"kind":"gpr","value":100},{"kind":"fault-current","value":50}]}"#;
+        let v = Json::parse(&s.handle_line(line)).unwrap();
+        let sols = v.get("solutions").and_then(Json::as_arr).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols[0].get("gpr").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(
+            sols[1].get("total_current").and_then(Json::as_f64),
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn leakage_is_opt_in() {
+        let s = service();
+        let lean = Json::parse(&s.handle_line(&solve_line(ROD_DECK))).unwrap();
+        let sol = &lean.get("solutions").and_then(Json::as_arr).unwrap()[0];
+        assert!(sol.get("leakage").is_none());
+        let line = r#"{"op":"solve","deck":"rod 0 0 0.5 2 0.01\n","include_leakage":true}"#;
+        let fat = Json::parse(&s.handle_line(line)).unwrap();
+        let sol = &fat.get("solutions").and_then(Json::as_arr).unwrap()[0];
+        let dof = fat.get("dof").and_then(Json::as_f64).unwrap() as usize;
+        assert_eq!(
+            sol.get("leakage").and_then(Json::as_arr).unwrap().len(),
+            dof
+        );
+    }
+
+    #[test]
+    fn deck_solver_keyword_changes_the_study_key() {
+        let s = service();
+        let a = Json::parse(&s.handle_line(&solve_line(ROD_DECK))).unwrap();
+        let b = Json::parse(&s.handle_line(&solve_line("solver cholesky\nrod 0 0 0.5 2 0.01\n")))
+            .unwrap();
+        assert_ne!(
+            a.get("key").and_then(Json::as_str),
+            b.get("key").and_then(Json::as_str)
+        );
+        assert_eq!(b.get("cache_hit").and_then(Json::as_bool), Some(false));
+        assert_eq!(s.cache().residency().0, 2);
+    }
+
+    #[test]
+    fn build_study_rejects_bad_models_as_typed_errors() {
+        let case = parse_case("rod 0 0 0.5 2 0.01\nrod 900 900 0.5 2 0.01\n").unwrap();
+        let e = build_study(&case, SolveOptions::default()).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Model);
+        assert!(e.message.contains("connected"), "{}", e.message);
+    }
+}

@@ -1,0 +1,66 @@
+//! End-to-end smoke of the `layerbem-serve` binary: launch the real
+//! executable on a kernel-assigned port, read the readiness line from
+//! its stdout, run a ping/solve/stats round-trip with the client, and
+//! shut it down. This is the same choreography the CI serve-smoke job
+//! performs over the release binary.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use layerbem_serve::{Json, ServeClient};
+
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn binary_serves_on_a_kernel_assigned_port() {
+    let mut child = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_layerbem-serve"))
+            .args(["--listen", "127.0.0.1:0", "--max-resident-bytes", "64m"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("launch layerbem-serve"),
+    );
+
+    // The binary prints one readiness line with the bound address before
+    // it starts joining the accept loop.
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("readiness line");
+    let addr = line
+        .trim()
+        .strip_prefix("layerbem-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+        .to_string();
+
+    let mut client = ServeClient::connect(addr.as_str()).expect("connect to binary");
+    client.ping().expect("ping");
+
+    let deck = "soil uniform 0.016\nrod 0 0 0.5 3 0.01\nsolver cholesky\n";
+    let cold = client.solve(deck, None, false).expect("cold solve");
+    assert!(!cold.cache_hit);
+    let warm = client.solve(deck, None, false).expect("warm solve");
+    assert!(warm.cache_hit);
+    assert_eq!(
+        cold.solutions[0].gpr.to_bits(),
+        warm.solutions[0].gpr.to_bits()
+    );
+
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(
+        cache.get("max_resident_bytes").and_then(Json::as_f64),
+        Some((64u64 << 20) as f64)
+    );
+}

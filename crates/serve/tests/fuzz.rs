@@ -1,0 +1,103 @@
+//! Property fuzz of the request path: whatever bytes arrive as a line,
+//! [`Service::handle_line`] must return exactly one line of valid JSON
+//! with an `ok` field — never panic, never an empty or multi-line reply.
+//! This is the in-process equivalent of pointing a garbage generator at
+//! the TCP port, minus the socket overhead.
+
+use proptest::prelude::*;
+
+use layerbem_core::SolveOptions;
+use layerbem_serve::{Json, Service};
+
+/// JSON-ish fragments: structural characters, valid protocol nouns,
+/// boundary numbers, and junk. Adjacent fragments concatenate with no
+/// separator so the soup freely forms both valid and invalid JSON.
+const FRAGMENTS: &[&str] = &[
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ",",
+    "\"",
+    "\"op\"",
+    "\"ping\"",
+    "\"stats\"",
+    "\"solve\"",
+    "\"deck\"",
+    "\"scenarios\"",
+    "\"kind\"",
+    "\"gpr\"",
+    "\"fault-current\"",
+    "\"value\"",
+    "\"include_leakage\"",
+    "\"rod 0 0 0.5 2 0.01\\n\"",
+    "\"soil uniform nan\\n\"",
+    "null",
+    "true",
+    "false",
+    "0",
+    "1",
+    "-1",
+    "1e999",
+    "-1e999",
+    "nan",
+    "1e",
+    "0.5",
+    "\\u0020",
+    "\\uD800",
+    "{}",
+    "[]",
+    "é",
+    "\u{7f}",
+    " ",
+];
+
+fn render(idxs: &[usize]) -> String {
+    idxs.iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+fn assert_one_json_line(service: &Service, line: &str) {
+    let reply = service.handle_line(line);
+    assert!(!reply.contains('\n'), "reply must be a single line");
+    let v = Json::parse(&reply).expect("reply must be valid JSON");
+    assert!(
+        v.get("ok").and_then(Json::as_bool).is_some(),
+        "reply must carry an ok flag"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 768, ..ProptestConfig::default() })]
+
+    /// Raw fragment soup: the request handler answers every line with one
+    /// well-formed JSON reply.
+    #[test]
+    fn handle_line_always_answers_one_json_line(
+        idxs in proptest::collection::vec(0usize..64, 0..24),
+    ) {
+        let service = Service::new(0, SolveOptions::default());
+        assert_one_json_line(&service, &render(&idxs));
+    }
+
+    /// Structurally valid solve requests with a fuzzed deck payload: the
+    /// deck text flows through the real parser and model checks, and
+    /// every failure comes back as a typed error object, not a panic.
+    #[test]
+    fn fuzzed_decks_inside_valid_requests_get_typed_replies(
+        idxs in proptest::collection::vec(0usize..64, 0..12),
+    ) {
+        let service = Service::new(0, SolveOptions::default());
+        // Escape the soup so the request itself is valid JSON; the deck
+        // content stays adversarial.
+        let deck = render(&idxs)
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\u{7f}', "")
+            .replace('\n', "\\n");
+        let line = format!("{{\"op\":\"solve\",\"deck\":\"{deck}\"}}");
+        assert_one_json_line(&service, &line);
+    }
+}

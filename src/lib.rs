@@ -74,6 +74,7 @@
 //! | [`soil`] | uniform / two-layer / N-layer Green's functions |
 //! | [`core`] | image-segment BEM integration, Galerkin assembly (sequential + parallel), solver driver, post-processing, IEEE 80 |
 //! | [`cad`] | case-deck parser, five-phase timed pipeline, reports |
+//! | [`serve`] | resident study server: newline-JSON protocol, keyed factorization cache, metrics |
 
 pub use layerbem_cad as cad;
 // Deliberate name reuse: this re-export is only ever reachable as
@@ -85,6 +86,7 @@ pub use layerbem_core as core;
 pub use layerbem_geometry as geometry;
 pub use layerbem_numeric as numeric;
 pub use layerbem_parfor as parfor;
+pub use layerbem_serve as serve;
 pub use layerbem_soil as soil;
 
 /// One-stop imports for typical library use.
