@@ -53,10 +53,21 @@
 //! a resident factorization turns every further scenario request into
 //! O(N²) work.
 //!
+//! **Gate 6 — cold vs cached Monte-Carlo soil sweep:** draws a seeded
+//! 32-sample soil sweep around the refined Barberá soil, answers it
+//! twice through the serve study cache — once cold (every sampled soil
+//! hashes to its own key: 32 misses, 32 prepares) and once with the
+//! same seed (32 hits, back-substitution only) — verifies the cached
+//! pass is bit-identical to the cold one, and **exits nonzero** unless
+//! it is at least `--sweep-cache-speedup` (default 2×) faster. This
+//! pins the workload story: a served uncertainty sweep re-run under a
+//! fixed seed costs back-substitutions, not factorizations.
+//!
 //! ```text
 //! bench_gate [--grid tiny|barbera|balaidos] [--reps N]
 //!            [--tolerance F] [--sweep-speedup F] [--kernel-speedup F]
-//!            [--cache-speedup F] [--json NAME.json]
+//!            [--cache-speedup F] [--sweep-cache-speedup F]
+//!            [--json NAME.json]
 //! ```
 //!
 //! Thread count follows the environment pool (`LAYERBEM_THREADS`, which
@@ -81,6 +92,7 @@ use layerbem_core::formulation::{
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
+use layerbem_core::workload::{sample_soils, Workload};
 use layerbem_geometry::grids::{self, rectangular_grid, RectGridSpec};
 use layerbem_geometry::{Mesh, MeshOptions, Mesher};
 use layerbem_numeric::{pcg_solve, LinearOperator, PcgOptions};
@@ -104,7 +116,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_gate [--grid tiny|barbera|balaidos] [--reps N] \
          [--tolerance F] [--sweep-speedup F] [--kernel-speedup F] \
-         [--cache-speedup F] [--json NAME.json]"
+         [--cache-speedup F] [--sweep-cache-speedup F] [--json NAME.json]"
     );
     std::process::exit(2);
 }
@@ -122,6 +134,9 @@ struct Args {
     /// Minimum speedup gate 5 demands of a cached-hit solve over the
     /// cold prepare-and-solve through the serve study cache.
     cache_speedup: f64,
+    /// Minimum speedup gate 6 demands of a re-run seeded soil sweep
+    /// (all cache hits) over its cold first pass (all misses).
+    sweep_cache_speedup: f64,
     json: String,
 }
 
@@ -133,6 +148,7 @@ fn parse_args() -> Args {
         sweep_speedup: 2.0,
         kernel_speedup: 1.5,
         cache_speedup: 5.0,
+        sweep_cache_speedup: 2.0,
         json: "BENCH_pr.json".into(),
     };
     let mut argv = std::env::args().skip(1);
@@ -169,6 +185,13 @@ fn parse_args() -> Args {
             }
             "--cache-speedup" => {
                 args.cache_speedup = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 1.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--sweep-cache-speedup" => {
+                args.sweep_cache_speedup = argv
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&t: &f64| t.is_finite() && t >= 1.0)
@@ -893,6 +916,148 @@ fn main() {
         study.resident_bytes(),
     );
 
+    // ---- Gate 6: cold vs cached Monte-Carlo soil sweep. ----
+    //
+    // The workload story measured end to end: a seeded 32-sample soil
+    // sweep around the refined Barberá soil, answered twice through the
+    // same `StudyCache`. The study key hashes the soil layers, so every
+    // sampled soil owns a distinct key — the first pass is 32 misses (32
+    // prepares), and re-drawing with the same seed reproduces the same
+    // soils bit for bit, so the second pass is 32 hits answering from
+    // resident factors. Reuses gate 5's refined-Barberá network, mesh
+    // options and Cholesky solve options.
+    let wspec = match Workload::soil_sweep(32, 20_260_808, 0.15, vec![Scenario::gpr(5_000.0)])
+        .expect("gate 6 sweep parameters are valid")
+    {
+        Workload::SoilSweep(spec) => spec,
+        other => unreachable!("soil_sweep constructs a SoilSweep workload, got {other:?}"),
+    };
+    let wsoils = sample_soils(&ssoil, &wspec);
+    let wcache = StudyCache::new(0);
+    let wprepare = |soil: &SoilModel| -> Result<_, RequestError> {
+        let mesh = Mesher::new(smesh_opts).mesh(&snetwork);
+        GroundingSystem::new(mesh, soil, sopts)
+            .prepare()
+            .map_err(RequestError::from)
+    };
+
+    // Cold pass: every sampled soil is a fresh key — all misses.
+    let t0 = Instant::now();
+    let mut cold_answers = Vec::with_capacity(wsoils.len());
+    let mut sweep_terms = 0u64;
+    for soil in &wsoils {
+        let key = StudyKey::of_parts(snetwork.conductors(), &smesh_opts, soil, &sbase);
+        let (study, outcome) = wcache
+            .get_or_prepare(key, || wprepare(soil))
+            .expect("sampled soils stay well-posed");
+        assert_eq!(
+            outcome,
+            CacheOutcome::Miss,
+            "{sgrid}: each sampled soil must hash to its own key"
+        );
+        sweep_terms += study.total_terms();
+        cold_answers.push(
+            study
+                .solve_batch(&wspec.scenarios)
+                .expect("sweep scenarios are positive"),
+        );
+    }
+    let sweep_cold = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        wcache.residency().0,
+        wspec.samples,
+        "{sgrid}: the sweep must leave one resident study per sample"
+    );
+
+    // Cached pass: the same seed draws the same soils — all hits, and
+    // the answers must be bit-identical to the cold pass.
+    let t0 = Instant::now();
+    for (soil, want) in sample_soils(&ssoil, &wspec).iter().zip(&cold_answers) {
+        let key = StudyKey::of_parts(snetwork.conductors(), &smesh_opts, soil, &sbase);
+        let (study, outcome) = wcache
+            .get_or_prepare(key, || unreachable!("sweep studies are resident"))
+            .expect("hit never rebuilds");
+        assert_eq!(outcome, CacheOutcome::Hit, "same seed must replay as hits");
+        let sols = study
+            .solve_batch(&wspec.scenarios)
+            .expect("sweep scenarios are positive");
+        for (a, b) in sols.iter().zip(want) {
+            assert_eq!(
+                a.leakage, b.leakage,
+                "{sgrid}: cached sweep differs from the cold pass"
+            );
+            assert_eq!(a.equivalent_resistance, b.equivalent_resistance);
+        }
+    }
+    let sweep_cached = t0.elapsed().as_secs_f64();
+
+    let sweep_cache_ratio = sweep_cold / sweep_cached;
+    let sweep_cache_ok = sweep_cache_ratio >= args.sweep_cache_speedup;
+    if !sweep_cache_ok {
+        failures.push(format!(
+            "cached soil sweep only {sweep_cache_ratio:.2}x faster than cold \
+             ({sweep_cached:.6}s vs {sweep_cold:.6}s; gate requires {:.2}x)",
+            args.sweep_cache_speedup
+        ));
+    }
+    records.push(BenchRecord {
+        grid: sgrid.into(),
+        mode: "sweep_cold".into(),
+        schedule: "Dynamic,1".into(),
+        threads,
+        wall_seconds: sweep_cold,
+        series_terms: sweep_terms,
+        resident_bytes: Some(wcache.residency().1 as u64),
+        kernel_seconds: None,
+        lane_occupancy: None,
+    });
+    records.push(BenchRecord {
+        grid: sgrid.into(),
+        mode: "sweep_cached".into(),
+        schedule: "Dynamic,1".into(),
+        threads,
+        wall_seconds: sweep_cached,
+        series_terms: 0,
+        resident_bytes: Some(wcache.residency().1 as u64),
+        kernel_seconds: None,
+        lane_occupancy: None,
+    });
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["sweep pass", "wall (s)", "speedup", "gate"],
+            &[
+                vec![
+                    "sweep_cold".into(),
+                    format!("{sweep_cold:.6}"),
+                    "1.00x".into(),
+                    "baseline".into(),
+                ],
+                vec![
+                    "sweep_cached".into(),
+                    format!("{sweep_cached:.6}"),
+                    format!("{sweep_cache_ratio:.2}x"),
+                    if sweep_cache_ok {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ],
+            ],
+        )
+    );
+    println!(
+        "{sgrid}, {}-sample seeded soil sweep (seed {}, sigma {}), {threads} \
+         threads; re-run replayed as {} cache hits, verified bit-identical to \
+         the cold pass ({} resident bytes).",
+        wspec.samples,
+        wspec.seed,
+        wspec.sigma,
+        wspec.samples,
+        wcache.residency().1,
+    );
+
     write_bench_json(&args.json, &records);
 
     if !failures.is_empty() {
@@ -906,8 +1071,9 @@ fn main() {
         "bench gates passed: worklist >= scan-path speed, staged sweep >= \
          {:.1}x resolve-each at {threads} threads, the hierarchical \
          operator beats dense on bytes and matvec speed, the batched \
-         kernel phase is >= {:.1}x the scalar oracle at 4 threads, and a \
-         cached-hit solve is >= {:.1}x faster than a cold prepare",
-        args.sweep_speedup, args.kernel_speedup, args.cache_speedup
+         kernel phase is >= {:.1}x the scalar oracle at 4 threads, a \
+         cached-hit solve is >= {:.1}x faster than a cold prepare, and a \
+         re-run seeded soil sweep replays from cache >= {:.1}x faster",
+        args.sweep_speedup, args.kernel_speedup, args.cache_speedup, args.sweep_cache_speedup
     );
 }

@@ -3,11 +3,12 @@
 //! or in parallel mode (in parallel computers)".
 //!
 //! ```text
-//! layerbem-cad CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
+//! layerbem-cad [--deck] CASE.deck [--threads N] [--schedule KIND[,CHUNK]]
 //!              [--assembly direct|direct-scan|outer|inner] [--block N]
 //!              [--operator dense|hmatrix] [--aca-tol T]
 //!              [--kernel scalar|batched]
-//!              [--gpr-sweep LO:HI:N]
+//!              [--gpr-sweep LO:HI:N] [--soil-sweep N:SEED[:SIGMA]]
+//!              [--search-pitch LO:HI:N]
 //!              [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]
 //! ```
 //!
@@ -15,7 +16,15 @@
 //! scenarios to the deck's sweep; together with the deck's own
 //! `scenario` stanzas they are all answered from **one** prepared study
 //! (one assembly, one factorization — the staged `prepare` API), with a
-//! self-describing row per scenario in the report.
+//! self-describing row per scenario in the report. Degenerate specs
+//! (`N = 0`, backwards or non-positive ranges) are typed errors now, not
+//! silently usage-rejected.
+//!
+//! `--soil-sweep N:SEED[:SIGMA]` (sigma defaults to 0.1) and
+//! `--search-pitch LO:HI:N` select the richer workload shapes from the
+//! command line, overriding any `sweep`/`search` stanza in the deck —
+//! the same Monte-Carlo soil sweep and safety-driven pitch search the
+//! deck stanzas describe (see the `layerbem-cad::input` deck grammar).
 //!
 //! `--threads` defaults to the machine's available parallelism (overridable
 //! via the `LAYERBEM_THREADS` environment variable) and drives **both**
@@ -51,14 +60,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use layerbem_cad::input::parse_case;
-use layerbem_cad::pipeline::run_pipeline_with_assembly;
+use layerbem_cad::pipeline::{run_pipeline_with_assembly, PipelineError};
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::{
     KernelEval, OperatorBackend, SolveOptions, DEFAULT_ACA_TOL, DEFAULT_LEAF_SIZE,
 };
 use layerbem_core::post::{MapSpec, PotentialMap};
-use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
+use layerbem_core::workload::Workload;
 use layerbem_parfor::{Schedule, ThreadPool};
 
 /// Which matrix-generation strategy `--assembly` selects.
@@ -92,46 +101,48 @@ struct Args {
     aca_tol: f64,
     /// Kernel evaluation strategy (`--kernel scalar|batched`).
     kernel: KernelEval,
-    /// Additional prescribed-GPR scenarios from `--gpr-sweep LO:HI:N`.
-    gpr_sweep: Vec<Scenario>,
+    /// `--gpr-sweep LO:HI:N` as given; validated by the workload layer so
+    /// degenerate specs become typed errors, not usage aborts.
+    gpr_sweep: Option<(f64, f64, usize)>,
+    /// `--soil-sweep N:SEED[:SIGMA]` — Monte-Carlo workload override.
+    soil_sweep: Option<(usize, u64, f64)>,
+    /// `--search-pitch LO:HI:N` — design-search workload override.
+    search_pitch: Option<(f64, f64, usize)>,
     map: Option<(MapSpec, String)>,
     timing: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: layerbem-cad CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
+        "usage: layerbem-cad [--deck] CASE.deck [--threads N] [--schedule static|static,C|dynamic,C|guided,C]\n\
          \u{20}                [--assembly direct|direct-scan|outer|inner] [--block N]\n\
          \u{20}                [--operator dense|hmatrix] [--aca-tol T] [--kernel scalar|batched]\n\
-         \u{20}                [--gpr-sweep LO:HI:N] [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
+         \u{20}                [--gpr-sweep LO:HI:N] [--soil-sweep N:SEED[:SIGMA]] [--search-pitch LO:HI:N]\n\
+         \u{20}                [--map X0 X1 Y0 Y1 NX NY OUT.csv] [--timing]"
     );
     std::process::exit(2);
 }
 
-/// Parses `LO:HI:N` into `N` linearly spaced prescribed-GPR scenarios.
-fn parse_gpr_sweep(spec: &str) -> Option<Vec<Scenario>> {
+/// Splits `LO:HI:N` into its raw fields. Only the *shape* is parsed here
+/// — the domain (positive, ordered, non-empty) is validated by the
+/// workload constructors so the user sees a typed error naming the
+/// problem instead of the generic usage text.
+fn parse_range3(spec: &str) -> Option<(f64, f64, usize)> {
     let parts: Vec<&str> = spec.split(':').collect();
     let [lo, hi, n] = parts.as_slice() else {
         return None;
     };
-    let lo: f64 = lo.parse().ok()?;
-    let hi: f64 = hi.parse().ok()?;
-    let n: usize = n.parse().ok()?;
-    if !(lo > 0.0 && hi >= lo && lo.is_finite() && hi.is_finite() && n >= 1) {
-        return None;
+    Some((lo.parse().ok()?, hi.parse().ok()?, n.parse().ok()?))
+}
+
+/// Splits `N:SEED[:SIGMA]` for `--soil-sweep` (sigma defaults to 0.1).
+fn parse_soil_sweep(spec: &str) -> Option<(usize, u64, f64)> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        [n, seed] => Some((n.parse().ok()?, seed.parse().ok()?, 0.1)),
+        [n, seed, sigma] => Some((n.parse().ok()?, seed.parse().ok()?, sigma.parse().ok()?)),
+        _ => None,
     }
-    Some(
-        (0..n)
-            .map(|i| {
-                let t = if n == 1 {
-                    0.0
-                } else {
-                    i as f64 / (n - 1) as f64
-                };
-                Scenario::gpr(lo + (hi - lo) * t)
-            })
-            .collect(),
-    )
 }
 
 fn parse_args() -> Args {
@@ -145,11 +156,16 @@ fn parse_args() -> Args {
     let mut hmatrix = false;
     let mut aca_tol = DEFAULT_ACA_TOL;
     let mut kernel = KernelEval::default();
-    let mut gpr_sweep = Vec::new();
+    let mut gpr_sweep = None;
+    let mut soil_sweep = None;
+    let mut search_pitch = None;
     let mut map = None;
     let mut timing = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--deck" => {
+                deck = Some(argv.next().unwrap_or_else(|| usage()));
+            }
             "--threads" => {
                 threads = argv
                     .next()
@@ -202,11 +218,28 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--gpr-sweep" => {
-                gpr_sweep = argv
-                    .next()
-                    .as_deref()
-                    .and_then(parse_gpr_sweep)
-                    .unwrap_or_else(|| usage());
+                gpr_sweep = Some(
+                    argv.next()
+                        .as_deref()
+                        .and_then(parse_range3)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--soil-sweep" => {
+                soil_sweep = Some(
+                    argv.next()
+                        .as_deref()
+                        .and_then(parse_soil_sweep)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--search-pitch" => {
+                search_pitch = Some(
+                    argv.next()
+                        .as_deref()
+                        .and_then(parse_range3)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--map" => {
                 let nums: Vec<String> = (0..6).filter_map(|_| argv.next()).collect();
@@ -244,9 +277,59 @@ fn parse_args() -> Args {
         aca_tol,
         kernel,
         gpr_sweep,
+        soil_sweep,
+        search_pitch,
         map,
         timing,
     }
+}
+
+/// Resolves the CLI workload flags against the deck's parsed workload:
+/// `--gpr-sweep` extends the scenario list, `--soil-sweep` /
+/// `--search-pitch` replace the workload shape. Returns a user-facing
+/// error message on invalid or conflicting requests.
+fn apply_workload_flags(
+    case: &mut layerbem_cad::input::CadCase,
+    args: &Args,
+) -> Result<(), String> {
+    if args.soil_sweep.is_some() && args.search_pitch.is_some() {
+        return Err("--soil-sweep and --search-pitch are mutually exclusive".to_string());
+    }
+    if let Some((lo, hi, n)) = args.gpr_sweep {
+        let extra = match Workload::gpr_sweep(lo, hi, n) {
+            Ok(Workload::Scenarios(s)) => s,
+            Ok(_) => unreachable!("gpr_sweep builds a scenario workload"),
+            Err(e) => return Err(format!("--gpr-sweep: {}", PipelineError::from(e))),
+        };
+        // The CLI sweep extends the deck's own stanzas (and, like any
+        // explicit scenario list, supersedes the deck's implicit `gpr`
+        // line); for a soil-sweep deck it extends the per-sample list.
+        case.scenarios.extend(extra.iter().copied());
+        match &mut case.workload {
+            Workload::Scenarios(list) => list.extend(extra),
+            Workload::SoilSweep(spec) => spec.scenarios.extend(extra),
+            Workload::DesignSearch(_) => {
+                return Err("--gpr-sweep cannot extend a design search".to_string())
+            }
+        }
+    }
+    if let Some((samples, seed, sigma)) = args.soil_sweep {
+        let scenarios = match &case.workload {
+            Workload::Scenarios(list) => list.clone(),
+            Workload::SoilSweep(spec) => spec.scenarios.clone(),
+            Workload::DesignSearch(_) => {
+                return Err("--soil-sweep cannot override a design-search deck".to_string())
+            }
+        };
+        case.workload = Workload::soil_sweep(samples, seed, sigma, scenarios)
+            .map_err(|e| format!("--soil-sweep: {}", PipelineError::from(e)))?;
+    }
+    if let Some((lo, hi, n)) = args.search_pitch {
+        case.workload = case
+            .design_search(lo, hi, n)
+            .map_err(|m| format!("--search-pitch: {m}"))?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -266,9 +349,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // CLI sweep scenarios extend the deck's own stanzas (and, like any
-    // explicit scenario list, supersede the deck's implicit `gpr` line).
-    case.scenarios.extend(args.gpr_sweep.iter().copied());
+    if let Err(msg) = apply_workload_flags(&mut case, &args) {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
     let input_seconds = t0.elapsed().as_secs_f64();
 
     let pool = ThreadPool::new(args.threads);
@@ -356,6 +440,14 @@ fn main() -> ExitCode {
     }
 
     if let Some((spec, out)) = args.map {
+        // The surface map belongs to one field solution over the deck's
+        // own soil model; sweep samples and search candidates answer
+        // perturbed soils / re-derived layouts, so a map would silently
+        // mix models.
+        if !matches!(case.workload, Workload::Scenarios(_)) {
+            eprintln!("error: --map requires a scenario workload (not a sweep or search)");
+            return ExitCode::FAILURE;
+        }
         let system = GroundingSystem::new(result.mesh.clone(), &case.soil, opts);
         let map = PotentialMap::compute(
             &result.mesh,

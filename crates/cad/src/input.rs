@@ -22,9 +22,30 @@
 //! more `scenario` stanzas are present the pipeline answers all of them
 //! from a single prepared study (one assembly, one factorization);
 //! without any, the deck's `gpr` line is the single implicit scenario.
+//!
+//! ## Workload stanzas
+//!
+//! Beyond plain scenario lists, a deck may ask for one (not both) of the
+//! richer workload shapes:
+//!
+//! ```text
+//! sweep soil-samples 32 seed 7 sigma 0.15   # Monte-Carlo soil sweep
+//! search pitch 4:10:4                       # grid-pitch design search
+//! ```
+//!
+//! `sweep` answers the deck's scenarios for `N` log-normally perturbed
+//! copies of the soil model, drawn from a seeded RNG (`sigma` defaults
+//! to 0.1); `search` re-derives the deck's `grid rect` layout at each
+//! candidate pitch `LO:HI:N` and scores it against IEEE 80 touch/step
+//! limits, using the deck's `scenario fault-current` values (default
+//! 25 kA). The parsed shape lands in [`CadCase::workload`]; the old
+//! [`CadCase::scenarios`] field and [`CadCase::effective_scenarios`]
+//! remain as thin views of the `Scenarios` shape.
 
 use layerbem_core::formulation::{Formulation, SolverChoice};
+use layerbem_core::safety::{BodyWeight, ConductorMaterial, SafetyCriteria};
 use layerbem_core::study::Scenario;
+use layerbem_core::workload::Workload;
 use layerbem_geometry::conductor::ground_rod;
 use layerbem_geometry::grids::{rectangular_grid, triangle_grid, RectGridSpec, TriangleGridSpec};
 use layerbem_geometry::{Conductor, ConductorNetwork, MeshOptions, Point3};
@@ -49,19 +70,71 @@ pub struct CadCase {
     pub solver: SolverChoice,
     /// Explicit sweep scenarios from `scenario` stanzas (may be empty:
     /// the `gpr` line is then the single implicit scenario).
+    ///
+    /// Deprecated: this is a legacy view kept for compatibility — the
+    /// deck's full request, including sweep/search stanzas, lives in
+    /// [`CadCase::workload`].
     pub scenarios: Vec<Scenario>,
+    /// The workload the deck asks for, with implicit scenarios already
+    /// resolved (a scenario-shaped workload is never empty).
+    pub workload: Workload,
+    /// The last `grid rect` stanza's geometry, kept as the template a
+    /// `search` workload re-derives candidate layouts from.
+    pub grid_spec: Option<RectGridSpec>,
 }
 
 impl CadCase {
     /// The scenario list the pipeline answers: the deck's `scenario`
     /// stanzas in order, or the single implicit `gpr` scenario when none
     /// are given. Never empty.
+    #[deprecated(note = "use CadCase::workload, which also carries sweep/search shapes")]
     pub fn effective_scenarios(&self) -> Vec<Scenario> {
         if self.scenarios.is_empty() {
             vec![Scenario::gpr(self.gpr)]
         } else {
             self.scenarios.clone()
         }
+    }
+
+    /// Builds a design-search workload over pitch candidates `lo:hi:n`
+    /// from this case's `grid rect` template, its `fault-current`
+    /// scenarios (default 25 kA) and IEEE 80 default criteria — the
+    /// shared path behind the deck's `search pitch` stanza and the CLI's
+    /// `--search-pitch` flag.
+    pub fn design_search(&self, lo: f64, hi: f64, n: usize) -> Result<Workload, String> {
+        let base = self
+            .grid_spec
+            .ok_or_else(|| "search requires a 'grid rect' stanza as template".to_string())?;
+        let fault_currents: Vec<f64> = self
+            .scenarios
+            .iter()
+            .filter_map(|s| match s {
+                Scenario::FaultCurrent { amps } => Some(*amps),
+                Scenario::Gpr { .. } => None,
+            })
+            .collect();
+        let fault_currents = if fault_currents.is_empty() {
+            vec![25_000.0]
+        } else {
+            fault_currents
+        };
+        let criteria = SafetyCriteria {
+            fault_duration: 0.5,
+            body_weight: BodyWeight::Kg50,
+            soil_resistivity: 1.0 / self.soil.conductivity_at(0.0),
+            surface_layer: None,
+        };
+        Workload::design_search(
+            base,
+            lo,
+            hi,
+            n,
+            fault_currents,
+            criteria,
+            ConductorMaterial::copper_hard_drawn(),
+            40.0,
+        )
+        .map_err(|e| e.to_string())
     }
 }
 
@@ -137,6 +210,21 @@ fn parse_grid_counts(line: usize, x: f64, y: f64) -> Result<(usize, usize), Pars
     Ok((x as usize, y as usize))
 }
 
+/// Parses a `LO:HI:N` range spec (shared by the `search pitch` stanza
+/// and the CLI's sweep flags). Only the shape is validated here; the
+/// endpoints' domain is checked by the workload constructors.
+fn parse_range(line: usize, spec: &str, what: &str) -> Result<(f64, f64, usize), ParseError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let invalid = || err(line, format!("{what} expects LO:HI:N, got '{spec}'"));
+    if parts.len() != 3 {
+        return Err(invalid());
+    }
+    let lo: f64 = parts[0].parse().map_err(|_| invalid())?;
+    let hi: f64 = parts[1].parse().map_err(|_| invalid())?;
+    let n: usize = parts[2].parse().map_err(|_| invalid())?;
+    Ok((lo, hi, n))
+}
+
 /// Parses a case deck from text.
 pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
     let mut title = "untitled".to_string();
@@ -147,6 +235,12 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
     let mut formulation = Formulation::Galerkin;
     let mut solver = SolverChoice::ConjugateGradient;
     let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut grid_spec: Option<RectGridSpec> = None;
+    // (samples, seed, sigma, line) / (lo, hi, n, line) of the workload
+    // stanzas; validated against each other and the rest of the deck
+    // once everything is parsed.
+    let mut sweep: Option<(usize, u64, f64, usize)> = None;
+    let mut search: Option<(f64, f64, usize, usize)> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -285,20 +379,17 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                     "rect" => {
                         let v = parse_floats(line_no, &rest[1..], 8, "grid rect")?;
                         let (nx, ny) = parse_grid_counts(line_no, v[4], v[5])?;
-                        network.extend(
-                            rectangular_grid(RectGridSpec {
-                                origin: (v[0], v[1]),
-                                width: v[2],
-                                height: v[3],
-                                nx,
-                                ny,
-                                depth: v[6],
-                                radius: v[7],
-                            })
-                            .conductors()
-                            .iter()
-                            .copied(),
-                        );
+                        let spec = RectGridSpec {
+                            origin: (v[0], v[1]),
+                            width: v[2],
+                            height: v[3],
+                            nx,
+                            ny,
+                            depth: v[6],
+                            radius: v[7],
+                        };
+                        grid_spec = Some(spec);
+                        network.extend(rectangular_grid(spec).conductors().iter().copied());
                     }
                     "triangle" => {
                         // leg_x leg_y nx ny depth radius
@@ -367,6 +458,37 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                     }
                 });
             }
+            "sweep" => {
+                let usage = "sweep expects 'soil-samples N seed S [sigma F]'";
+                if rest.first() != Some(&"soil-samples") || rest.get(2) != Some(&"seed") {
+                    return Err(err(line_no, usage));
+                }
+                let samples: usize = rest
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, usage))?;
+                let seed: u64 = rest
+                    .get(3)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, usage))?;
+                let sigma = match rest.get(4) {
+                    None => 0.1,
+                    Some(&"sigma") if rest.len() == 6 => rest[5]
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && *v >= 0.0)
+                        .ok_or_else(|| err(line_no, "sigma must be a non-negative number"))?,
+                    _ => return Err(err(line_no, usage)),
+                };
+                sweep = Some((samples, seed, sigma, line_no));
+            }
+            "search" => {
+                if rest.len() != 2 || rest[0] != "pitch" {
+                    return Err(err(line_no, "search expects 'pitch LO:HI:N'"));
+                }
+                let (lo, hi, n) = parse_range(line_no, rest[1], "search pitch")?;
+                search = Some((lo, hi, n, line_no));
+            }
             "max-element-length" => {
                 let v = parse_floats(line_no, &rest, 1, "max-element-length")?;
                 // Floor at 1 mm: grounding conductors are meters long, so
@@ -387,7 +509,12 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
     if network.is_empty() {
         return Err(err(0, "case contains no electrodes"));
     }
-    Ok(CadCase {
+    let effective = if scenarios.is_empty() {
+        vec![Scenario::gpr(gpr)]
+    } else {
+        scenarios.clone()
+    };
+    let mut case = CadCase {
         title,
         network,
         soil: soil.unwrap_or_else(|| SoilModel::uniform(0.01)),
@@ -396,7 +523,30 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
         formulation,
         solver,
         scenarios,
-    })
+        workload: Workload::Scenarios(effective),
+        grid_spec,
+    };
+    match (sweep, search) {
+        (Some(_), Some((_, _, _, line))) => {
+            return Err(err(
+                line,
+                "a deck may ask for a sweep or a search, not both",
+            ));
+        }
+        (Some((samples, seed, sigma, line)), None) => {
+            let scenarios = match &case.workload {
+                Workload::Scenarios(s) => s.clone(),
+                _ => unreachable!("workload starts scenario-shaped"),
+            };
+            case.workload = Workload::soil_sweep(samples, seed, sigma, scenarios)
+                .map_err(|e| err(line, e.to_string()))?;
+        }
+        (None, Some((lo, hi, n, line))) => {
+            case.workload = case.design_search(lo, hi, n).map_err(|m| err(line, m))?;
+        }
+        (None, None) => {}
+    }
+    Ok(case)
 }
 
 #[cfg(test)]
@@ -512,6 +662,7 @@ max-element-length 5
     }
 
     #[test]
+    #[allow(deprecated)]
     fn scenario_stanzas_accumulate_in_order() {
         let case = parse_case(
             "rod 0 0 0.5 1 0.01\nscenario gpr 5000\nscenario fault-current 25000\nscenario gpr 10000\n",
@@ -529,10 +680,88 @@ max-element-length 5
     }
 
     #[test]
+    #[allow(deprecated)]
     fn gpr_line_is_the_implicit_scenario_when_no_stanzas() {
         let case = parse_case("gpr 8000\nrod 0 0 0.5 1 0.01\n").unwrap();
         assert!(case.scenarios.is_empty());
         assert_eq!(case.effective_scenarios(), vec![Scenario::gpr(8_000.0)]);
+        // The workload view resolves the same implicit scenario.
+        match case.workload {
+            Workload::Scenarios(s) => assert_eq!(s, vec![Scenario::gpr(8_000.0)]),
+            other => panic!("wrong workload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_stanza_parses_into_a_soil_sweep_workload() {
+        let case =
+            parse_case("gpr 10000\nrod 0 0 0.5 1 0.01\nsweep soil-samples 32 seed 7 sigma 0.15\n")
+                .unwrap();
+        match case.workload {
+            Workload::SoilSweep(spec) => {
+                assert_eq!((spec.samples, spec.seed, spec.sigma), (32, 7, 0.15));
+                assert_eq!(spec.scenarios, vec![Scenario::gpr(10_000.0)]);
+            }
+            other => panic!("wrong workload: {other:?}"),
+        }
+        // sigma defaults to 0.1; deck scenarios flow into the sweep.
+        let d = parse_case(
+            "rod 0 0 0.5 1 0.01\nscenario fault-current 25000\nsweep soil-samples 8 seed 1\n",
+        )
+        .unwrap();
+        match d.workload {
+            Workload::SoilSweep(spec) => {
+                assert_eq!(spec.sigma, 0.1);
+                assert_eq!(spec.scenarios, vec![Scenario::fault_current(25_000.0)]);
+            }
+            other => panic!("wrong workload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_stanza_parses_into_a_design_search_workload() {
+        let case = parse_case(
+            "grid rect 0 0 20 20 2 2 0.8 0.006\nscenario fault-current 5000\nsearch pitch 4:10:4\n",
+        )
+        .unwrap();
+        assert!(case.grid_spec.is_some());
+        match case.workload {
+            Workload::DesignSearch(spec) => {
+                assert_eq!(spec.pitches, vec![4.0, 6.0, 8.0, 10.0]);
+                assert_eq!(spec.fault_currents, vec![5_000.0]);
+            }
+            other => panic!("wrong workload: {other:?}"),
+        }
+        // Default fault current when the deck names none.
+        let d = parse_case("grid rect 0 0 20 20 2 2 0.8 0.006\nsearch pitch 5:10:2\n").unwrap();
+        match d.workload {
+            Workload::DesignSearch(spec) => assert_eq!(spec.fault_currents, vec![25_000.0]),
+            other => panic!("wrong workload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_workload_stanzas_are_typed_parse_errors() {
+        // Malformed stanzas.
+        assert!(parse_case("rod 0 0 0.5 1 0.01\nsweep soil-samples x seed 1\n").is_err());
+        assert!(parse_case("rod 0 0 0.5 1 0.01\nsweep soil-samples 4\n").is_err());
+        assert!(parse_case("rod 0 0 0.5 1 0.01\nsweep soil-samples 4 seed 1 sigma -1\n").is_err());
+        assert!(parse_case("rod 0 0 0.5 1 0.01\nsearch pitch 4:10\n").is_err());
+        // Workload-domain errors surface with the stanza's line number.
+        let e = parse_case("rod 0 0 0.5 1 0.01\nsweep soil-samples 0 seed 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("zero"));
+        let e = parse_case("grid rect 0 0 20 20 2 2 0.8 0.006\nsearch pitch 10:4:3\n").unwrap_err();
+        assert!(e.message.contains("range"));
+        // A search without a rect-grid template is rejected.
+        let e = parse_case("rod 0 0 0.5 1 0.01\nsearch pitch 4:10:3\n").unwrap_err();
+        assert!(e.message.contains("grid rect"));
+        // Sweep and search in one deck conflict.
+        let e = parse_case(
+            "grid rect 0 0 20 20 2 2 0.8 0.006\nsweep soil-samples 4 seed 1\nsearch pitch 4:10:3\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("not both"));
     }
 
     #[test]

@@ -19,11 +19,14 @@ use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
 use layerbem_core::study::{PrepareError, SolveError, StudyProfile};
 use layerbem_core::system::{GroundingSolution, GroundingSystem};
+use layerbem_core::workload::{
+    run_design_search, run_soil_sweep, Workload, WorkloadError, WorkloadRow, WorkloadRunError,
+};
 use layerbem_geometry::{Mesh, Mesher};
 use layerbem_numeric::CompressionStats;
 
 use crate::input::CadCase;
-use crate::report::{sweep_report, text_report};
+use crate::report::{design_search_report, soil_sweep_report, sweep_report, text_report};
 
 /// The five pipeline phases of the paper's CAD system (Table 6.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -127,6 +130,10 @@ pub enum PipelineError {
     Prepare(PrepareError),
     /// A scenario could not be answered.
     Solve(SolveError),
+    /// The requested workload is malformed (zero-sample sweep, backwards
+    /// `LO:HI` range, …) — the typed replacement for the CLI's old silent
+    /// acceptance of degenerate `--gpr-sweep` specs.
+    Workload(WorkloadError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -135,6 +142,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Model(why) => write!(f, "case describes no solvable model: {why}"),
             PipelineError::Prepare(e) => write!(f, "pipeline preparation failed: {e}"),
             PipelineError::Solve(e) => write!(f, "pipeline scenario solve failed: {e}"),
+            PipelineError::Workload(e) => write!(f, "invalid workload: {e}"),
         }
     }
 }
@@ -150,6 +158,21 @@ impl From<PrepareError> for PipelineError {
 impl From<SolveError> for PipelineError {
     fn from(e: SolveError) -> Self {
         PipelineError::Solve(e)
+    }
+}
+
+impl From<WorkloadError> for PipelineError {
+    fn from(e: WorkloadError) -> Self {
+        PipelineError::Workload(e)
+    }
+}
+
+impl From<WorkloadRunError> for PipelineError {
+    fn from(e: WorkloadRunError) -> Self {
+        match e {
+            WorkloadRunError::Prepare { error, .. } => PipelineError::Prepare(error),
+            WorkloadRunError::Solve { error, .. } => PipelineError::Solve(error),
+        }
     }
 }
 
@@ -173,19 +196,24 @@ pub fn check_model(mesh: &Mesh) -> Result<(), PipelineError> {
     Ok(())
 }
 
-/// Everything the pipeline produces.
+/// Everything the pipeline produces: the result is **workload-shaped** —
+/// one [`WorkloadRow`] per scenario, soil sample or design candidate,
+/// owned alongside the [`Workload`] that was answered.
 #[derive(Clone, Debug)]
 pub struct PipelineResult {
-    /// Discretized grid.
+    /// Discretized grid (the deck's network; design-search candidates
+    /// re-mesh internally and report their own `dof`).
     pub mesh: Mesh,
-    /// One solution per scenario of the case's sweep (at least one; the
-    /// first is the deck's primary `gpr` question when no `scenario`
-    /// stanzas are present).
-    pub solutions: Vec<GroundingSolution>,
+    /// The workload that was answered (implicit scenarios resolved).
+    pub workload: Workload,
+    /// One row per scenario / sample / candidate, in workload order.
+    /// Never empty.
+    pub rows: Vec<WorkloadRow>,
     /// Per-phase timing.
     pub times: PhaseTimes,
     /// Text report produced by the results-storage phase (with one
-    /// self-describing row per scenario when the case sweeps).
+    /// self-describing row per scenario/sample/candidate when the case
+    /// sweeps or searches).
     pub report: String,
     /// Matrix-generation column cost profile (seconds per outer column),
     /// the task profile the schedule simulator replays.
@@ -202,9 +230,37 @@ pub struct PipelineResult {
 }
 
 impl PipelineResult {
-    /// The primary (first) scenario's solution.
+    /// The primary (first) scenario's solution: the first scenario row,
+    /// or the first soil sample's first solution.
+    ///
+    /// # Panics
+    /// Panics for a design-search result — candidates carry safety/cost
+    /// scores, not a primary field solution; iterate [`PipelineResult::rows`]
+    /// instead.
     pub fn solution(&self) -> &GroundingSolution {
-        &self.solutions[0]
+        match &self.rows[0] {
+            WorkloadRow::Scenario(s) => s,
+            WorkloadRow::Sample(s) => &s.solutions[0],
+            WorkloadRow::Candidate(_) => {
+                panic!("design-search results have no primary solution; iterate rows")
+            }
+        }
+    }
+
+    /// Flat view of every field solution in row order (scenario rows,
+    /// then each sample's solutions; empty for a design search).
+    #[deprecated(note = "results are workload-shaped; iterate PipelineResult::rows")]
+    pub fn solutions(&self) -> Vec<&GroundingSolution> {
+        self.rows
+            .iter()
+            .flat_map(|row| -> &[GroundingSolution] {
+                match row {
+                    WorkloadRow::Scenario(s) => std::slice::from_ref(s),
+                    WorkloadRow::Sample(s) => &s.solutions,
+                    WorkloadRow::Candidate(_) => &[],
+                }
+            })
+            .collect()
     }
 }
 
@@ -247,47 +303,132 @@ pub fn run_pipeline_with_assembly(
     let t = Instant::now();
     let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
     check_model(&mesh)?;
-    let system = GroundingSystem::new(mesh.clone(), &case.soil, opts);
     times.seconds[1] = t.elapsed().as_secs_f64();
 
-    // Phase 3: matrix generation — once, via the staged API, for both
-    // formulations. The study retains the factor.
-    let study = match assembly {
-        Some(mode) => system.prepare_with_mode(mode),
-        None => system.prepare(),
-    }?;
-    let profile = study.profile();
-    times.seconds[2] = profile.assembly_seconds;
+    match &case.workload {
+        Workload::Scenarios(scenarios) => {
+            // Phase 3: matrix generation — once, via the staged API, for
+            // both formulations. The study retains the factor.
+            let system = GroundingSystem::new(mesh.clone(), &case.soil, opts);
+            let study = match assembly {
+                Some(mode) => system.prepare_with_mode(mode),
+                None => system.prepare(),
+            }?;
+            let profile = study.profile();
+            times.seconds[2] = profile.assembly_seconds;
 
-    // Phase 4: linear system solving — the one-time factorization plus
-    // every scenario's back-substitution (previously the collocation
-    // assembly was lumped in here too; phases now attribute honestly).
-    let t = Instant::now();
-    let scenarios = case.effective_scenarios();
-    let solutions = study.solve_batch(&scenarios)?;
-    times.seconds[3] = profile.factor_seconds + t.elapsed().as_secs_f64();
+            // Phase 4: linear system solving — the one-time factorization
+            // plus every scenario's back-substitution (previously the
+            // collocation assembly was lumped in here too; phases now
+            // attribute honestly).
+            let t = Instant::now();
+            let solutions = study.solve_batch(scenarios)?;
+            times.seconds[3] = profile.factor_seconds + t.elapsed().as_secs_f64();
 
-    // Phase 5: results storage (report formatting).
-    let t = Instant::now();
-    let mut text = text_report(&case.title, &case.soil, &mesh, &solutions[0]);
-    if solutions.len() > 1 {
-        text.push('\n');
-        text.push_str(&sweep_report(&solutions));
+            // Phase 5: results storage (report formatting).
+            let t = Instant::now();
+            let mut text = text_report(&case.title, &case.soil, &mesh, &solutions[0]);
+            if solutions.len() > 1 {
+                text.push('\n');
+                text.push_str(&sweep_report(&solutions));
+            }
+            times.seconds[4] = t.elapsed().as_secs_f64();
+
+            Ok(PipelineResult {
+                mesh,
+                workload: case.workload.clone(),
+                rows: solutions.into_iter().map(WorkloadRow::Scenario).collect(),
+                times,
+                report: text,
+                column_seconds: study.column_seconds().to_vec(),
+                column_terms: study.column_terms().to_vec(),
+                compression: profile.compression,
+                // Re-read so the stored instrumentation includes the
+                // scenario solves served above.
+                profile: study.profile(),
+            })
+        }
+        Workload::SoilSweep(spec) => {
+            // Phases 3+4: one fresh assembly + factor per sampled soil,
+            // pooled across samples (the assembly override is a dense
+            // single-study benchmarking knob and does not apply here).
+            let t = Instant::now();
+            let samples = run_soil_sweep(&mesh, &case.soil, opts, spec)?;
+            let wall = t.elapsed().as_secs_f64();
+            let profile = aggregate_profile(samples.iter().map(|s| &s.profile));
+            times.seconds[2] = profile.assembly_seconds;
+            times.seconds[3] = (wall - profile.assembly_seconds).max(0.0);
+
+            let t = Instant::now();
+            let report = soil_sweep_report(&case.title, &case.soil, spec, &samples);
+            times.seconds[4] = t.elapsed().as_secs_f64();
+
+            Ok(PipelineResult {
+                mesh,
+                workload: case.workload.clone(),
+                rows: samples.into_iter().map(WorkloadRow::Sample).collect(),
+                times,
+                report,
+                column_seconds: Vec::new(),
+                column_terms: Vec::new(),
+                compression: profile.compression,
+                profile,
+            })
+        }
+        Workload::DesignSearch(spec) => {
+            // Phases 3+4: one prepare per candidate layout, each reused
+            // across every candidate fault current.
+            let t = Instant::now();
+            let candidates = run_design_search(&case.soil, case.mesh_options, opts, spec)?;
+            let wall = t.elapsed().as_secs_f64();
+            let profile = aggregate_profile(candidates.iter().map(|c| &c.profile));
+            times.seconds[2] = profile.assembly_seconds;
+            times.seconds[3] = (wall - profile.assembly_seconds).max(0.0);
+
+            let t = Instant::now();
+            let report = design_search_report(&case.title, &case.soil, spec, &candidates);
+            times.seconds[4] = t.elapsed().as_secs_f64();
+
+            Ok(PipelineResult {
+                mesh,
+                workload: case.workload.clone(),
+                rows: candidates.into_iter().map(WorkloadRow::Candidate).collect(),
+                times,
+                report,
+                column_seconds: Vec::new(),
+                column_terms: Vec::new(),
+                compression: profile.compression,
+                profile,
+            })
+        }
     }
-    times.seconds[4] = t.elapsed().as_secs_f64();
+}
 
-    Ok(PipelineResult {
-        mesh,
-        solutions,
-        times,
-        report: text,
-        column_seconds: study.column_seconds().to_vec(),
-        column_terms: study.column_terms().to_vec(),
-        compression: profile.compression,
-        // Re-read so the stored instrumentation includes the scenario
-        // solves served above.
-        profile: study.profile(),
-    })
+/// Sums per-study instrumentation over a workload's rows: counters and
+/// seconds add; the per-study compression/occupancy summaries do not
+/// aggregate meaningfully and are dropped.
+fn aggregate_profile<'a>(profiles: impl Iterator<Item = &'a StudyProfile>) -> StudyProfile {
+    let mut total = StudyProfile {
+        assemblies: 0,
+        factorizations: 0,
+        assembly_seconds: 0.0,
+        factor_seconds: 0.0,
+        scenario_solves: 0,
+        compression: None,
+        kernel_terms: 0,
+        kernel_seconds: 0.0,
+        lane_occupancy: None,
+    };
+    for p in profiles {
+        total.assemblies += p.assemblies;
+        total.factorizations += p.factorizations;
+        total.assembly_seconds += p.assembly_seconds;
+        total.factor_seconds += p.factor_seconds;
+        total.scenario_solves += p.scenario_solves;
+        total.kernel_terms += p.kernel_terms;
+        total.kernel_seconds += p.kernel_seconds;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -360,25 +501,82 @@ grid rect 0 0 20 20 2 2 0.8 0.006
     }
 
     #[test]
+    #[allow(deprecated)]
     fn scenario_sweep_produces_one_solution_per_scenario() {
         let deck =
             format!("{CASE}scenario gpr 5000\nscenario gpr 10000\nscenario fault-current 25000\n");
         let case = parse_case(&deck).unwrap();
         let r = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
-        assert_eq!(r.solutions.len(), 3);
-        assert_eq!(r.solutions[0].gpr, 5_000.0);
-        assert_eq!(r.solutions[1].gpr, 10_000.0);
+        assert_eq!(r.rows.len(), 3);
+        // The deprecated flat view matches the rows.
+        let solutions = r.solutions();
+        assert_eq!(solutions.len(), 3);
+        assert_eq!(solutions[0].gpr, 5_000.0);
+        assert_eq!(solutions[1].gpr, 10_000.0);
         // The fault-current scenario reports exactly its prescribed IΓ.
-        assert_eq!(r.solutions[2].total_current, 25_000.0);
+        assert_eq!(solutions[2].total_current, 25_000.0);
         // All scenarios share one prepared system, so resistances agree
         // exactly (scaling never perturbs Req beyond its own arithmetic).
         assert_eq!(
-            r.solutions[0].equivalent_resistance,
-            r.solutions[1].equivalent_resistance
+            solutions[0].equivalent_resistance,
+            solutions[1].equivalent_resistance
         );
         // The report carries one self-describing row per scenario.
         assert!(r.report.contains("Scenario sweep"));
         assert!(r.report.contains("fault current"));
+    }
+
+    #[test]
+    fn soil_sweep_workload_runs_through_the_pipeline() {
+        use layerbem_core::workload::WorkloadRow;
+        let deck = format!("{CASE}sweep soil-samples 4 seed 11 sigma 0.2\n");
+        let case = parse_case(&deck).unwrap();
+        let r = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+        assert_eq!(r.rows.len(), 4);
+        for (i, row) in r.rows.iter().enumerate() {
+            match row {
+                WorkloadRow::Sample(s) => {
+                    assert_eq!(s.index, i);
+                    assert_ne!(s.soil, case.soil, "sigma 0.2 perturbs every sample");
+                    assert_eq!(s.solutions.len(), 1);
+                    assert!(s.solutions[0].equivalent_resistance > 0.0);
+                }
+                other => panic!("expected sample rows, got {other:?}"),
+            }
+        }
+        // One fresh assembly per sample (CG retains the operator, so no
+        // factorizations), one scenario solve each.
+        assert_eq!(r.profile.assemblies, 4);
+        assert_eq!(r.profile.factorizations, 0);
+        assert_eq!(r.profile.scenario_solves, 4);
+        // The primary accessor resolves to the first sample's solution.
+        assert!(r.solution().gpr > 0.0);
+        // Report: per-sample rows plus distribution quantiles.
+        assert!(r.report.contains("Soil-uncertainty sweep"));
+        assert!(r.report.contains("seed 11"));
+        assert!(r.report.contains("p50"));
+    }
+
+    #[test]
+    fn design_search_workload_runs_through_the_pipeline() {
+        use layerbem_core::workload::WorkloadRow;
+        let deck = format!("{CASE}scenario fault-current 10000\nsearch pitch 5:10:2\n");
+        let case = parse_case(&deck).unwrap();
+        let r = run_pipeline(&case, SolveOptions::default(), 0.0).expect("pipeline succeeds");
+        assert_eq!(r.rows.len(), 2);
+        let mut pareto = 0;
+        for row in &r.rows {
+            match row {
+                WorkloadRow::Candidate(c) => {
+                    assert!(c.copper_kg > 0.0 && c.utilization > 0.0);
+                    pareto += usize::from(c.pareto);
+                }
+                other => panic!("expected candidate rows, got {other:?}"),
+            }
+        }
+        assert!(pareto >= 1, "a non-empty search always has a Pareto front");
+        assert!(r.report.contains("design search"));
+        assert!(r.report.contains("Pareto front"));
     }
 
     #[test]

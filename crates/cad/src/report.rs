@@ -2,6 +2,9 @@
 
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSolution;
+use layerbem_core::workload::{
+    sweep_quantiles, DesignCandidate, DesignSearchSpec, SoilSweepSpec, SweepSample,
+};
 use layerbem_geometry::Mesh;
 use layerbem_soil::SoilModel;
 
@@ -89,6 +92,129 @@ pub fn sweep_report(solutions: &[GroundingSolution]) -> String {
             &rows,
         )
     )
+}
+
+/// The Monte-Carlo soil-sweep report: one self-describing row per
+/// sampled soil model (its drawn parameters travel with its results),
+/// followed by the GPR and equivalent-resistance p10/p50/p90 quantiles
+/// over the samples.
+pub fn soil_sweep_report(
+    title: &str,
+    base: &SoilModel,
+    spec: &SoilSweepSpec,
+    samples: &[SweepSample],
+) -> String {
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            let sol = &s.solutions[0];
+            vec![
+                (s.index + 1).to_string(),
+                compact_soil(&s.soil),
+                format!("{:.1}", sol.gpr),
+                format!("{:.3}", sol.total_current / 1000.0),
+                format!("{:.4}", sol.equivalent_resistance),
+            ]
+        })
+        .collect();
+    let (gpr, req) = sweep_quantiles(samples);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Soil-uncertainty sweep — {title}\n\
+         Base soil: {}\n\
+         {} samples, seed {}, sigma {} (seeded sweeps are bit-identical \
+         across thread counts and schedules)\n",
+        soil_description(base),
+        spec.samples,
+        spec.seed,
+        spec.sigma,
+    ));
+    s.push_str(&render_table(
+        &["#", "sampled soil", "GPR (V)", "IΓ (kA)", "Req (Ω)"],
+        &rows,
+    ));
+    s.push_str(&format!(
+        "GPR quantiles (V): p10 {:.1}  p50 {:.1}  p90 {:.1}\n\
+         Req quantiles (Ω): p10 {:.4}  p50 {:.4}  p90 {:.4}\n",
+        gpr.p10, gpr.p50, gpr.p90, req.p10, req.p50, req.p90,
+    ));
+    s
+}
+
+/// The design-search report: one row per candidate pitch with its
+/// safety and copper-mass scores, followed by the Pareto front of the
+/// (copper mass, utilization) trade.
+pub fn design_search_report(
+    title: &str,
+    soil: &SoilModel,
+    spec: &DesignSearchSpec,
+    candidates: &[DesignCandidate],
+) -> String {
+    let row = |c: &DesignCandidate| -> Vec<String> {
+        vec![
+            format!("{:.2}", c.pitch),
+            format!("{}×{}", c.nx, c.ny),
+            c.dof.to_string(),
+            format!("{:.4}", c.equivalent_resistance),
+            format!("{:.1}", c.worst_touch),
+            format!("{:.1}", c.worst_step),
+            format!("{:.2}", c.utilization),
+            if c.safe { "yes" } else { "NO" }.to_string(),
+            format!("{:.1}", c.copper_kg),
+        ]
+    };
+    let header = [
+        "pitch (m)",
+        "grid",
+        "dof",
+        "Req (Ω)",
+        "touch (V)",
+        "step (V)",
+        "util",
+        "safe",
+        "copper (kg)",
+    ];
+    let all: Vec<Vec<String>> = candidates.iter().map(row).collect();
+    let front: Vec<Vec<String>> = candidates.iter().filter(|c| c.pareto).map(row).collect();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Safety-driven design search — {title}\n\
+         Soil: {}\n\
+         {} pitch candidates, fault currents (kA): {}; limits touch \
+         {:.1} V / step {:.1} V (ts = {} s)\n",
+        soil_description(soil),
+        candidates.len(),
+        spec.fault_currents
+            .iter()
+            .map(|a| format!("{:.1}", a / 1000.0))
+            .collect::<Vec<_>>()
+            .join(", "),
+        spec.criteria.permissible_touch(),
+        spec.criteria.permissible_step(),
+        spec.criteria.fault_duration,
+    ));
+    s.push_str(&render_table(&header, &all));
+    s.push_str(&format!(
+        "Pareto front (copper mass vs. safety utilization), {} of {} candidates:\n",
+        front.len(),
+        candidates.len()
+    ));
+    s.push_str(&render_table(&header, &front));
+    s
+}
+
+/// Compact soil description for per-sample table rows (4 significant
+/// digits — sampled parameters are draws, not measurements).
+fn compact_soil(soil: &SoilModel) -> String {
+    match soil {
+        SoilModel::Uniform { conductivity } => format!("γ = {conductivity:.4}"),
+        SoilModel::TwoLayer {
+            upper,
+            lower,
+            thickness,
+        } => format!("γ1 = {upper:.4}, γ2 = {lower:.4}, H = {thickness:.2} m"),
+        SoilModel::MultiLayer { layers } => format!("{} layers", layers.len()),
+    }
 }
 
 /// One-line soil description.

@@ -29,6 +29,9 @@
 //!   voltages.
 //! * [`safety`] — IEEE Std 80 permissible-limit checks, the design
 //!   criteria that motivate the whole computation.
+//! * [`workload`] — first-class workloads above the staged API: explicit
+//!   scenario lists, seeded Monte-Carlo soil-uncertainty sweeps, and
+//!   safety-driven grid-pitch design searches with Pareto scoring.
 
 pub mod analysis;
 pub mod assembly;
@@ -41,6 +44,7 @@ pub mod post;
 pub mod safety;
 pub mod study;
 pub mod system;
+pub mod workload;
 
 pub use assembly::{AssemblyMode, AssemblyReport};
 pub use formulation::{Formulation, SolveOptions, SolverChoice};
@@ -48,3 +52,7 @@ pub use kernel::SoilKernel;
 pub use post::PotentialMap;
 pub use study::{PrepareError, Scenario, SolveError, Study, StudyProfile};
 pub use system::{GroundingSolution, GroundingSystem};
+pub use workload::{
+    DesignCandidate, DesignSearchSpec, SoilSweepSpec, SweepSample, Workload, WorkloadError,
+    WorkloadRow, WorkloadRunError,
+};

@@ -58,6 +58,7 @@ pub mod lanes;
 pub mod lu;
 pub mod pcg;
 pub mod quadrature;
+pub mod rng;
 pub mod series;
 pub mod symmetric;
 pub mod vector;
@@ -72,6 +73,7 @@ pub use pcg::{
     pcg_solve, ConvergenceHistory, LinearOperator, PcgOptions, PcgOutcome, PooledSymOperator,
 };
 pub use quadrature::GaussLegendre;
+pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use series::{BatchSeriesResult, ChunkedKahan, KahanSum, SeriesOptions, SeriesResult};
 pub use symmetric::{SymMatrix, SymRowsMut};
 

@@ -124,6 +124,9 @@ impl From<PipelineError> for RequestError {
             PipelineError::Model(msg) => RequestError::new(ErrorKind::Model, msg),
             PipelineError::Prepare(p) => p.into(),
             PipelineError::Solve(s) => s.into(),
+            // An invalid workload shape is a bad request, not a solver
+            // failure.
+            PipelineError::Workload(w) => RequestError::new(ErrorKind::Protocol, w.to_string()),
         }
     }
 }

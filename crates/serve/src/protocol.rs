@@ -7,8 +7,10 @@
 //! ← {"ok":true,"op":"ping"}
 //! → {"op":"solve","deck":"rod 0 0 0.5 2 0.01\n","scenarios":[{"kind":"gpr","value":5000}]}
 //! ← {"ok":true,"op":"solve","key":"…16 hex…","cache_hit":false,"dof":4,…,"solutions":[…]}
+//! → {"op":"sweep","deck":"gpr 5000\nrod 0 0 0.5 2 0.01\n","samples":8,"seed":7}
+//! ← {"ok":true,"op":"sweep","results":[…one per sample…],"gpr":{"p10":…},…}
 //! → {"op":"stats"}
-//! ← {"ok":true,"op":"stats","requests":2,…}
+//! ← {"ok":true,"op":"stats","requests":3,…}
 //! ```
 //!
 //! Failures are `{"ok":false,"error":{"kind":…,"message":…}}` — see
@@ -42,6 +44,24 @@ pub enum Request {
         /// solution (large; off by default).
         include_leakage: bool,
     },
+    /// Batched Monte-Carlo soil sweep: `N` seeded soil samples around
+    /// the deck's soil model, each prepared (or reused) through the
+    /// study cache and answered for the same scenarios.
+    Sweep {
+        /// The case deck, verbatim (the same text format the CLI reads).
+        deck: String,
+        /// Sample count; `None` defers to the deck's `sweep` stanza.
+        samples: Option<usize>,
+        /// RNG seed; `None` defers to the deck's `sweep` stanza.
+        seed: Option<u64>,
+        /// Log-normal spread; `None` defers to the deck's `sweep`
+        /// stanza, else 0.1.
+        sigma: Option<f64>,
+        /// Scenario overrides; `None` answers the deck's own scenarios.
+        scenarios: Option<Vec<Scenario>>,
+        /// Whether to include per-element leakage vectors (large).
+        include_leakage: bool,
+    },
 }
 
 /// Parses one request line.
@@ -55,43 +75,99 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "solve" => {
-            let deck = v
-                .get("deck")
-                .and_then(Json::as_str)
-                .ok_or_else(|| RequestError::protocol("solve expects a string 'deck' field"))?
-                .to_string();
-            let scenarios = match v.get("scenarios") {
-                None | Some(Json::Null) => None,
-                Some(list) => {
-                    let items = list
-                        .as_arr()
-                        .ok_or_else(|| RequestError::protocol("'scenarios' must be an array"))?;
-                    if items.is_empty() {
-                        return Err(RequestError::protocol(
-                            "'scenarios' must not be empty (omit it to use the deck's)",
-                        ));
-                    }
-                    Some(
-                        items
-                            .iter()
-                            .map(scenario_from_json)
-                            .collect::<Result<Vec<_>, _>>()?,
-                    )
-                }
-            };
-            let include_leakage = match v.get("include_leakage") {
-                None | Some(Json::Null) => false,
-                Some(flag) => flag
-                    .as_bool()
-                    .ok_or_else(|| RequestError::protocol("'include_leakage' must be a boolean"))?,
-            };
+            let deck = deck_field(&v, "solve")?;
+            let scenarios = scenarios_field(&v)?;
+            let include_leakage = bool_field(&v, "include_leakage")?;
             Ok(Request::Solve {
                 deck,
                 scenarios,
                 include_leakage,
             })
         }
+        "sweep" => {
+            let deck = deck_field(&v, "sweep")?;
+            let samples = count_field(&v, "samples")?;
+            let seed = count_field(&v, "seed")?.map(|n| n as u64);
+            let sigma = match v.get("sigma") {
+                None | Some(Json::Null) => None,
+                Some(x) => Some(
+                    x.as_f64()
+                        .ok_or_else(|| RequestError::protocol("'sigma' must be a number"))?,
+                ),
+            };
+            let scenarios = scenarios_field(&v)?;
+            let include_leakage = bool_field(&v, "include_leakage")?;
+            Ok(Request::Sweep {
+                deck,
+                samples,
+                seed,
+                sigma,
+                scenarios,
+                include_leakage,
+            })
+        }
         other => Err(RequestError::protocol(format!("unknown op '{other}'"))),
+    }
+}
+
+/// The mandatory string `deck` field of a solve-shaped request.
+fn deck_field(v: &Json, op: &str) -> Result<String, RequestError> {
+    v.get("deck")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| RequestError::protocol(format!("{op} expects a string 'deck' field")))
+}
+
+/// The optional `scenarios` array (`None` defers to the deck's own).
+fn scenarios_field(v: &Json) -> Result<Option<Vec<Scenario>>, RequestError> {
+    match v.get("scenarios") {
+        None | Some(Json::Null) => Ok(None),
+        Some(list) => {
+            let items = list
+                .as_arr()
+                .ok_or_else(|| RequestError::protocol("'scenarios' must be an array"))?;
+            if items.is_empty() {
+                return Err(RequestError::protocol(
+                    "'scenarios' must not be empty (omit it to use the deck's)",
+                ));
+            }
+            Ok(Some(
+                items
+                    .iter()
+                    .map(scenario_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ))
+        }
+    }
+}
+
+/// An optional boolean field (absent/null read as `false`).
+fn bool_field(v: &Json, name: &str) -> Result<bool, RequestError> {
+    match v.get(name) {
+        None | Some(Json::Null) => Ok(false),
+        Some(flag) => flag
+            .as_bool()
+            .ok_or_else(|| RequestError::protocol(format!("'{name}' must be a boolean"))),
+    }
+}
+
+/// An optional non-negative integer field (sample counts, seeds).
+fn count_field(v: &Json, name: &str) -> Result<Option<usize>, RequestError> {
+    match v.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => {
+            let n = x.as_f64().ok_or_else(|| {
+                RequestError::protocol(format!("'{name}' must be a non-negative integer"))
+            })?;
+            // 2^53: the largest width at which f64 still holds every
+            // integer exactly (seeds round-trip bit-exactly below it).
+            if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+                return Err(RequestError::protocol(format!(
+                    "'{name}' must be a non-negative integer, got {n}"
+                )));
+            }
+            Ok(Some(n as usize))
+        }
     }
 }
 
@@ -188,6 +264,56 @@ mod tests {
                 include_leakage: false,
             }
         );
+    }
+
+    #[test]
+    fn sweep_requests_parse_with_and_without_tuning_fields() {
+        let full = parse_request(
+            r#"{"op":"sweep","deck":"rod 0 0 0.5 2 0.01\n","samples":8,"seed":7,"sigma":0.15,"scenarios":[{"kind":"gpr","value":5000}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            full,
+            Request::Sweep {
+                deck: "rod 0 0 0.5 2 0.01\n".into(),
+                samples: Some(8),
+                seed: Some(7),
+                sigma: Some(0.15),
+                scenarios: Some(vec![Scenario::gpr(5_000.0)]),
+                include_leakage: false,
+            }
+        );
+        // Every tuning field is optional: the deck's own sweep stanza
+        // (or server defaults) fill the gaps.
+        let bare = parse_request(r#"{"op":"sweep","deck":"gpr 10\n"}"#).unwrap();
+        assert_eq!(
+            bare,
+            Request::Sweep {
+                deck: "gpr 10\n".into(),
+                samples: None,
+                seed: None,
+                sigma: None,
+                scenarios: None,
+                include_leakage: false,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_sweep_fields_are_protocol_errors() {
+        for bad in [
+            r#"{"op":"sweep"}"#,
+            r#"{"op":"sweep","deck":7}"#,
+            r#"{"op":"sweep","deck":"x","samples":-1}"#,
+            r#"{"op":"sweep","deck":"x","samples":2.5}"#,
+            r#"{"op":"sweep","deck":"x","samples":"many"}"#,
+            r#"{"op":"sweep","deck":"x","seed":1e999}"#,
+            r#"{"op":"sweep","deck":"x","sigma":"wide"}"#,
+            r#"{"op":"sweep","deck":"x","scenarios":[]}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Protocol, "{bad}");
+        }
     }
 
     #[test]

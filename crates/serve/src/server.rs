@@ -34,9 +34,11 @@ use std::time::{Duration, Instant};
 use layerbem_cad::pipeline::check_model;
 use layerbem_cad::{parse_case, CadCase};
 use layerbem_core::formulation::SolveOptions;
-use layerbem_core::study::Study;
+use layerbem_core::study::{Scenario, Study};
 use layerbem_core::system::GroundingSystem;
+use layerbem_core::workload::{quantiles, sample_soils, Quantiles, Workload};
 use layerbem_geometry::Mesher;
+use layerbem_soil::SoilModel;
 
 use crate::cache::{CacheOutcome, StudyCache};
 use crate::errors::{ErrorKind, RequestError};
@@ -140,6 +142,14 @@ impl Service {
                 scenarios,
                 include_leakage,
             } => self.solve(&deck, scenarios, include_leakage),
+            Request::Sweep {
+                deck,
+                samples,
+                seed,
+                sigma,
+                scenarios,
+                include_leakage,
+            } => self.sweep(&deck, samples, seed, sigma, scenarios, include_leakage),
         }
     }
 
@@ -176,7 +186,10 @@ impl Service {
             .evictions
             .store(evictions, std::sync::atomic::Ordering::Relaxed);
 
-        let scenarios = scenarios.unwrap_or_else(|| case.effective_scenarios());
+        let scenarios = match scenarios {
+            Some(list) => list,
+            None => deck_scenarios(&case)?,
+        };
         let t = Instant::now();
         let solutions = study.solve_batch(&scenarios)?;
         let solve_seconds = t.elapsed();
@@ -202,6 +215,186 @@ impl Service {
             ]),
         ))
     }
+
+    /// The `sweep` handler: draws `samples` seeded soil models around the
+    /// deck's soil, routes each through the study cache under its own
+    /// [`StudyKey`] (the key hashes soil layers, so every sample gets a
+    /// distinct, reusable entry), answers the shared scenarios, and
+    /// reports per-sample results plus GPR/resistance quantiles.
+    ///
+    /// Samples are drawn **serially** from one seeded generator before
+    /// any solve, so a repeated request with the same seed is answered
+    /// bit-identically — and entirely from cache.
+    fn sweep(
+        &self,
+        deck: &str,
+        samples: Option<usize>,
+        seed: Option<u64>,
+        sigma: Option<f64>,
+        scenarios: Option<Vec<Scenario>>,
+        include_leakage: bool,
+    ) -> Result<Json, RequestError> {
+        let case = parse_case(deck)?;
+        let opts = SolveOptions {
+            formulation: case.formulation,
+            solver: case.solver,
+            ..self.solve
+        };
+        // Explicit request fields win; a deck `sweep` stanza fills the
+        // gaps; `samples` must come from one of the two.
+        let deck_spec = match &case.workload {
+            Workload::SoilSweep(spec) => Some(spec),
+            _ => None,
+        };
+        let samples = samples.or(deck_spec.map(|s| s.samples)).ok_or_else(|| {
+            RequestError::protocol(
+                "sweep expects 'samples' (or a deck with a 'sweep soil-samples' stanza)",
+            )
+        })?;
+        let seed = seed.or(deck_spec.map(|s| s.seed)).unwrap_or(0);
+        let sigma = sigma.or(deck_spec.map(|s| s.sigma)).unwrap_or(0.1);
+        let scenarios = match scenarios {
+            Some(list) => list,
+            None => deck_scenarios(&case)?,
+        };
+        let spec = match Workload::soil_sweep(samples, seed, sigma, scenarios)
+            .map_err(|e| RequestError::protocol(e.to_string()))?
+        {
+            Workload::SoilSweep(spec) => spec,
+            _ => unreachable!("soil_sweep constructs a SoilSweep workload"),
+        };
+
+        let soils = sample_soils(&case.soil, &spec);
+        let mut results = Vec::with_capacity(soils.len());
+        let mut gprs = Vec::with_capacity(soils.len());
+        let mut reqs = Vec::with_capacity(soils.len());
+        let mut hits = 0usize;
+        for (i, soil) in soils.iter().enumerate() {
+            let key =
+                StudyKey::of_parts(case.network.conductors(), &case.mesh_options, soil, &opts);
+            let t = Instant::now();
+            let (study, outcome) = self
+                .cache
+                .get_or_prepare(key, || build_study_for_soil(&case, soil, opts))?;
+            let prepare_seconds = t.elapsed();
+            match outcome {
+                CacheOutcome::Miss => {
+                    Metrics::bump(&self.metrics.cache_misses);
+                    self.metrics.prepare.record(prepare_seconds);
+                }
+                CacheOutcome::Hit => {
+                    Metrics::bump(&self.metrics.cache_hits);
+                    hits += 1;
+                }
+            }
+            let t = Instant::now();
+            let solutions = study.solve_batch(&spec.scenarios)?;
+            self.metrics.solve.record(t.elapsed());
+            gprs.push(solutions[0].gpr);
+            reqs.push(solutions[0].equivalent_resistance);
+            results.push(Json::obj(vec![
+                ("sample", Json::Num(i as f64)),
+                ("soil", soil_json(soil)),
+                ("key", Json::str(key.to_string())),
+                ("cache_hit", Json::Bool(outcome == CacheOutcome::Hit)),
+                (
+                    "solutions",
+                    Json::Arr(
+                        solutions
+                            .iter()
+                            .map(|s| solution_json(s, include_leakage))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        let (_, _, evictions) = self.cache.residency();
+        self.metrics
+            .evictions
+            .store(evictions, std::sync::atomic::Ordering::Relaxed);
+
+        Ok(ok_obj(
+            "sweep",
+            Json::obj(vec![
+                ("samples", Json::Num(spec.samples as f64)),
+                ("seed", Json::Num(spec.seed as f64)),
+                ("sigma", Json::Num(spec.sigma)),
+                ("cache_hits", Json::Num(hits as f64)),
+                ("results", Json::Arr(results)),
+                ("gpr", quantiles_json(quantiles(&gprs))),
+                ("req", quantiles_json(quantiles(&reqs))),
+            ]),
+        ))
+    }
+}
+
+/// The scenario list a deck answers when the request doesn't override
+/// it. A design-search deck has no scenario list to borrow — that
+/// workload shape is a CLI/pipeline feature, not a wire op.
+fn deck_scenarios(case: &CadCase) -> Result<Vec<Scenario>, RequestError> {
+    match &case.workload {
+        Workload::Scenarios(list) => Ok(list.clone()),
+        Workload::SoilSweep(spec) => Ok(spec.scenarios.clone()),
+        Workload::DesignSearch(_) => Err(RequestError::protocol(
+            "deck asks for a design search; pass explicit 'scenarios' or run it via the CLI",
+        )),
+    }
+}
+
+/// The `{"p10":…,"p50":…,"p90":…}` form of sweep quantiles.
+fn quantiles_json(q: Quantiles) -> Json {
+    Json::obj(vec![
+        ("p10", Json::Num(q.p10)),
+        ("p50", Json::Num(q.p50)),
+        ("p90", Json::Num(q.p90)),
+    ])
+}
+
+/// A self-describing JSON view of a soil model (sweep responses carry
+/// each sample's drawn parameters alongside its results). Non-finite
+/// values (the bottom layer's infinite thickness) render as `null` to
+/// stay inside JSON.
+fn soil_json(soil: &SoilModel) -> Json {
+    let num = |x: f64| {
+        if x.is_finite() {
+            Json::Num(x)
+        } else {
+            Json::Null
+        }
+    };
+    match soil {
+        SoilModel::Uniform { conductivity } => Json::obj(vec![
+            ("model", Json::str("uniform")),
+            ("conductivity", num(*conductivity)),
+        ]),
+        SoilModel::TwoLayer {
+            upper,
+            lower,
+            thickness,
+        } => Json::obj(vec![
+            ("model", Json::str("two-layer")),
+            ("upper", num(*upper)),
+            ("lower", num(*lower)),
+            ("thickness", num(*thickness)),
+        ]),
+        SoilModel::MultiLayer { layers } => Json::obj(vec![
+            ("model", Json::str("multi-layer")),
+            (
+                "layers",
+                Json::Arr(
+                    layers
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("conductivity", num(l.conductivity)),
+                                ("thickness", num(l.thickness)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
 }
 
 /// Meshes and prepares a parsed case — the cache's build closure. The
@@ -209,9 +402,20 @@ impl Service {
 /// disconnected discretization surfaces as a typed `model` error instead
 /// of tripping the constructor's assertions.
 pub fn build_study(case: &CadCase, opts: SolveOptions) -> Result<Study, RequestError> {
+    build_study_for_soil(case, &case.soil, opts)
+}
+
+/// [`build_study`] with the soil model swapped out — the sweep op's
+/// build closure (each sampled soil shares the deck's geometry and mesh
+/// options but owns its Green's-function series, and hence its study).
+pub fn build_study_for_soil(
+    case: &CadCase,
+    soil: &SoilModel,
+    opts: SolveOptions,
+) -> Result<Study, RequestError> {
     let mesh = Mesher::new(case.mesh_options).mesh(&case.network);
     check_model(&mesh)?;
-    Ok(GroundingSystem::new(mesh, &case.soil, opts).prepare()?)
+    Ok(GroundingSystem::new(mesh, soil, opts).prepare()?)
 }
 
 /// `{"ok":true,"op":…, …body fields…}`.
@@ -555,6 +759,78 @@ mod tests {
         );
         assert_eq!(b.get("cache_hit").and_then(Json::as_bool), Some(false));
         assert_eq!(s.cache().residency().0, 2);
+    }
+
+    #[test]
+    fn sweep_misses_cold_then_answers_warm_from_cache_bit_identically() {
+        let s = service();
+        let line = r#"{"op":"sweep","deck":"gpr 5000\nrod 0 0 0.5 2 0.01\n","samples":4,"seed":7,"sigma":0.2}"#;
+        let cold = Json::parse(&s.handle_line(line)).unwrap();
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("op").and_then(Json::as_str), Some("sweep"));
+        assert_eq!(cold.get("cache_hits").and_then(Json::as_f64), Some(0.0));
+        let results = cold.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 4);
+        // Every sampled soil hashes to its own study key.
+        let keys: std::collections::BTreeSet<&str> = results
+            .iter()
+            .map(|r| r.get("key").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(keys.len(), 4);
+        for r in results {
+            assert_eq!(r.get("cache_hit").and_then(Json::as_bool), Some(false));
+            assert_eq!(
+                r.get("soil")
+                    .and_then(|s| s.get("model"))
+                    .and_then(Json::as_str),
+                Some("uniform")
+            );
+        }
+        let q = cold.get("gpr").unwrap();
+        let (p10, p50, p90) = (
+            q.get("p10").and_then(Json::as_f64).unwrap(),
+            q.get("p50").and_then(Json::as_f64).unwrap(),
+            q.get("p90").and_then(Json::as_f64).unwrap(),
+        );
+        assert!(p10 <= p50 && p50 <= p90);
+        // Same seed again: all four studies come back from the cache and
+        // the per-sample payloads are bit-identical.
+        let warm = Json::parse(&s.handle_line(line)).unwrap();
+        assert_eq!(warm.get("cache_hits").and_then(Json::as_f64), Some(4.0));
+        for (c, w) in results
+            .iter()
+            .zip(warm.get("results").and_then(Json::as_arr).unwrap())
+        {
+            assert_eq!(
+                c.get("solutions").unwrap().to_line(),
+                w.get("solutions").unwrap().to_line()
+            );
+            assert_eq!(w.get("cache_hit").and_then(Json::as_bool), Some(true));
+        }
+        assert_eq!(s.cache().residency().0, 4);
+    }
+
+    #[test]
+    fn sweep_defaults_come_from_the_deck_stanza() {
+        let s = service();
+        let deck = "gpr 5000\nrod 0 0 0.5 2 0.01\nsweep soil-samples 3 seed 9 sigma 0.1\n";
+        let line = Json::obj(vec![("op", Json::str("sweep")), ("deck", Json::str(deck))]).to_line();
+        let v = Json::parse(&s.handle_line(&line)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        assert_eq!(v.get("samples").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("seed").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(v.get("sigma").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(v.get("results").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sweep_without_samples_anywhere_is_a_protocol_error() {
+        let s = service();
+        let line = r#"{"op":"sweep","deck":"rod 0 0 0.5 2 0.01\n"}"#;
+        assert_eq!(error_kind(&s.handle_line(line)), "protocol");
+        // Zero samples is rejected by the workload validator, same kind.
+        let line = r#"{"op":"sweep","deck":"rod 0 0 0.5 2 0.01\n","samples":0,"seed":1}"#;
+        assert_eq!(error_kind(&s.handle_line(line)), "protocol");
     }
 
     #[test]

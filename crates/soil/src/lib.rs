@@ -35,6 +35,7 @@
 
 pub mod model;
 pub mod multilayer;
+pub mod sample;
 pub mod sounding;
 pub mod two_layer;
 pub mod uniform;

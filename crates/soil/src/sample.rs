@@ -1,0 +1,155 @@
+//! Seeded sampling of soil models for Monte-Carlo uncertainty sweeps.
+//!
+//! Soil parameters are the least certain inputs of a grounding study:
+//! they come from sounding inversions ([`crate::sounding`]) whose data
+//! scatter, season and moisture dependence easily move layer
+//! resistivities by tens of percent. The uncertainty-sweep workload
+//! therefore answers a deck not for one soil model but for `N` samples
+//! drawn around it, and this module provides the two drawing primitives:
+//!
+//! * [`perturb`] — a generic log-normal jitter of any [`SoilModel`]:
+//!   each layer conductivity and each finite thickness is multiplied by
+//!   `exp(σ·z)` with independent standard normals `z`. Positive by
+//!   construction (conductivities and thicknesses stay valid for any
+//!   draw), median-preserving, and shape-preserving (a two-layer model
+//!   stays two-layer).
+//! * [`crate::sounding::TwoLayerFit::sample`] — the principled variant
+//!   when sounding data is available: correlated log-normal draws from
+//!   the inversion's fitted covariance.
+//!
+//! Both consume a caller-provided [`Xoshiro256StarStar`], and all draws
+//! for a sweep happen **serially** from one seeded generator before any
+//! parallel solve begins — the sampled models, and hence every
+//! downstream result, are a reproducible function of the seed alone.
+
+use layerbem_numeric::Xoshiro256StarStar;
+
+use crate::model::{Layer, SoilModel};
+
+/// Draws one log-normally perturbed copy of `model`: every layer
+/// conductivity — and every finite layer thickness — is multiplied by an
+/// independent `exp(sigma·z)` factor, `z ~ N(0, 1)`.
+///
+/// `sigma` is the log-space standard deviation (≈ relative spread for
+/// small values; `sigma = 0.1` means roughly ±10% one-sigma scatter).
+/// `sigma = 0` returns the model unchanged (but still consumes the same
+/// number of RNG draws, so sample streams stay aligned across sigmas).
+///
+/// # Panics
+/// Panics when `sigma` is negative or non-finite.
+pub fn perturb(model: &SoilModel, sigma: f64, rng: &mut Xoshiro256StarStar) -> SoilModel {
+    assert!(
+        sigma >= 0.0 && sigma.is_finite(),
+        "sigma must be finite and non-negative"
+    );
+    let factor = |rng: &mut Xoshiro256StarStar| (sigma * rng.next_normal()).exp();
+    match model {
+        SoilModel::Uniform { conductivity } => SoilModel::uniform(conductivity * factor(rng)),
+        SoilModel::TwoLayer {
+            upper,
+            lower,
+            thickness,
+        } => {
+            let u = upper * factor(rng);
+            let l = lower * factor(rng);
+            let h = thickness * factor(rng);
+            SoilModel::two_layer(u, l, h)
+        }
+        SoilModel::MultiLayer { layers } => {
+            let jittered: Vec<Layer> = layers
+                .iter()
+                .map(|layer| {
+                    let conductivity = layer.conductivity * factor(rng);
+                    let thickness = if layer.thickness.is_finite() {
+                        layer.thickness * factor(rng)
+                    } else {
+                        f64::INFINITY
+                    };
+                    Layer {
+                        conductivity,
+                        thickness,
+                    }
+                })
+                .collect();
+            SoilModel::multi_layer(jittered)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let base = SoilModel::two_layer(0.005, 0.016, 1.0);
+        let mut rng = Xoshiro256StarStar::seeded(7);
+        assert_eq!(perturb(&base, 0.0, &mut rng), base);
+    }
+
+    #[test]
+    fn draws_are_seed_reproducible() {
+        let base = SoilModel::two_layer(0.005, 0.016, 1.0);
+        let mut a = Xoshiro256StarStar::seeded(1234);
+        let mut b = Xoshiro256StarStar::seeded(1234);
+        for _ in 0..16 {
+            assert_eq!(perturb(&base, 0.2, &mut a), perturb(&base, 0.2, &mut b));
+        }
+    }
+
+    #[test]
+    fn perturbed_models_stay_valid_and_shaped() {
+        let mut rng = Xoshiro256StarStar::seeded(5);
+        let two = SoilModel::two_layer(0.005, 0.016, 1.0);
+        let multi = SoilModel::multi_layer(vec![
+            Layer {
+                conductivity: 0.005,
+                thickness: 1.0,
+            },
+            Layer {
+                conductivity: 0.01,
+                thickness: 2.0,
+            },
+            Layer {
+                conductivity: 0.016,
+                thickness: f64::INFINITY,
+            },
+        ]);
+        for _ in 0..64 {
+            match perturb(&two, 0.3, &mut rng) {
+                SoilModel::TwoLayer {
+                    upper,
+                    lower,
+                    thickness,
+                } => {
+                    assert!(upper > 0.0 && lower > 0.0 && thickness > 0.0);
+                }
+                other => panic!("shape changed: {other:?}"),
+            }
+            let m = perturb(&multi, 0.3, &mut rng);
+            assert_eq!(m.layer_count(), 3);
+            let layers = m.layers();
+            assert!(layers.last().unwrap().thickness.is_infinite());
+            assert!(layers.iter().all(|l| l.conductivity > 0.0));
+        }
+    }
+
+    #[test]
+    fn sigma_controls_the_spread() {
+        let base = SoilModel::uniform(0.01);
+        let spread = |sigma: f64| {
+            let mut rng = Xoshiro256StarStar::seeded(99);
+            let mut lo = f64::INFINITY;
+            let mut hi = 0.0f64;
+            for _ in 0..256 {
+                if let SoilModel::Uniform { conductivity } = perturb(&base, sigma, &mut rng) {
+                    lo = lo.min(conductivity);
+                    hi = hi.max(conductivity);
+                }
+            }
+            hi / lo
+        };
+        assert!(spread(0.02) < spread(0.3));
+        assert!(spread(0.02) > 1.0);
+    }
+}

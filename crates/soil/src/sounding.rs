@@ -13,9 +13,14 @@
 //!   two-layer curve (Tagg), used as a fast forward model during
 //!   inversion and as an independent cross-check of the kernel.
 //! * [`invert_two_layer`] — fits `(ρ1, ρ2, H)` to measured `(a, ρa)`
-//!   pairs by multi-start compass search in log-parameter space.
+//!   pairs by multi-start compass search in log-parameter space, and
+//!   exposes the Gauss–Newton covariance of the fitted log-parameters so
+//!   uncertainty sweeps can draw correlated soil-model samples
+//!   ([`TwoLayerFit::sample`]) instead of treating the inversion as
+//!   exact.
 
 use layerbem_numeric::series::{sum_until, SeriesOptions};
+use layerbem_numeric::Xoshiro256StarStar;
 
 use crate::GreensFunction;
 
@@ -92,12 +97,141 @@ pub struct TwoLayerFit {
     pub thickness: f64,
     /// Relative RMS misfit of the fit.
     pub rms: f64,
+    /// Gauss–Newton covariance of the fitted **log**-parameters
+    /// `(ln ρ1, ln ρ2, ln H)`: `s²·(JᵀJ)⁻¹` with `J` the Jacobian of the
+    /// relative residuals at the optimum and `s²` the residual variance
+    /// (floored so noise-free synthetic data still yields a tiny but
+    /// usable spread). Log-space is the natural parameterization: the
+    /// parameters are positive and their sounding uncertainty is
+    /// multiplicative.
+    pub covariance: [[f64; 3]; 3],
 }
 
 impl TwoLayerFit {
     /// The fitted model as a [`crate::SoilModel`] (conductivities).
     pub fn soil_model(&self) -> crate::SoilModel {
         crate::SoilModel::two_layer(1.0 / self.rho1, 1.0 / self.rho2, self.thickness)
+    }
+
+    /// Draws one soil model from the fit's log-normal posterior: the
+    /// fitted `(ln ρ1, ln ρ2, ln H)` plus `L·z` with `L·Lᵀ` the
+    /// [`covariance`](Self::covariance) and `z` three standard normals —
+    /// correlated draws, positive parameters by construction. All draws
+    /// for a sweep come serially from one seeded generator, so sampled
+    /// models are a reproducible function of the seed alone.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> crate::SoilModel {
+        let l = chol3(self.covariance);
+        let z = [rng.next_normal(), rng.next_normal(), rng.next_normal()];
+        let mean = [self.rho1.ln(), self.rho2.ln(), self.thickness.ln()];
+        let mut p = [0.0f64; 3];
+        for i in 0..3 {
+            let mut v = mean[i];
+            for (k, zk) in z.iter().enumerate().take(i + 1) {
+                v += l[i][k] * zk;
+            }
+            p[i] = v.exp();
+        }
+        crate::SoilModel::two_layer(1.0 / p[0], 1.0 / p[1], p[2])
+    }
+}
+
+/// Lower-triangular Cholesky factor of a symmetric 3×3 covariance, with
+/// diagonal clamping so a rank-deficient (perfectly constrained) matrix
+/// degrades to zero spread in that direction instead of NaN.
+fn chol3(a: [[f64; 3]; 3]) -> [[f64; 3]; 3] {
+    let mut l = [[0.0f64; 3]; 3];
+    for i in 0..3 {
+        for j in 0..=i {
+            let mut s = a[i][j];
+            for (lik, ljk) in l[i].iter().zip(&l[j]).take(j) {
+                s -= lik * ljk;
+            }
+            if i == j {
+                l[i][j] = s.max(0.0).sqrt();
+            } else {
+                l[i][j] = if l[j][j] > 0.0 { s / l[j][j] } else { 0.0 };
+            }
+        }
+    }
+    l
+}
+
+/// Inverse of a symmetric 3×3 matrix by the adjugate; `None` when the
+/// determinant is not safely positive (singular normal equations).
+fn invert3(a: &[[f64; 3]; 3]) -> Option<[[f64; 3]; 3]> {
+    let det = a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+        - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+        + a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+    let scale = a.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+    // A NaN determinant (from NaN inputs) must also land in `None`.
+    if det.is_nan() || det.abs() <= 1e-30 * scale.powi(3).max(1e-300) {
+        return None;
+    }
+    let mut inv = [[0.0f64; 3]; 3];
+    // Indices stay: each (i, j) writes the *transposed* slot `inv[j][i]`
+    // (adjugate), which no iterator shape expresses cleanly.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..3 {
+        for j in 0..3 {
+            let (r0, r1) = ((i + 1) % 3, (i + 2) % 3);
+            let (c0, c1) = ((j + 1) % 3, (j + 2) % 3);
+            // Cofactor transpose (adjugate): note the swapped i/j roles.
+            inv[j][i] = (a[r0][c0] * a[r1][c1] - a[r0][c1] * a[r1][c0]) / det;
+        }
+    }
+    Some(inv)
+}
+
+/// Gauss–Newton covariance of the log-parameters at the fitted optimum:
+/// central-difference Jacobian of the relative residuals, `s²·(JᵀJ)⁻¹`.
+fn fit_covariance(data: &[SoundingPoint], x: [f64; 3], rms: f64) -> [[f64; 3]; 3] {
+    let m = data.len();
+    let h = 1e-5; // log-units; the forward model is smooth in ln-space
+    let mut jt_j = [[0.0f64; 3]; 3];
+    let mut rows = vec![[0.0f64; 3]; m];
+    for dim in 0..3 {
+        let (mut xp, mut xm) = (x, x);
+        xp[dim] += h;
+        xm[dim] -= h;
+        for (i, p) in data.iter().enumerate() {
+            let fp =
+                two_layer_apparent_resistivity(xp[0].exp(), xp[1].exp(), xp[2].exp(), p.spacing);
+            let fm =
+                two_layer_apparent_resistivity(xm[0].exp(), xm[1].exp(), xm[2].exp(), p.spacing);
+            rows[i][dim] = (fp - fm) / (2.0 * h) / p.rho_a;
+        }
+    }
+    for r in &rows {
+        for i in 0..3 {
+            for j in 0..3 {
+                jt_j[i][j] += r[i] * r[j];
+            }
+        }
+    }
+    // Residual variance with the m/(m−3) small-sample correction, floored
+    // at (0.1%)² so exact synthetic data still yields a usable posterior.
+    let dof = m.saturating_sub(3).max(1) as f64;
+    let s2 = (rms * rms * m as f64 / dof).max(1e-6);
+    match invert3(&jt_j) {
+        Some(inv) => {
+            let mut cov = inv;
+            for row in cov.iter_mut() {
+                for v in row.iter_mut() {
+                    *v *= s2;
+                }
+            }
+            cov
+        }
+        // Singular normal equations (degenerate sounding geometry): fall
+        // back to an uncorrelated spread of one residual sigma per
+        // parameter.
+        None => {
+            let mut cov = [[0.0f64; 3]; 3];
+            for (i, row) in cov.iter_mut().enumerate() {
+                row[i] = s2;
+            }
+            cov
+        }
     }
 }
 
@@ -140,6 +274,7 @@ pub fn invert_two_layer(data: &[SoundingPoint]) -> TwoLayerFit {
         rho2: rho2_guess,
         thickness: spacing_mid,
         rms: f64::INFINITY,
+        covariance: [[0.0; 3]; 3],
     };
     // Multi-start over thickness decades (the least-constrained
     // parameter).
@@ -171,9 +306,15 @@ pub fn invert_two_layer(data: &[SoundingPoint]) -> TwoLayerFit {
                 rho2: x[1].exp(),
                 thickness: x[2].exp(),
                 rms: f,
+                covariance: [[0.0; 3]; 3],
             };
         }
     }
+    best.covariance = fit_covariance(
+        data,
+        [best.rho1.ln(), best.rho2.ln(), best.thickness.ln()],
+        best.rms,
+    );
     best
 }
 
@@ -309,6 +450,54 @@ mod tests {
             }
             _ => panic!("expected two-layer"),
         }
+    }
+
+    #[test]
+    fn fit_exposes_a_symmetric_positive_covariance() {
+        let fit = invert_two_layer(&synthetic(400.0, 50.0, 1.0, 0.05));
+        let c = fit.covariance;
+        for i in 0..3 {
+            assert!(c[i][i] > 0.0, "var[{i}] = {}", c[i][i]);
+            for j in 0..3 {
+                assert!((c[i][j] - c[j][i]).abs() <= 1e-12 * c[i][i].max(c[j][j]));
+            }
+        }
+        // Noisier data must widen the posterior.
+        let clean = invert_two_layer(&synthetic(400.0, 50.0, 1.0, 0.0));
+        assert!(c[0][0] > clean.covariance[0][0]);
+    }
+
+    #[test]
+    fn covariance_sampling_is_seeded_and_centered() {
+        let fit = invert_two_layer(&synthetic(400.0, 50.0, 1.0, 0.03));
+        let mut a = Xoshiro256StarStar::seeded(2024);
+        let mut b = Xoshiro256StarStar::seeded(2024);
+        let mut log_rho1 = Vec::new();
+        for _ in 0..128 {
+            let sa = fit.sample(&mut a);
+            let sb = fit.sample(&mut b);
+            assert_eq!(sa, sb, "seeded draws must be bit-identical");
+            match sa {
+                SoilModel::TwoLayer {
+                    upper,
+                    lower,
+                    thickness,
+                } => {
+                    assert!(upper > 0.0 && lower > 0.0 && thickness > 0.0);
+                    log_rho1.push((1.0 / upper).ln());
+                }
+                other => panic!("expected two-layer, got {other:?}"),
+            }
+        }
+        let mean = log_rho1.iter().sum::<f64>() / log_rho1.len() as f64;
+        // The sample cloud is centred on the fitted upper resistivity
+        // (within a few posterior sigmas of the mean-of-128).
+        let sigma = fit.covariance[0][0].sqrt();
+        assert!(
+            (mean - fit.rho1.ln()).abs() < 4.0 * sigma,
+            "mean {mean} vs {} (sigma {sigma})",
+            fit.rho1.ln()
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! per-column series terms — for every schedule × thread count. PR 6
 //! extends the guarantee to the hierarchical (ACA-compressed) operator
 //! backend: the pooled H-matrix assembly and the PCG trajectory it feeds
-//! must replay the serial hierarchical solve exactly.
+//! must replay the serial hierarchical solve exactly. PR 9 adds the
+//! Monte-Carlo soil-sweep workload: a seeded sweep pooled *across*
+//! samples must be a bit-identical function of its seed alone.
 //!
 //! Grid selection honors the `LAYERBEM_DETERMINISM_GRID` environment
 //! variable: `tiny` substitutes a 2×2-cell yard (the CI smoke
@@ -31,6 +33,7 @@ use layerbem_core::formulation::{KernelEval, OperatorBackend, SolveOptions, Solv
 use layerbem_core::kernel::SoilKernel;
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSystem;
+use layerbem_core::workload::{run_soil_sweep, Workload};
 use layerbem_geometry::grids::{rectangular_grid, RectGridSpec};
 use layerbem_geometry::{grids, Mesh, Mesher};
 use layerbem_numeric::pcg::{pcg_solve, PcgOptions, PooledSymOperator};
@@ -481,6 +484,55 @@ fn hierarchical_backend_solves_are_bit_identical_across_schedules_and_threads() 
                     serial.equivalent_resistance, pooled.equivalent_resistance,
                     "{label}"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_soil_sweeps_are_bit_identical_across_schedules_and_threads() {
+    // The PR-9 tentpole invariant: a Monte-Carlo soil sweep draws every
+    // sampled soil **serially** from one seeded generator before any
+    // parallel work, and pools *across* samples (each per-sample solve
+    // runs serially inside its partition slot) — so the whole sweep
+    // (sampled soils, leakage vectors, GPRs, equivalent resistances) is
+    // a function of the seed alone, bit-identical for every schedule ×
+    // thread count, including the CI matrix's LAYERBEM_THREADS pins.
+    let spec = match Workload::soil_sweep(
+        6,
+        0x5eed,
+        0.2,
+        vec![Scenario::gpr(10_000.0), Scenario::fault_current(25_000.0)],
+    )
+    .expect("sweep parameters are valid")
+    {
+        Workload::SoilSweep(spec) => spec,
+        other => unreachable!("soil_sweep constructs a SoilSweep workload, got {other:?}"),
+    };
+    for (grid, mesh, soil) in grid_cases() {
+        let serial = run_soil_sweep(&mesh, &soil, SolveOptions::default(), &spec)
+            .expect("serial sweep succeeds");
+        assert_eq!(serial.len(), spec.samples);
+        for threads in thread_counts() {
+            for schedule in schedules() {
+                let opts =
+                    SolveOptions::default().with_parallelism(ThreadPool::new(threads), schedule);
+                let pooled =
+                    run_soil_sweep(&mesh, &soil, opts, &spec).expect("pooled sweep succeeds");
+                let label = format!("{grid}: threads={threads} {}", schedule.label());
+                for (a, b) in serial.iter().zip(&pooled) {
+                    assert_eq!(a.index, b.index, "{label}");
+                    assert_eq!(a.soil, b.soil, "{label}: sampled soils must match");
+                    for (sa, sb) in a.solutions.iter().zip(&b.solutions) {
+                        assert_eq!(sa.leakage, sb.leakage, "{label} sample {}", a.index);
+                        assert_eq!(sa.gpr, sb.gpr, "{label} sample {}", a.index);
+                        assert_eq!(
+                            sa.equivalent_resistance, sb.equivalent_resistance,
+                            "{label} sample {}",
+                            a.index
+                        );
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,107 @@
+//! Property-based tests for the IEEE Std 80 safety criteria — the
+//! limits the design-search workload optimizes against. Three families:
+//! the surface-layer derating factor `Cs` is pinned to its closed form
+//! and bounded, the permissible touch/step limits are monotone in the
+//! surface-layer resistivity (more crushed rock never lowers a limit),
+//! and [`SafetyAssessment::evaluate`] treats a voltage *exactly at* its
+//! limit as safe (the `<=` boundary the Pareto scoring relies on).
+
+use proptest::prelude::*;
+
+use layerbem::core::safety::{BodyWeight, SafetyAssessment, SafetyCriteria, SurfaceLayer};
+
+/// Strategy: criteria with a crushed-rock layer whose resistivity is at
+/// least the native soil's (the physical regime: surface layers are laid
+/// *because* they are more resistive).
+fn layered_criteria() -> impl Strategy<Value = SafetyCriteria> {
+    (
+        0.1f64..3.0,    // fault duration ts
+        any::<bool>(),  // body weight class
+        10.0f64..500.0, // native soil resistivity ρ
+        1.0f64..50.0,   // layer/native resistivity ratio (ρs ≥ ρ)
+        0.02f64..0.3,   // layer thickness hs
+    )
+        .prop_map(|(ts, heavy, rho, ratio, hs)| SafetyCriteria {
+            fault_duration: ts,
+            body_weight: if heavy {
+                BodyWeight::Kg70
+            } else {
+                BodyWeight::Kg50
+            },
+            soil_resistivity: rho,
+            surface_layer: Some(SurfaceLayer {
+                resistivity: rho * ratio,
+                thickness: hs,
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, // closed-form arithmetic, cheap cases
+        ..ProptestConfig::default()
+    })]
+
+    /// `Cs` matches IEEE 80-2000 eq. 27 exactly, sits in (0, 1] whenever
+    /// the layer is at least as resistive as the native soil, and is
+    /// exactly 1 without a layer.
+    #[test]
+    fn derating_cs_is_pinned_and_bounded(c in layered_criteria()) {
+        let l = c.surface_layer.expect("strategy always lays a layer");
+        let expect = 1.0
+            - 0.09 * (1.0 - c.soil_resistivity / l.resistivity)
+                / (2.0 * l.thickness + 0.09);
+        let cs = c.derating_cs();
+        prop_assert!((cs - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+        prop_assert!(cs > 0.0 && cs <= 1.0, "Cs = {cs}");
+        let bare = SafetyCriteria { surface_layer: None, ..c };
+        prop_assert_eq!(bare.derating_cs(), 1.0);
+    }
+
+    /// Raising the surface-layer resistivity never lowers a permissible
+    /// limit: the `Cs·ρs` product grows with ρs (the derating shrinks
+    /// slower than the resistivity rises), so both the touch and the
+    /// step limits are monotone non-decreasing — and a layered site is
+    /// never worse than the bare one.
+    #[test]
+    fn limits_are_monotone_in_surface_resistivity(
+        c in layered_criteria(),
+        bump in 1.0f64..10.0,
+    ) {
+        let l = c.surface_layer.expect("strategy always lays a layer");
+        let richer = SafetyCriteria {
+            surface_layer: Some(SurfaceLayer {
+                resistivity: l.resistivity * bump,
+                ..l
+            }),
+            ..c
+        };
+        prop_assert!(richer.permissible_touch() >= c.permissible_touch());
+        prop_assert!(richer.permissible_step() >= c.permissible_step());
+        let bare = SafetyCriteria { surface_layer: None, ..c };
+        prop_assert!(c.permissible_touch() >= bare.permissible_touch());
+        prop_assert!(c.permissible_step() >= bare.permissible_step());
+        // And the step limit always dominates the touch limit (6ρs vs
+        // 1.5ρs on the same body/time factors).
+        prop_assert!(c.permissible_step() > c.permissible_touch());
+    }
+
+    /// A voltage exactly at its permissible limit is safe (`<=`, not
+    /// `<`), an epsilon above is not, and the utilization ratios sit at
+    /// exactly 1 on the boundary.
+    #[test]
+    fn exactly_at_limit_is_safe(c in layered_criteria()) {
+        let touch = c.permissible_touch();
+        let step = c.permissible_step();
+        let at = SafetyAssessment::evaluate(touch, step, &c);
+        prop_assert!(at.is_safe(), "touch {touch}, step {step}");
+        let (ut, us) = at.utilization();
+        prop_assert_eq!(ut, 1.0);
+        prop_assert_eq!(us, 1.0);
+        // The next representable voltage above either limit violates it.
+        let over_touch = SafetyAssessment::evaluate(touch.next_up(), step, &c);
+        prop_assert!(!over_touch.is_safe());
+        let over_step = SafetyAssessment::evaluate(touch, step.next_up(), &c);
+        prop_assert!(!over_step.is_safe());
+    }
+}
