@@ -161,6 +161,7 @@ fn main() {
             resident_bytes: None,
             kernel_seconds: None,
             lane_occupancy: None,
+            update_rank: None,
         });
 
         // The paper's staged scheme: one run for the memory column.
@@ -193,6 +194,7 @@ fn main() {
             resident_bytes: None,
             kernel_seconds: None,
             lane_occupancy: None,
+            update_rank: None,
         });
 
         // The zero-staging direct engines (worklist default + retained
@@ -240,6 +242,7 @@ fn main() {
                         resident_bytes: None,
                         kernel_seconds: None,
                         lane_occupancy: None,
+                        update_rank: None,
                     });
                 }
             }

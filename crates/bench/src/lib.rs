@@ -203,6 +203,10 @@ pub struct BenchRecord {
     /// lane_slots`, padded remainder chunks included); `None` for scalar
     /// rows and rows that don't benchmark kernel evaluation.
     pub lane_occupancy: Option<f64>,
+    /// Rank-1 factor sweeps an incremental edit applied (the
+    /// `edit_incremental` gate row; 0 on its `edit_full` baseline);
+    /// `None` for rows that don't benchmark editing.
+    pub update_rank: Option<u64>,
 }
 
 /// Minimal JSON string escaping for the label fields of [`BenchRecord`].
@@ -234,9 +238,13 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             .lane_occupancy
             .map(|o| format!(", \"lane_occupancy\": {o:.4}"))
             .unwrap_or_default();
+        let rank = r
+            .update_rank
+            .map(|u| format!(", \"update_rank\": {u}"))
+            .unwrap_or_default();
         s.push_str(&format!(
             "  {{\"grid\": \"{}\", \"mode\": \"{}\", \"schedule\": \"{}\", \
-             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}{}{}{}}}{}\n",
+             \"threads\": {}, \"wall_seconds\": {:.6}, \"series_terms\": {}{}{}{}{}}}{}\n",
             json_escape(&r.grid),
             json_escape(&r.mode),
             json_escape(&r.schedule),
@@ -246,6 +254,7 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             bytes,
             kernel,
             occupancy,
+            rank,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -312,6 +321,7 @@ mod tests {
                 resident_bytes: None,
                 kernel_seconds: Some(0.25),
                 lane_occupancy: Some(0.9375),
+                update_rank: None,
             },
             BenchRecord {
                 grid: "tiny \"q\" yard".into(),
@@ -323,6 +333,7 @@ mod tests {
                 resident_bytes: Some(4096),
                 kernel_seconds: None,
                 lane_occupancy: None,
+                update_rank: Some(46),
             },
         ];
         let json = bench_records_json(&rows);
@@ -340,6 +351,9 @@ mod tests {
         assert!(json.contains("\"lane_occupancy\": 0.9375"));
         assert_eq!(json.matches("kernel_seconds").count(), 1);
         assert_eq!(json.matches("lane_occupancy").count(), 1);
+        // update_rank appears only on the edit-gate rows.
+        assert!(json.contains("\"update_rank\": 46"));
+        assert_eq!(json.matches("update_rank").count(), 1);
         // Quotes in labels are escaped; exactly one separating comma.
         assert!(json.contains("tiny \\\"q\\\" yard"));
         assert_eq!(json.matches("},").count(), 1);

@@ -41,8 +41,27 @@
 //! 25 kA). The parsed shape lands in [`CadCase::workload`]; the old
 //! [`CadCase::scenarios`] field and [`CadCase::effective_scenarios`]
 //! remain as thin views of the `Scenarios` shape.
+//!
+//! ## Edit stanzas
+//!
+//! A deck may follow its geometry with incremental edits, replayed in
+//! order as an interactive session after the base grid is prepared:
+//!
+//! ```text
+//! edit move 3 0 0 0.2        # translate conductor 3 by (dx dy dz)
+//! edit move 3 b 0 0 0.2      # displace only endpoint b
+//! edit add 5 5 0.8 5 5 2.3 0.007
+//! edit remove 3
+//! ```
+//!
+//! Conductor indices are deck order, 0-based, re-evaluated after each
+//! edit (a `remove` shifts later indices down). Geometry-only moves
+//! re-integrate just the touched element pairs and update the retained
+//! Cholesky factor in place; `add`/`remove` rebuild. Edits accumulate in
+//! [`CadCase::edits`] and cannot be combined with sweep/search stanzas.
 
 use layerbem_core::formulation::{Formulation, SolverChoice};
+use layerbem_core::incremental::{ConductorEnd, EditOp};
 use layerbem_core::safety::{BodyWeight, ConductorMaterial, SafetyCriteria};
 use layerbem_core::study::Scenario;
 use layerbem_core::workload::Workload;
@@ -81,6 +100,11 @@ pub struct CadCase {
     /// The last `grid rect` stanza's geometry, kept as the template a
     /// `search` workload re-derives candidate layouts from.
     pub grid_spec: Option<RectGridSpec>,
+    /// `edit` stanzas in deck order, replayed as an interactive session
+    /// against the base geometry: each edit re-integrates only the
+    /// touched element pairs and updates the retained factor in place
+    /// instead of re-running the full prepare.
+    pub edits: Vec<EditOp>,
 }
 
 impl CadCase {
@@ -225,6 +249,87 @@ fn parse_range(line: usize, spec: &str, what: &str) -> Result<(f64, f64, usize),
     Ok((lo, hi, n))
 }
 
+/// Parses one `edit` stanza:
+///
+/// ```text
+/// edit move I dx dy dz        # translate conductor I rigidly
+/// edit move I a|b dx dy dz    # displace one endpoint of conductor I
+/// edit add x0 y0 z0 x1 y1 z1 r
+/// edit remove I
+/// ```
+///
+/// Only shape and numeric sanity are validated here; whether the edit
+/// produces a solvable model (connectivity, buried conductors after the
+/// move) is checked when the session replays it.
+fn parse_edit(line: usize, rest: &[&str]) -> Result<EditOp, ParseError> {
+    let usage = "edit expects 'move I [a|b] dx dy dz', 'add x0 y0 z0 x1 y1 z1 r' or 'remove I'";
+    let kind = *rest.first().ok_or_else(|| err(line, usage))?;
+    let index = |s: &str| -> Result<usize, ParseError> {
+        s.parse()
+            .map_err(|_| err(line, "edit expects a conductor index (deck order, 0-based)"))
+    };
+    match kind {
+        "move" => {
+            let i = index(rest.get(1).copied().ok_or_else(|| err(line, usage))?)?;
+            match rest.len() {
+                5 => {
+                    let v = parse_floats(line, &rest[2..], 3, "edit move")?;
+                    Ok(EditOp::Move {
+                        index: i,
+                        delta: [v[0], v[1], v[2]],
+                    })
+                }
+                6 => {
+                    let end = match rest[2] {
+                        "a" => ConductorEnd::A,
+                        "b" => ConductorEnd::B,
+                        other => {
+                            return Err(err(
+                                line,
+                                format!("edit move endpoint must be 'a' or 'b', got '{other}'"),
+                            ))
+                        }
+                    };
+                    let v = parse_floats(line, &rest[3..], 3, "edit move")?;
+                    Ok(EditOp::MoveEnd {
+                        index: i,
+                        end,
+                        delta: [v[0], v[1], v[2]],
+                    })
+                }
+                _ => Err(err(line, usage)),
+            }
+        }
+        "add" => {
+            let v = parse_floats(line, &rest[1..], 7, "edit add")?;
+            if v[6] <= 0.0 {
+                return Err(err(line, "conductor radius must be positive"));
+            }
+            if v[2] < 0.0 || v[5] < 0.0 {
+                return Err(err(line, "conductors must be buried (z >= 0)"));
+            }
+            let a = Point3::new(v[0], v[1], v[2]);
+            let b = Point3::new(v[3], v[4], v[5]);
+            let length = a.distance(b);
+            if length.is_nan() || length <= 0.0 {
+                return Err(err(line, "edit add describes a zero-length conductor"));
+            }
+            Ok(EditOp::Add {
+                conductor: Conductor::new(a, b, v[6]),
+            })
+        }
+        "remove" => {
+            if rest.len() != 2 {
+                return Err(err(line, usage));
+            }
+            Ok(EditOp::Remove {
+                index: index(rest[1])?,
+            })
+        }
+        other => Err(err(line, format!("unknown edit kind '{other}'"))),
+    }
+}
+
 /// Parses a case deck from text.
 pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
     let mut title = "untitled".to_string();
@@ -241,6 +346,7 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
     // once everything is parsed.
     let mut sweep: Option<(usize, u64, f64, usize)> = None;
     let mut search: Option<(f64, f64, usize, usize)> = None;
+    let mut edits: Vec<EditOp> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -489,6 +595,9 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
                 let (lo, hi, n) = parse_range(line_no, rest[1], "search pitch")?;
                 search = Some((lo, hi, n, line_no));
             }
+            "edit" => {
+                edits.push(parse_edit(line_no, &rest)?);
+            }
             "max-element-length" => {
                 let v = parse_floats(line_no, &rest, 1, "max-element-length")?;
                 // Floor at 1 mm: grounding conductors are meters long, so
@@ -525,7 +634,15 @@ pub fn parse_case(text: &str) -> Result<CadCase, ParseError> {
         scenarios,
         workload: Workload::Scenarios(effective),
         grid_spec,
+        edits,
     };
+    if !case.edits.is_empty() && (sweep.is_some() || search.is_some()) {
+        return Err(err(
+            0,
+            "edit stanzas replay against the deck's scenarios and cannot \
+             be combined with sweep/search workloads",
+        ));
+    }
     match (sweep, search) {
         (Some(_), Some((_, _, _, line))) => {
             return Err(err(
@@ -582,6 +699,68 @@ max-element-length 5
             }
             _ => panic!("wrong soil model"),
         }
+    }
+
+    #[test]
+    fn parses_edit_stanzas_in_order() {
+        let deck = "\
+grid rect 0 0 20 20 2 2 0.8 0.006
+rod 0 0 0.8 1.5 0.007
+edit move 12 b 0 0 0.25
+edit move 3 0.5 0 0
+edit add 10 10 0.8 10 10 2.3 0.007
+edit remove 0
+";
+        let case = parse_case(deck).unwrap();
+        assert_eq!(case.edits.len(), 4);
+        assert_eq!(
+            case.edits[0],
+            EditOp::MoveEnd {
+                index: 12,
+                end: ConductorEnd::B,
+                delta: [0.0, 0.0, 0.25],
+            }
+        );
+        assert_eq!(
+            case.edits[1],
+            EditOp::Move {
+                index: 3,
+                delta: [0.5, 0.0, 0.0],
+            }
+        );
+        assert!(matches!(case.edits[2], EditOp::Add { .. }));
+        assert_eq!(case.edits[3], EditOp::Remove { index: 0 });
+    }
+
+    #[test]
+    fn edit_stanzas_reject_malformed_lines() {
+        let base = "conductor 0 0 1 5 0 1 0.01\n";
+        for bad in [
+            "edit",
+            "edit move",
+            "edit move x 0 0 0",
+            "edit move 0 c 0 0 0",
+            "edit move 0 1 2",
+            "edit add 0 0 1 0 0 1 0.01", // zero length
+            "edit add 0 0 1 5 0 1 0",    // zero radius
+            "edit add 0 0 -1 5 0 1 0.01",
+            "edit remove",
+            "edit resize 0",
+        ] {
+            let deck = format!("{base}{bad}\n");
+            assert!(parse_case(&deck).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn edits_cannot_combine_with_sweep_or_search_workloads() {
+        let deck = "\
+grid rect 0 0 20 20 2 2 0.8 0.006
+sweep soil-samples 4 seed 1
+edit move 0 b 0 0 0.1
+";
+        let e = parse_case(deck).unwrap_err();
+        assert!(e.message.contains("cannot"), "{e}");
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::time::Instant;
 
 use layerbem_core::assembly::AssemblyMode;
 use layerbem_core::formulation::SolveOptions;
-use layerbem_core::study::{PrepareError, SolveError, StudyProfile};
+use layerbem_core::incremental::{EditError, EditReport, EditSession};
+use layerbem_core::study::{PrepareError, SolveError, Study, StudyProfile};
 use layerbem_core::system::{GroundingSolution, GroundingSystem};
 use layerbem_core::workload::{
     run_design_search, run_soil_sweep, Workload, WorkloadError, WorkloadRow, WorkloadRunError,
@@ -176,6 +177,16 @@ impl From<WorkloadRunError> for PipelineError {
     }
 }
 
+impl From<EditError> for PipelineError {
+    fn from(e: EditError) -> Self {
+        match e {
+            EditError::Prepare(p) => PipelineError::Prepare(p),
+            EditError::Model(why) => PipelineError::Model(why.to_string()),
+            EditError::NotEditable(why) => PipelineError::Model(why.to_string()),
+        }
+    }
+}
+
 /// Checks that a discretized mesh describes one solvable electrode — the
 /// guard both the pipeline and the resident server run *before*
 /// [`GroundingSystem::new`], whose assertions would otherwise abort the
@@ -308,26 +319,56 @@ pub fn run_pipeline_with_assembly(
     match &case.workload {
         Workload::Scenarios(scenarios) => {
             // Phase 3: matrix generation — once, via the staged API, for
-            // both formulations. The study retains the factor.
-            let system = GroundingSystem::new(mesh.clone(), &case.soil, opts);
-            let study = match assembly {
-                Some(mode) => system.prepare_with_mode(mode),
-                None => system.prepare(),
-            }?;
+            // both formulations. The study retains the factor. A deck
+            // with `edit` stanzas opens an editing session instead: the
+            // base geometry is prepared editable, then each edit
+            // re-integrates only the element pairs it touched and
+            // updates the retained factor in place (the explicit
+            // assembly override is a single-assembly benchmarking knob
+            // and does not apply to a session).
+            let (study, mesh, edit_reports): (Study, Mesh, Vec<EditReport>) = if case
+                .edits
+                .is_empty()
+            {
+                let system = GroundingSystem::new(mesh.clone(), &case.soil, opts);
+                let study = match assembly {
+                    Some(mode) => system.prepare_with_mode(mode),
+                    None => system.prepare(),
+                }?;
+                (study, mesh, Vec::new())
+            } else {
+                let mut session =
+                    EditSession::open(case.network.clone(), &case.soil, case.mesh_options, opts)?;
+                let mut reports = Vec::with_capacity(case.edits.len());
+                for op in &case.edits {
+                    reports.push(session.apply(op)?);
+                }
+                let study = session.into_study();
+                let mesh = study
+                    .edited_mesh()
+                    .expect("sessions hold editable studies")
+                    .clone();
+                (study, mesh, reports)
+            };
             let profile = study.profile();
-            times.seconds[2] = profile.assembly_seconds;
+            times.seconds[2] = profile.assembly_seconds + profile.reintegrate_seconds;
 
             // Phase 4: linear system solving — the one-time factorization
-            // plus every scenario's back-substitution (previously the
-            // collocation assembly was lumped in here too; phases now
-            // attribute honestly).
+            // (plus any per-edit factor updates) and every scenario's
+            // back-substitution (previously the collocation assembly was
+            // lumped in here too; phases now attribute honestly).
             let t = Instant::now();
             let solutions = study.solve_batch(scenarios)?;
-            times.seconds[3] = profile.factor_seconds + t.elapsed().as_secs_f64();
+            times.seconds[3] =
+                profile.factor_seconds + profile.update_seconds + t.elapsed().as_secs_f64();
 
             // Phase 5: results storage (report formatting).
             let t = Instant::now();
             let mut text = text_report(&case.title, &case.soil, &mesh, &solutions[0]);
+            if !edit_reports.is_empty() {
+                text.push('\n');
+                text.push_str(&edit_session_report(&edit_reports));
+            }
             if solutions.len() > 1 {
                 text.push('\n');
                 text.push_str(&sweep_report(&solutions));
@@ -404,6 +445,29 @@ pub fn run_pipeline_with_assembly(
     }
 }
 
+/// Formats the per-edit session table the results-storage phase appends
+/// when a deck replays `edit` stanzas: one row per edit with the route
+/// taken and what it touched and paid.
+fn edit_session_report(reports: &[EditReport]) -> String {
+    let mut s = String::from(
+        "Edit session\n  #  path         elements  rows  rank  reintegrate(s)  update(s)\n",
+    );
+    for (i, r) in reports.iter().enumerate() {
+        let path = r.path.label();
+        s.push_str(&format!(
+            "{:>3}  {:<11}  {:>8}  {:>4}  {:>4}  {:>14.6}  {:>9.6}\n",
+            i + 1,
+            path,
+            r.changed_elements,
+            r.touched_rows,
+            r.update_rank,
+            r.reintegrate_seconds,
+            r.update_seconds,
+        ));
+    }
+    s
+}
+
 /// Sums per-study instrumentation over a workload's rows: counters and
 /// seconds add; the per-study compression/occupancy summaries do not
 /// aggregate meaningfully and are dropped.
@@ -418,6 +482,9 @@ fn aggregate_profile<'a>(profiles: impl Iterator<Item = &'a StudyProfile>) -> St
         kernel_terms: 0,
         kernel_seconds: 0.0,
         lane_occupancy: None,
+        edits: 0,
+        reintegrate_seconds: 0.0,
+        update_seconds: 0.0,
     };
     for p in profiles {
         total.assemblies += p.assemblies;
@@ -427,6 +494,9 @@ fn aggregate_profile<'a>(profiles: impl Iterator<Item = &'a StudyProfile>) -> St
         total.scenario_solves += p.scenario_solves;
         total.kernel_terms += p.kernel_terms;
         total.kernel_seconds += p.kernel_seconds;
+        total.edits += p.edits;
+        total.reintegrate_seconds += p.reintegrate_seconds;
+        total.update_seconds += p.update_seconds;
     }
     total
 }
@@ -446,6 +516,62 @@ grid rect 0 0 20 20 2 2 0.8 0.006
     fn run() -> PipelineResult {
         let case = parse_case(CASE).unwrap();
         run_pipeline(&case, SolveOptions::default(), 0.001).expect("pipeline succeeds")
+    }
+
+    #[test]
+    fn edit_decks_replay_as_a_session_and_match_the_edited_deck() {
+        // Moving the rod's free bottom end 0.2 m deeper is the same model
+        // as a deck whose rod is 1.7 m long from the start.
+        let edited = "\
+title Edit replay
+soil uniform 0.016
+gpr 10000
+solver cholesky
+grid rect 0 0 20 20 2 2 0.8 0.006
+rod 0 0 0.8 1.5 0.007
+max-element-length 5
+edit move 12 b 0 0 0.2
+";
+        let direct = "\
+title Edit replay
+soil uniform 0.016
+gpr 10000
+solver cholesky
+grid rect 0 0 20 20 2 2 0.8 0.006
+rod 0 0 0.8 1.7 0.007
+max-element-length 5
+";
+        let a = run_pipeline(&parse_case(edited).unwrap(), SolveOptions::default(), 0.0)
+            .expect("session pipeline");
+        let b = run_pipeline(&parse_case(direct).unwrap(), SolveOptions::default(), 0.0)
+            .expect("direct pipeline");
+        let ra = a.solution().equivalent_resistance;
+        let rb = b.solution().equivalent_resistance;
+        let rel = (ra - rb).abs() / rb;
+        assert!(rel <= 1e-8, "session vs direct Req rel {rel:.3e}");
+        assert_eq!(a.profile.edits, 1);
+        assert_eq!(a.profile.assemblies, 1, "the move must not re-assemble");
+        assert!(a.report.contains("Edit session"), "{}", a.report);
+        assert!(a.report.contains("incremental"), "{}", a.report);
+        // The result mesh is the edited one.
+        assert_eq!(a.mesh.element_count(), b.mesh.element_count());
+    }
+
+    #[test]
+    fn edit_decks_surface_model_errors_instead_of_panicking() {
+        // Removing the only bridge to the rod would disconnect... here:
+        // removing a perimeter segment leaves the grid connected, but
+        // moving a shared-corner grid conductor detaches it — a typed
+        // model error, not an assertion failure.
+        let deck = "\
+soil uniform 0.016
+grid rect 0 0 20 20 2 2 0.8 0.006
+solver cholesky
+edit move 0 1 0 0
+";
+        let e = run_pipeline(&parse_case(deck).unwrap(), SolveOptions::default(), 0.0)
+            .expect_err("disconnecting edit must fail");
+        assert!(matches!(e, PipelineError::Model(_)), "{e:?}");
     }
 
     #[test]

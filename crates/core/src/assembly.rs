@@ -157,7 +157,7 @@ impl AssemblyReport {
 }
 
 /// One 2×2 elemental matrix: `block[j][i] = ∫_β w_j ∫_α G N_i`.
-type Block = [[f64; 2]; 2];
+pub(crate) type Block = [[f64; 2]; 2];
 
 /// Precomputes element geometries from a mesh.
 pub fn element_geoms(mesh: &Mesh) -> Vec<ElementGeom> {
@@ -310,7 +310,7 @@ fn pair_block_batched(
 /// `batch` is the caller's reusable scratch (untouched on the scalar
 /// path).
 #[inline]
-fn pair_block_eval(
+pub(crate) fn pair_block_eval(
     beta: &ElementGeom,
     alpha: &ElementGeom,
     kernel: &SoilKernel,
@@ -385,7 +385,7 @@ fn compute_column(
 /// — is identical whether contributions are applied to the whole matrix
 /// (staged modes) or filtered into a row-range view (direct mode).
 #[inline]
-fn scatter_pair(
+pub(crate) fn scatter_pair(
     nb: [usize; 2],
     na: [usize; 2],
     diagonal_pair: bool,

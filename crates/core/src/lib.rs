@@ -25,6 +25,9 @@
 //!   assembles and factorizes **once**, the returned [`study::Study`]
 //!   answers GPR / fault-current scenarios at back-substitution cost,
 //!   bit-identical to independent legacy solves.
+//! * [`incremental`] — interactive editing: mesh diffs, touched-pair
+//!   re-integration and rank-`2m` Cholesky update/downdate, so a CAD
+//!   edit costs `O(m·M)` kernel work instead of a fresh `O(M²)` assembly.
 //! * [`post`] — surface potential maps (Figs 5.2/5.4) and touch/step/mesh
 //!   voltages.
 //! * [`safety`] — IEEE Std 80 permissible-limit checks, the design
@@ -38,6 +41,7 @@ pub mod assembly;
 pub mod contours;
 pub mod formulation;
 pub mod images;
+pub mod incremental;
 pub mod integration;
 pub mod kernel;
 pub mod post;
@@ -48,6 +52,10 @@ pub mod workload;
 
 pub use assembly::{AssemblyMode, AssemblyReport};
 pub use formulation::{Formulation, SolveOptions, SolverChoice};
+pub use incremental::{
+    apply_op, ConductorEnd, DeltaKind, EditError, EditOp, EditPath, EditReport, EditSession,
+    MeshDelta,
+};
 pub use kernel::SoilKernel;
 pub use post::PotentialMap;
 pub use study::{PrepareError, Scenario, SolveError, Study, StudyProfile};

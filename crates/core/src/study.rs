@@ -263,11 +263,22 @@ pub struct StudyProfile {
     /// lanes ran (the scalar oracle path, or a soil model whose image
     /// series never batched).
     pub lane_occupancy: Option<f64>,
+    /// Incremental edits applied through [`Study::apply_edit`] (0 for
+    /// studies prepared without edit state).
+    pub edits: usize,
+    /// Cumulative seconds re-integrating touched element pairs across all
+    /// edits (the incremental counterpart of `assembly_seconds`).
+    pub reintegrate_seconds: f64,
+    /// Cumulative seconds updating or refactorizing the retained engine
+    /// across all edits (the incremental counterpart of
+    /// `factor_seconds`).
+    pub update_seconds: f64,
 }
 
 /// The retained solver state: exactly one variant per
 /// [`SolverChoice`](crate::formulation::SolverChoice) path.
-enum Engine {
+#[derive(Clone)]
+pub(crate) enum Engine {
     /// Packed `L·Lᵀ` factor of the Galerkin matrix.
     Cholesky(CholeskyFactor),
     /// Pivoted LU of the dense (Galerkin-expanded or collocation) matrix.
@@ -291,36 +302,44 @@ enum Engine {
 /// owns everything it needs — factor, right-hand side, current weights,
 /// solve options — so it may outlive the system that built it.
 pub struct Study {
-    opts: crate::formulation::SolveOptions,
-    engine: Engine,
+    pub(crate) opts: crate::formulation::SolveOptions,
+    pub(crate) engine: Engine,
     /// Unit-GPR right-hand side of the retained formulation (`ν` for
     /// Galerkin, the unit boundary potentials for collocation).
-    rhs: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
     /// Galerkin weights `ν_i = ∫ N_i dΓ` for the current integral
     /// `IΓ = Σ q_i ν_i` (identical to `rhs` for Galerkin).
-    nu: Vec<f64>,
+    pub(crate) nu: Vec<f64>,
     /// Per-column assembly cost profile (Galerkin engines; empty for
     /// collocation).
-    column_seconds: Vec<f64>,
-    column_terms: Vec<u64>,
+    pub(crate) column_seconds: Vec<f64>,
+    pub(crate) column_terms: Vec<u64>,
     /// Series terms with no per-column attribution (the hierarchical
     /// engine's near pairs + ACA-sampled far entries; 0 for the dense
     /// engines, whose terms live in `column_terms`).
-    bulk_terms: u64,
+    pub(crate) bulk_terms: u64,
     /// Compression accounting of the retained operator (hierarchical
     /// engine only).
-    compression: Option<CompressionStats>,
+    pub(crate) compression: Option<CompressionStats>,
     /// Batched-lane accounting of the kernel phase: occupied lane points
     /// and padded lane slots (both 0 on the scalar oracle path).
-    lane_points: u64,
-    lane_slots: u64,
+    pub(crate) lane_points: u64,
+    pub(crate) lane_slots: u64,
     /// Seconds inside kernel evaluation (see
     /// [`StudyProfile::kernel_seconds`]).
-    kernel_seconds: f64,
-    assembly_seconds: f64,
-    factor_seconds: f64,
-    factorizations: usize,
-    solves: AtomicUsize,
+    pub(crate) kernel_seconds: f64,
+    pub(crate) assembly_seconds: f64,
+    pub(crate) factor_seconds: f64,
+    pub(crate) factorizations: usize,
+    pub(crate) solves: AtomicUsize,
+    /// Incremental-edit state ([`crate::incremental`]): the retained
+    /// mesh, kernel and (for the direct engine) assembled operator that
+    /// [`Study::apply_edit`] diffs and scatters into. `None` for studies
+    /// prepared through the ordinary paths — editing is opt-in via
+    /// [`GroundingSystem::prepare_editable`], because retaining the
+    /// assembled operator next to its factor doubles the direct engine's
+    /// resident footprint.
+    pub(crate) edit: Option<Box<crate::incremental::EditState>>,
 }
 
 impl std::fmt::Debug for Study {
@@ -390,6 +409,7 @@ impl Study {
                         factor_seconds: 0.0,
                         factorizations: 0,
                         solves: AtomicUsize::new(0),
+                        edit: None,
                     })
                 }
             },
@@ -443,6 +463,7 @@ impl Study {
                     factor_seconds: t.elapsed().as_secs_f64(),
                     factorizations: 1,
                     solves: AtomicUsize::new(0),
+                    edit: None,
                 })
             }
         }
@@ -477,6 +498,7 @@ impl Study {
             factor_seconds: t.elapsed().as_secs_f64(),
             factorizations,
             solves: AtomicUsize::new(0),
+            edit: None,
         })
     }
 
@@ -515,6 +537,7 @@ impl Study {
             factor_seconds: t.elapsed().as_secs_f64(),
             factorizations,
             solves: AtomicUsize::new(0),
+            edit: None,
         })
     }
 
@@ -522,7 +545,7 @@ impl Study {
     /// solvers only read the matrix (owned input is dropped after
     /// factoring — no transient copy either way); the PCG engine keeps
     /// it, taking ownership or cloning as the `Cow` dictates.
-    fn galerkin_engine(
+    pub(crate) fn galerkin_engine(
         opts: &crate::formulation::SolveOptions,
         matrix: std::borrow::Cow<'_, SymMatrix>,
     ) -> Result<(Engine, usize), PrepareError> {
@@ -577,12 +600,49 @@ impl Study {
             Engine::Pcg(m) => 8 * m.packed().len(),
             Engine::Hierarchical(hm) => hm.resident_bytes(),
         };
-        engine + vectors
+        // Editable studies additionally retain the assembled operator for
+        // the fallback refactorization (direct engine only); the mesh and
+        // kernel they also keep are O(N) next to it, excluded like the
+        // instrumentation profiles.
+        let edit = self
+            .edit
+            .as_deref()
+            .map_or(0, |e| e.retained_matrix_bytes());
+        engine + vectors + edit
     }
 
     /// The solve options the study was prepared with.
     pub fn options(&self) -> &crate::formulation::SolveOptions {
         &self.opts
+    }
+
+    /// An immutable snapshot of this study with the incremental-edit
+    /// state dropped: the form a serving cache shares behind an `Arc`
+    /// after a session finishes editing. The engine, right-hand side and
+    /// instrumentation are cloned as-is (solutions bit-identical to the
+    /// edited original); the retained mesh/operator stays with the
+    /// private editable handle, so the snapshot's
+    /// [`resident_bytes`](Self::resident_bytes) drops back to the
+    /// ordinary engine formula.
+    pub fn frozen_clone(&self) -> Study {
+        Study {
+            opts: self.opts,
+            engine: self.engine.clone(),
+            rhs: self.rhs.clone(),
+            nu: self.nu.clone(),
+            column_seconds: self.column_seconds.clone(),
+            column_terms: self.column_terms.clone(),
+            bulk_terms: self.bulk_terms,
+            compression: self.compression,
+            lane_points: self.lane_points,
+            lane_slots: self.lane_slots,
+            kernel_seconds: self.kernel_seconds,
+            assembly_seconds: self.assembly_seconds,
+            factor_seconds: self.factor_seconds,
+            factorizations: self.factorizations,
+            solves: AtomicUsize::new(self.solves.load(Ordering::Relaxed)),
+            edit: None,
+        }
     }
 
     /// Per-column assembly wall seconds (Galerkin; empty for
@@ -614,8 +674,11 @@ impl Study {
     /// Phase instrumentation: what `prepare` paid and how many scenarios
     /// it has served.
     pub fn profile(&self) -> StudyProfile {
+        let e = self.edit.as_deref();
         StudyProfile {
-            assemblies: 1,
+            // Topology-changing edits rebuild the whole operator; each
+            // rebuild is a full extra assembly.
+            assemblies: 1 + e.map_or(0, |e| e.rebuilds),
             factorizations: self.factorizations,
             assembly_seconds: self.assembly_seconds,
             factor_seconds: self.factor_seconds,
@@ -624,6 +687,9 @@ impl Study {
             kernel_terms: self.total_terms(),
             kernel_seconds: self.kernel_seconds,
             lane_occupancy: self.lane_occupancy(),
+            edits: e.map_or(0, |e| e.edits),
+            reintegrate_seconds: e.map_or(0.0, |e| e.reintegrate_seconds),
+            update_seconds: e.map_or(0.0, |e| e.update_seconds),
         }
     }
 

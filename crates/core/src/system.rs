@@ -115,6 +115,21 @@ impl GroundingSystem {
         Study::prepare(self, mode)
     }
 
+    /// Like [`prepare`](Self::prepare), but the returned [`Study`] also
+    /// retains the edit state ([`Study::apply_edit`]) an interactive
+    /// session needs: the mesh, the kernel and — for the direct engine —
+    /// the assembled operator, so edits re-integrate only touched pairs
+    /// and update the factor in place instead of re-running the full
+    /// pipeline.
+    ///
+    /// # Errors
+    /// [`PrepareError::UnsupportedBackend`] unless the study uses the
+    /// dense Galerkin operator with the Cholesky or conjugate-gradient
+    /// solver; otherwise as [`prepare`](Self::prepare).
+    pub fn prepare_editable(&self) -> Result<Study, PrepareError> {
+        Study::prepare_editable(self)
+    }
+
     /// Factorizes an already-generated Galerkin report into a [`Study`]
     /// (retaining a copy of what it needs). Like the legacy
     /// `solve_assembled`, the report is treated as a Galerkin system

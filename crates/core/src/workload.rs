@@ -865,6 +865,9 @@ mod tests {
                     kernel_terms: 0,
                     kernel_seconds: 0.0,
                     lane_occupancy: None,
+                    edits: 0,
+                    reintegrate_seconds: 0.0,
+                    update_seconds: 0.0,
                 },
             })
             .collect();

@@ -1,0 +1,138 @@
+//! Bitwise determinism of the incremental-edit subsystem across
+//! schedules × thread counts.
+//!
+//! `Study::apply_edit` is deterministic by construction: pair
+//! re-integration writes disjoint per-run slots, the delta scatter and
+//! the rank-1 factor sweeps run serially in fixed order, and the
+//! fallback refactorization is the pooled-blocked kernel that is
+//! bit-identical to its serial form. This suite pins that claim: the
+//! same edit sequence must produce **bitwise identical** solutions
+//! whether the session runs serially or pooled, under any schedule, on
+//! 1–8 threads.
+
+use layerbem_core::{
+    ConductorEnd, EditOp, EditPath, EditSession, Scenario, SolveOptions, SolverChoice,
+};
+use layerbem_geometry::{conductor::ground_rod, grids, ConductorNetwork, MeshOptions, Point3};
+use layerbem_parfor::{Schedule, ThreadPool};
+use layerbem_soil::SoilModel;
+
+fn network() -> ConductorNetwork {
+    let mut net = grids::rectangular_grid(grids::RectGridSpec {
+        origin: (0.0, 0.0),
+        width: 12.0,
+        height: 12.0,
+        nx: 2,
+        ny: 2,
+        depth: 0.6,
+        radius: 0.007,
+    });
+    net.add(ground_rod(Point3::new(0.0, 0.0, 0.6), 1.5, 0.007));
+    net.add(ground_rod(Point3::new(12.0, 12.0, 0.6), 1.5, 0.007));
+    net
+}
+
+fn mesh_opts() -> MeshOptions {
+    MeshOptions {
+        max_element_length: 3.1,
+        ..Default::default()
+    }
+}
+
+/// The edit script every configuration replays: two rod-end moves (the
+/// incremental path) and one rod addition (the rebuild path).
+fn script(rod0: usize, rod1: usize) -> Vec<EditOp> {
+    vec![
+        EditOp::MoveEnd {
+            index: rod0,
+            end: ConductorEnd::B,
+            delta: [0.0, 0.0, 0.2],
+        },
+        EditOp::MoveEnd {
+            index: rod1,
+            end: ConductorEnd::B,
+            delta: [0.15, 0.0, 0.1],
+        },
+        EditOp::Add {
+            conductor: ground_rod(Point3::new(6.0, 6.0, 0.6), 1.5, 0.007),
+        },
+    ]
+}
+
+/// Runs the script under `opts`, returning the bit patterns of the final
+/// solution (leakage vector + scalars) and the per-edit paths taken.
+fn run(opts: SolveOptions) -> (Vec<u64>, Vec<EditPath>) {
+    let net = network();
+    let rod0 = net.len() - 2;
+    let rod1 = net.len() - 1;
+    let soil = SoilModel::uniform(0.016);
+    let mut session = EditSession::open(net, &soil, mesh_opts(), opts).expect("open");
+    let mut paths = Vec::new();
+    for op in script(rod0, rod1) {
+        paths.push(session.apply(&op).expect("edit").path);
+    }
+    let sol = session
+        .study()
+        .solve(&Scenario::fault_current(25_000.0))
+        .expect("solve");
+    let mut bits: Vec<u64> = sol.leakage.iter().map(|v| v.to_bits()).collect();
+    bits.push(sol.gpr.to_bits());
+    bits.push(sol.equivalent_resistance.to_bits());
+    bits.push(sol.total_current.to_bits());
+    (bits, paths)
+}
+
+#[test]
+fn apply_edit_is_bitwise_deterministic_across_schedules_and_threads() {
+    let base = SolveOptions {
+        solver: SolverChoice::Cholesky,
+        ..Default::default()
+    };
+    let (reference, paths) = run(base);
+    // The script must actually exercise both routes, or the test pins
+    // nothing.
+    assert_eq!(
+        paths,
+        vec![
+            EditPath::Incremental,
+            EditPath::Incremental,
+            EditPath::Rebuild
+        ]
+    );
+    let schedules = [
+        ("static", Schedule::static_chunk(1)),
+        ("dynamic", Schedule::dynamic(1)),
+        ("guided", Schedule::guided(1)),
+    ];
+    for threads in [1usize, 2, 4, 8] {
+        for (name, schedule) in schedules {
+            let opts = base.with_parallelism(ThreadPool::new(threads), schedule);
+            let (bits, p) = run(opts);
+            assert_eq!(p, paths, "paths diverged: {threads} threads, {name}");
+            assert_eq!(
+                bits, reference,
+                "solution bits diverged from serial: {threads} threads, {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pcg_sessions_are_bitwise_deterministic_too() {
+    let base = SolveOptions::default();
+    let (reference, paths) = run(base);
+    assert_eq!(
+        paths,
+        vec![
+            EditPath::Incremental,
+            EditPath::Incremental,
+            EditPath::Rebuild
+        ]
+    );
+    for threads in [2usize, 4] {
+        let opts = base.with_parallelism(ThreadPool::new(threads), Schedule::dynamic(1));
+        let (bits, p) = run(opts);
+        assert_eq!(p, paths, "paths diverged: {threads} threads");
+        assert_eq!(bits, reference, "PCG bits diverged: {threads} threads");
+    }
+}

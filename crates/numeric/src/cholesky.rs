@@ -356,6 +356,12 @@ impl CholeskyFactor {
         &self.l
     }
 
+    /// Mutable view of the packed lower triangle, for the sibling
+    /// [`update`](crate::update) module's in-place rank-1 sweeps.
+    pub(crate) fn packed_l_mut(&mut self) -> &mut [f64] {
+        &mut self.l
+    }
+
     /// Entry `(i, j)` of `L` (zero above the diagonal).
     pub fn l_entry(&self, i: usize, j: usize) -> f64 {
         if j > i {

@@ -61,6 +61,7 @@ pub mod quadrature;
 pub mod rng;
 pub mod series;
 pub mod symmetric;
+pub mod update;
 pub mod vector;
 
 pub use aca::{aca, aca_sampled, AcaError, LowRank, MatrixSampler};
@@ -76,6 +77,7 @@ pub use quadrature::GaussLegendre;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use series::{BatchSeriesResult, ChunkedKahan, KahanSum, SeriesOptions, SeriesResult};
 pub use symmetric::{SymMatrix, SymRowsMut};
+pub use update::{apply_sym_modification, incremental_worthwhile, SymModification, UpdateError};
 
 /// Numerical tolerance used by the test-suites of this workspace when
 /// comparing floating point results that should agree to round-off.

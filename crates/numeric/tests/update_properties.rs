@@ -1,0 +1,198 @@
+//! Property-based tests of the rank-k Cholesky update/downdate kernels
+//! (`layerbem_numeric::update`): random SPD matrices, full-refactorization
+//! oracles, exact failure typing, and the pinned fallback threshold.
+
+use proptest::prelude::*;
+
+use layerbem_numeric::cholesky::CholeskyFactor;
+use layerbem_numeric::dense::DenseMatrix;
+use layerbem_numeric::symmetric::SymMatrix;
+use layerbem_numeric::update::{
+    apply_sym_modification, incremental_worthwhile, SymModification, UpdateError,
+};
+
+const N: usize = 12;
+
+/// Random SPD matrix: A = Bᵀ·B + n·I with random B (same recipe as the
+/// substrate's factorization property suite).
+fn spd_strategy(n: usize) -> impl Strategy<Value = SymMatrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let b = DenseMatrix::from_rows(n, n, vals);
+        let btb = b.transpose().matmul(&b);
+        let mut a = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = 0.5 * (btb.get(i, j) + btb.get(j, i));
+                a.set(i, j, if i == j { v + n as f64 } else { v });
+            }
+        }
+        a
+    })
+}
+
+/// Frobenius norm of a packed symmetric matrix (both triangles counted).
+fn fro_norm(a: &SymMatrix) -> f64 {
+    let n = a.order();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            s += a.get(i, j) * a.get(i, j);
+        }
+    }
+    s.sqrt()
+}
+
+/// Entrywise distance between two factors' packed lower triangles.
+fn factor_distance(x: &CholeskyFactor, y: &CholeskyFactor) -> f64 {
+    let n = x.order();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..=i {
+            worst = worst.max((x.l_entry(i, j) - y.l_entry(i, j)).abs());
+        }
+    }
+    worst
+}
+
+/// A symmetric perturbation supported on `rows`, returned as the full
+/// delta columns [`SymModification::new`] consumes. Entries are small
+/// against the `+ n·I` diagonal shift, so the perturbed matrix stays SPD.
+fn modification_strategy(n: usize) -> impl Strategy<Value = (Vec<usize>, Vec<Vec<f64>>)> {
+    (
+        prop::collection::vec(any::<bool>(), n),
+        prop::collection::vec(-0.4f64..0.4, n * n),
+    )
+        .prop_map(move |(mask, vals)| {
+            let mut rows: Vec<usize> = (0..n).filter(|&r| mask[r]).collect();
+            if rows.is_empty() {
+                rows.push(0);
+            }
+            // Build a dense symmetric delta supported on the touched
+            // rows/columns; later writes win, symmetrically.
+            let mut delta = vec![vec![0.0f64; n]; n];
+            for &r in &rows {
+                for i in 0..n {
+                    let v = vals[r * n + i];
+                    delta[i][r] = v;
+                    delta[r][i] = v;
+                }
+            }
+            let cols: Vec<Vec<f64>> = rows.iter().map(|&r| delta[r].clone()).collect();
+            (rows, cols)
+        })
+}
+
+proptest! {
+    #[test]
+    fn rank1_update_matches_full_refactorization(
+        a in spd_strategy(N),
+        x in prop::collection::vec(-0.5f64..0.5, N),
+    ) {
+        let mut updated = CholeskyFactor::factor(&a).expect("SPD");
+        updated.rank1_update(&x).expect("update never leaves the SPD cone");
+        let mut a2 = a.clone();
+        for i in 0..N {
+            for j in 0..=i {
+                a2.add(i, j, x[i] * x[j]);
+            }
+        }
+        let oracle = CholeskyFactor::factor(&a2).expect("still SPD");
+        let tol = 1e-10 * fro_norm(&a);
+        prop_assert!(factor_distance(&updated, &oracle) <= tol);
+    }
+
+    #[test]
+    fn downdate_inverts_update_to_roundoff(
+        a in spd_strategy(N),
+        x in prop::collection::vec(-0.5f64..0.5, N),
+    ) {
+        let original = CholeskyFactor::factor(&a).expect("SPD");
+        let mut f = CholeskyFactor::factor(&a).expect("SPD");
+        f.rank1_update(&x).expect("update");
+        f.rank1_downdate(&x).expect("removing what was just added stays SPD");
+        let tol = 1e-10 * fro_norm(&a);
+        prop_assert!(factor_distance(&f, &original) <= tol);
+    }
+
+    #[test]
+    fn downdate_rejects_indefinite_results_with_the_failing_column(
+        a in spd_strategy(N),
+        scale in 1.01f64..3.0,
+    ) {
+        // x = α·e₀ with α² > A₀₀ drives the (0,0) entry negative: the
+        // sweep must fail at column 0 and type the failure.
+        let mut f = CholeskyFactor::factor(&a).expect("SPD");
+        let mut x = vec![0.0; N];
+        x[0] = scale * a.get(0, 0).sqrt();
+        prop_assert_eq!(
+            f.rank1_downdate(&x).err(),
+            Some(UpdateError::Indefinite { column: 0 })
+        );
+    }
+
+    #[test]
+    fn rank_k_modification_matches_full_refactorization(
+        a in spd_strategy(N),
+        (rows, cols) in modification_strategy(N),
+    ) {
+        let m = SymModification::new(N, rows.clone(), cols.clone());
+        prop_assert_eq!(m.rank(), 2 * rows.len());
+
+        let mut f = CholeskyFactor::factor(&a).expect("SPD");
+        let rank = apply_sym_modification(&mut f, &m)
+            .expect("perturbation is small against the diagonal shift");
+        prop_assert_eq!(rank, 2 * rows.len());
+
+        // Oracle: apply the same delta entrywise and refactorize. The
+        // stored columns carry coupling entries (both endpoints touched)
+        // twice, so halve exactly those; a touched diagonal lives in its
+        // own column only and lands whole.
+        let mut a2 = a.clone();
+        for (j, col) in cols.iter().enumerate() {
+            let r = rows[j];
+            for (i, &v) in col.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                let v = if i != r && rows.binary_search(&i).is_ok() {
+                    0.5 * v
+                } else {
+                    v
+                };
+                a2.add(i.max(r), i.min(r), v);
+            }
+        }
+        let oracle = CholeskyFactor::factor(&a2).expect("still SPD");
+        let tol = 1e-10 * fro_norm(&a);
+        prop_assert!(factor_distance(&f, &oracle) <= tol);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_typed_not_panics(
+        a in spd_strategy(N),
+        extra in 1usize..4,
+    ) {
+        let mut f = CholeskyFactor::factor(&a).expect("SPD");
+        let wrong = vec![0.0; N + extra];
+        prop_assert_eq!(
+            f.rank1_update(&wrong).err(),
+            Some(UpdateError::DimensionMismatch { expected: N, got: N + extra })
+        );
+        prop_assert_eq!(
+            f.rank1_downdate(&wrong).err(),
+            Some(UpdateError::DimensionMismatch { expected: N, got: N + extra })
+        );
+    }
+
+    #[test]
+    fn fallback_threshold_is_pinned_at_one_sixth(n in 6usize..600) {
+        // The cost model routes incremental updates only while the
+        // touched-row count stays under n/6 (2·(n/6) rank-1 sweeps ≈
+        // n³/9 flops vs n³/3 for a refactorization: a 3× margin). The
+        // boundary itself must not drift.
+        prop_assert!(incremental_worthwhile(n, n / 6));
+        prop_assert!(!incremental_worthwhile(n, n / 6 + 1));
+        prop_assert!(!incremental_worthwhile(n, 0));
+        prop_assert!(!incremental_worthwhile(n, n));
+    }
+}

@@ -192,6 +192,47 @@ impl StudyCache {
         outcome.map(|s| (s, CacheOutcome::Miss))
     }
 
+    /// Publishes (or replaces) a resident entry under `key`, re-charging
+    /// its [`Study::resident_bytes`] against the budget.
+    ///
+    /// This is the path edited studies take back into the cache.
+    /// [`get_or_prepare`](StudyCache::get_or_prepare) charges bytes once
+    /// at insert, which is sound only while a study's footprint is
+    /// immutable — an edit session can grow it (an editable study
+    /// retains its assembled operator) or shrink it (a republished
+    /// frozen clone drops it), so the accounting must be redone here:
+    /// the old entry's bytes are released, the new study's charged, and
+    /// the LRU pass runs so a republished study can never silently push
+    /// the cache past `max_resident_bytes`.
+    ///
+    /// Returns the bytes now charged. If the key is mid-prepare
+    /// (single-flight in progress) the publish is declined and returns
+    /// 0 — the in-flight build's insert would otherwise clobber this
+    /// entry while its bytes stayed counted.
+    pub fn publish(&self, key: StudyKey, study: Arc<Study>) -> usize {
+        let bytes = study.resident_bytes();
+        let mut inner = self.inner.lock().expect("cache lock");
+        let displaced = match inner.slots.get(&key.0) {
+            Some(Slot::Preparing(_)) => return 0,
+            Some(Slot::Ready(e)) => e.bytes,
+            None => 0,
+        };
+        inner.resident_bytes -= displaced;
+        inner.clock += 1;
+        let tick = inner.clock;
+        inner.slots.insert(
+            key.0,
+            Slot::Ready(Entry {
+                study,
+                bytes,
+                last_used: tick,
+            }),
+        );
+        inner.resident_bytes += bytes;
+        self.evict_over_budget(&mut inner, key);
+        bytes
+    }
+
     /// Blocks until the flight's owner publishes a result.
     fn await_flight(flight: &Flight) -> Result<Arc<Study>, RequestError> {
         let mut slot = flight.result.lock().expect("flight lock");
@@ -344,6 +385,67 @@ mod tests {
         assert!(s.dof() > 0);
         cache.get_or_prepare(key(2), || Ok(rod_study(1.0))).unwrap();
         assert!(!cache.contains(key(1)), "displaced by the next insert");
+    }
+
+    #[test]
+    fn republishing_an_edited_study_recharges_bytes_and_keeps_the_budget() {
+        use layerbem_core::formulation::SolverChoice;
+        // An *editable* Cholesky study retains its assembled operator, so
+        // it is strictly bigger than the frozen study the cache first
+        // charged for the same key — the footprint-change case `publish`
+        // must re-account.
+        let editable = {
+            let mut net = ConductorNetwork::new();
+            net.add(ground_rod(Point3::new(0.0, 0.0, 0.5), 2.0, 0.007));
+            let mesh = Mesher::new(MeshOptions {
+                max_element_length: 0.5,
+                ..Default::default()
+            })
+            .mesh(&net);
+            let opts = SolveOptions {
+                solver: SolverChoice::Cholesky,
+                ..Default::default()
+            };
+            GroundingSystem::new(mesh, &SoilModel::uniform(0.016), opts)
+                .prepare_editable()
+                .expect("prepare editable")
+        };
+        let frozen_bytes = rod_study(0.0).resident_bytes();
+        let editable_bytes = editable.resident_bytes();
+        assert!(
+            editable_bytes > frozen_bytes,
+            "editable ({editable_bytes}) must outweigh frozen ({frozen_bytes})"
+        );
+
+        // Room for two frozen studies (plus slack), not for one frozen
+        // plus the editable.
+        let cache = StudyCache::new(frozen_bytes * 2 + frozen_bytes / 2);
+        cache.get_or_prepare(key(1), || Ok(rod_study(1.0))).unwrap();
+        cache.get_or_prepare(key(2), || Ok(rod_study(0.0))).unwrap();
+
+        // Republish key 2 in its edited (larger) form: the entry is
+        // re-charged and the LRU (key 1) evicted — the budget holds.
+        let charged = cache.publish(key(2), Arc::new(editable));
+        assert_eq!(charged, editable_bytes);
+        let (studies, bytes, evictions) = cache.residency();
+        assert!(
+            bytes <= cache.max_resident_bytes(),
+            "an edited study must not silently exceed the budget \
+             ({bytes} > {})",
+            cache.max_resident_bytes()
+        );
+        assert_eq!(bytes, editable_bytes, "old charge released, new charged");
+        assert_eq!(studies, 1);
+        assert_eq!(evictions, 1);
+        assert!(!cache.contains(key(1)), "LRU evicted to fund the edit");
+        assert!(cache.contains(key(2)));
+
+        // A publish under an absent key simply inserts (and is evictable
+        // like any other entry).
+        let charged = cache.publish(key(3), Arc::new(rod_study(2.0)));
+        assert_eq!(charged, frozen_bytes);
+        assert!(cache.contains(key(3)));
+        assert!(!cache.contains(key(2)), "bigger entry displaced in turn");
     }
 
     #[test]

@@ -43,4 +43,6 @@ pub use errors::{ErrorKind, RequestError};
 pub use json::Json;
 pub use key::StudyKey;
 pub use metrics::Metrics;
-pub use server::{build_study, build_study_for_soil, spawn, ServerConfig, ServerHandle, Service};
+pub use server::{
+    build_study, build_study_for_soil, spawn, EditSessionState, ServerConfig, ServerHandle, Service,
+};

@@ -11,7 +11,13 @@
 //! ← {"ok":true,"op":"sweep","results":[…one per sample…],"gpr":{"p10":…},…}
 //! → {"op":"stats"}
 //! ← {"ok":true,"op":"stats","requests":3,…}
+//! → {"op":"edit","deck":"…","edits":[{"kind":"move-end","index":1,"end":"b","delta":[0,0,0.2]}]}
+//! ← {"ok":true,"op":"edit","dof":…,"reports":[{"path":"incremental",…}],"solutions":[…]}
 //! ```
+//!
+//! `edit` is **session-scoped**: the first request on a connection
+//! carries a deck to open the session; later ones on the same connection
+//! may omit it and keep editing the same (private) study.
 //!
 //! Failures are `{"ok":false,"error":{"kind":…,"message":…}}` — see
 //! [`RequestError`]. Floating-point payloads are written with Rust's
@@ -20,8 +26,10 @@
 //! the server tests use to check cached responses against a direct
 //! [`Study::solve`](layerbem_core::study::Study::solve).
 
+use layerbem_core::incremental::{ConductorEnd, EditOp, EditReport};
 use layerbem_core::study::Scenario;
 use layerbem_core::system::GroundingSolution;
+use layerbem_geometry::{Conductor, Point3};
 
 use crate::errors::RequestError;
 use crate::json::Json;
@@ -61,6 +69,31 @@ pub enum Request {
         scenarios: Option<Vec<Scenario>>,
         /// Whether to include per-element leakage vectors (large).
         include_leakage: bool,
+    },
+    /// Interactive geometry editing against a connection-scoped session.
+    /// A `deck` opens (or replaces) the session — replaying the deck's
+    /// own `edit` stanzas first; without one the connection's existing
+    /// session continues. Each op is applied incrementally
+    /// ([`EditSession::apply`](layerbem_core::incremental::EditSession));
+    /// the response reports the route each edit took and answers the
+    /// scenarios against the edited study. The session's study is
+    /// **private** to the connection — cached `Arc<Study>` entries are
+    /// never mutated; `publish` snapshots the edited study back into the
+    /// cache under its new key, re-charging the residency budget.
+    Edit {
+        /// Deck text opening a fresh session; `None` continues the
+        /// connection's current one.
+        deck: Option<String>,
+        /// Edit operations, applied in order.
+        edits: Vec<EditOp>,
+        /// Scenario overrides; `None` answers the session's deck
+        /// scenarios.
+        scenarios: Option<Vec<Scenario>>,
+        /// Whether to include per-element leakage vectors (large).
+        include_leakage: bool,
+        /// Snapshot the edited study into the shared cache under its
+        /// (new) key, re-accounting resident bytes.
+        publish: bool,
     },
 }
 
@@ -104,6 +137,27 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 sigma,
                 scenarios,
                 include_leakage,
+            })
+        }
+        "edit" => {
+            let deck = match v.get("deck") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| RequestError::protocol("'deck' must be a string"))?,
+                ),
+            };
+            let edits = edits_field(&v)?;
+            let scenarios = scenarios_field(&v)?;
+            let include_leakage = bool_field(&v, "include_leakage")?;
+            let publish = bool_field(&v, "publish")?;
+            Ok(Request::Edit {
+                deck,
+                edits,
+                scenarios,
+                include_leakage,
+                publish,
             })
         }
         other => Err(RequestError::protocol(format!("unknown op '{other}'"))),
@@ -169,6 +223,138 @@ fn count_field(v: &Json, name: &str) -> Result<Option<usize>, RequestError> {
             Ok(Some(n as usize))
         }
     }
+}
+
+/// The optional `edits` array (absent/null reads as no ops — a bare
+/// `edit` request with a deck just opens the session and solves).
+fn edits_field(v: &Json) -> Result<Vec<EditOp>, RequestError> {
+    match v.get("edits") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(list) => list
+            .as_arr()
+            .ok_or_else(|| RequestError::protocol("'edits' must be an array"))?
+            .iter()
+            .map(edit_op_from_json)
+            .collect(),
+    }
+}
+
+/// Parses one edit operation:
+///
+/// ```text
+/// {"kind":"move","index":I,"delta":[dx,dy,dz]}
+/// {"kind":"move-end","index":I,"end":"a"|"b","delta":[dx,dy,dz]}
+/// {"kind":"add","conductor":[x0,y0,z0,x1,y1,z1,r]}
+/// {"kind":"remove","index":I}
+/// ```
+///
+/// Geometric validity of `add` (positive radius, buried endpoints,
+/// non-zero length) is checked here — the same gate the deck parser
+/// applies — because [`Conductor::new`] is entitled to a well-formed
+/// axis. Everything else (index bounds, finiteness, connectivity) flows
+/// into [`apply_op`](layerbem_core::incremental::apply_op)'s own typed
+/// validation.
+fn edit_op_from_json(v: &Json) -> Result<EditOp, RequestError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| RequestError::protocol("edit op expects a string 'kind'"))?;
+    let index = |v: &Json| -> Result<usize, RequestError> {
+        count_field(v, "index")?
+            .ok_or_else(|| RequestError::protocol("edit op expects a non-negative integer 'index'"))
+    };
+    match kind {
+        "move" => Ok(EditOp::Move {
+            index: index(v)?,
+            delta: vec3_field(v, "delta")?,
+        }),
+        "move-end" => {
+            let end = match v.get("end").and_then(Json::as_str) {
+                Some("a") => ConductorEnd::A,
+                Some("b") => ConductorEnd::B,
+                _ => return Err(RequestError::protocol("edit 'end' must be \"a\" or \"b\"")),
+            };
+            Ok(EditOp::MoveEnd {
+                index: index(v)?,
+                end,
+                delta: vec3_field(v, "delta")?,
+            })
+        }
+        "add" => {
+            let arr = v.get("conductor").and_then(Json::as_arr).ok_or_else(|| {
+                RequestError::protocol(
+                    "edit add expects a 7-number 'conductor' array [x0,y0,z0,x1,y1,z1,r]",
+                )
+            })?;
+            if arr.len() != 7 {
+                return Err(RequestError::protocol(format!(
+                    "'conductor' must have 7 numbers [x0,y0,z0,x1,y1,z1,r], got {}",
+                    arr.len()
+                )));
+            }
+            let mut c = [0.0f64; 7];
+            for (i, x) in arr.iter().enumerate() {
+                c[i] = x
+                    .as_f64()
+                    .ok_or_else(|| RequestError::protocol("'conductor' entries must be numbers"))?;
+            }
+            if c[6].is_nan() || c[6] <= 0.0 {
+                return Err(RequestError::protocol("conductor radius must be positive"));
+            }
+            if !(c[2] >= 0.0 && c[5] >= 0.0) {
+                return Err(RequestError::protocol("conductors must be buried (z >= 0)"));
+            }
+            let a = Point3::new(c[0], c[1], c[2]);
+            let b = Point3::new(c[3], c[4], c[5]);
+            let length = a.distance(b);
+            if length.is_nan() || length <= 0.0 {
+                return Err(RequestError::protocol(
+                    "edit add describes a zero-length conductor",
+                ));
+            }
+            Ok(EditOp::Add {
+                conductor: Conductor::new(a, b, c[6]),
+            })
+        }
+        "remove" => Ok(EditOp::Remove { index: index(v)? }),
+        other => Err(RequestError::protocol(format!(
+            "edit kind must be move|move-end|add|remove, got '{other}'"
+        ))),
+    }
+}
+
+/// A mandatory 3-number array field of an edit op.
+fn vec3_field(v: &Json, name: &str) -> Result<[f64; 3], RequestError> {
+    let arr = v.get(name).and_then(Json::as_arr).ok_or_else(|| {
+        RequestError::protocol(format!("edit op expects a 3-number '{name}' array"))
+    })?;
+    if arr.len() != 3 {
+        return Err(RequestError::protocol(format!(
+            "'{name}' must have exactly 3 numbers, got {}",
+            arr.len()
+        )));
+    }
+    let mut out = [0.0f64; 3];
+    for (i, x) in arr.iter().enumerate() {
+        out[i] = x
+            .as_f64()
+            .ok_or_else(|| RequestError::protocol(format!("'{name}' entries must be numbers")))?;
+    }
+    Ok(out)
+}
+
+/// One per-edit row of an edit response: the route taken and what it
+/// touched and paid.
+pub fn edit_report_json(r: &EditReport) -> Json {
+    Json::obj(vec![
+        ("path", Json::str(r.path.label())),
+        ("changed_elements", Json::Num(r.changed_elements as f64)),
+        ("touched_rows", Json::Num(r.touched_rows as f64)),
+        ("update_rank", Json::Num(r.update_rank as f64)),
+        ("pairs_evaluated", Json::Num(r.pairs_evaluated as f64)),
+        ("reintegrate_seconds", Json::Num(r.reintegrate_seconds)),
+        ("update_seconds", Json::Num(r.update_seconds)),
+    ])
 }
 
 /// Parses `{"kind":"gpr"|"fault-current","value":N}`. The drive's
@@ -310,6 +496,92 @@ mod tests {
             r#"{"op":"sweep","deck":"x","seed":1e999}"#,
             r#"{"op":"sweep","deck":"x","sigma":"wide"}"#,
             r#"{"op":"sweep","deck":"x","scenarios":[]}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Protocol, "{bad}");
+        }
+    }
+
+    #[test]
+    fn edit_requests_parse_every_op_kind() {
+        let r = parse_request(
+            r#"{"op":"edit","deck":"rod 0 0 0.5 2 0.01\n","edits":[
+                {"kind":"move","index":0,"delta":[0.5,0,0]},
+                {"kind":"move-end","index":1,"end":"b","delta":[0,0,0.2]},
+                {"kind":"add","conductor":[1,1,0.6,1,1,2.1,0.007]},
+                {"kind":"remove","index":2}
+            ],"publish":true}"#,
+        )
+        .unwrap();
+        let Request::Edit {
+            deck,
+            edits,
+            scenarios,
+            include_leakage,
+            publish,
+        } = r
+        else {
+            panic!("expected edit");
+        };
+        assert_eq!(deck.as_deref(), Some("rod 0 0 0.5 2 0.01\n"));
+        assert_eq!(scenarios, None);
+        assert!(!include_leakage);
+        assert!(publish);
+        assert_eq!(edits.len(), 4);
+        assert_eq!(
+            edits[0],
+            EditOp::Move {
+                index: 0,
+                delta: [0.5, 0.0, 0.0]
+            }
+        );
+        assert_eq!(
+            edits[1],
+            EditOp::MoveEnd {
+                index: 1,
+                end: ConductorEnd::B,
+                delta: [0.0, 0.0, 0.2]
+            }
+        );
+        match &edits[2] {
+            EditOp::Add { conductor } => assert_eq!(conductor.radius, 0.007),
+            other => panic!("expected add, got {other:?}"),
+        }
+        assert_eq!(edits[3], EditOp::Remove { index: 2 });
+
+        // A session continuation: no deck, no edits — still a valid
+        // request (it just re-solves the current state).
+        let bare = parse_request(r#"{"op":"edit"}"#).unwrap();
+        assert_eq!(
+            bare,
+            Request::Edit {
+                deck: None,
+                edits: Vec::new(),
+                scenarios: None,
+                include_leakage: false,
+                publish: false,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_edit_ops_are_protocol_errors() {
+        for bad in [
+            r#"{"op":"edit","deck":7}"#,
+            r#"{"op":"edit","edits":"move"}"#,
+            r#"{"op":"edit","edits":[{"index":0}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"teleport","index":0}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"move","delta":[0,0,0]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"move","index":-1,"delta":[0,0,0]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"move","index":0,"delta":[0,0]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"move","index":0,"delta":[0,0,"up"]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"move-end","index":0,"end":"c","delta":[0,0,0]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"add","conductor":[1,1,0.6,1,1]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"add","conductor":[1,1,0.6,1,1,2.1,0]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"add","conductor":[1,1,-0.5,1,1,2.1,0.007]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"add","conductor":[1,1,0.6,1,1,0.6,0.007]}]}"#,
+            r#"{"op":"edit","edits":[{"kind":"remove"}]}"#,
+            r#"{"op":"edit","publish":"yes"}"#,
         ] {
             let e = parse_request(bad).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Protocol, "{bad}");

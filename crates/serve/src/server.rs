@@ -5,11 +5,21 @@
 //! Threading model: one accept thread pushes connections into an mpsc
 //! queue drained by a fixed pool of connection workers (one connection
 //! per worker at a time; scenario answers within a request may still use
-//! the solver's own pool via [`SolveOptions::parallelism`]). All workers
-//! share one [`Service`] — the study cache, metrics registry and solve
+//! the solver's own pool via [`SolveOptions::parallelism`], and `sweep`
+//! fans its samples out over that pool). All workers share one
+//! [`Service`] — the study cache, metrics registry and solve
 //! options — through an `Arc`, which is sound because
 //! [`layerbem_core::study::Study`] is `Send + Sync` and its
 //! factors are immutable after prepare.
+//!
+//! The `edit` op is the one **stateful** corner, and its state is
+//! deliberately *not* shared: each connection owns an optional
+//! [`EditSessionState`] holding a private editable study
+//! ([`layerbem_core::incremental::EditSession`]). Cached `Arc<Study>`
+//! entries are never mutated — publishing an edited study inserts an
+//! immutable [`Study::frozen_clone`] snapshot under the edited
+//! geometry's key via [`StudyCache::publish`], which re-charges the
+//! entry's resident bytes against the LRU budget.
 //!
 //! Robustness invariants, each pinned by a test:
 //!
@@ -34,10 +44,11 @@ use std::time::{Duration, Instant};
 use layerbem_cad::pipeline::check_model;
 use layerbem_cad::{parse_case, CadCase};
 use layerbem_core::formulation::SolveOptions;
+use layerbem_core::incremental::{EditError, EditOp, EditSession};
 use layerbem_core::study::{Scenario, Study};
-use layerbem_core::system::GroundingSystem;
+use layerbem_core::system::{GroundingSolution, GroundingSystem};
 use layerbem_core::workload::{quantiles, sample_soils, Quantiles, Workload};
-use layerbem_geometry::Mesher;
+use layerbem_geometry::{MeshOptions, Mesher};
 use layerbem_soil::SoilModel;
 
 use crate::cache::{CacheOutcome, StudyCache};
@@ -45,7 +56,7 @@ use crate::errors::{ErrorKind, RequestError};
 use crate::json::Json;
 use crate::key::StudyKey;
 use crate::metrics::Metrics;
-use crate::protocol::{parse_request, solution_json, Request};
+use crate::protocol::{edit_report_json, parse_request, solution_json, Request};
 
 /// Hard cap on one request line (a deck embedded in JSON): 16 MiB.
 pub const MAX_LINE_BYTES: usize = 16 << 20;
@@ -110,15 +121,34 @@ impl Service {
     /// Answers one request line with one response line (no trailing
     /// newline). **Never panics**: any panic in the handler is caught and
     /// reported as an `internal` error response.
+    ///
+    /// Session-less entry point (the fuzz suite and one-shot callers):
+    /// an `edit` request must carry its own deck, and the session it
+    /// opens is discarded after the line. Connections use
+    /// [`handle_line_with_session`](Self::handle_line_with_session).
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_with_session(line, &mut None)
+    }
+
+    /// [`handle_line`](Self::handle_line) with a caller-held edit
+    /// session: consecutive `edit` requests routed through the same
+    /// `session` slot keep editing one private study. A caught panic
+    /// drops the session — it may have died mid-edit, and the connection
+    /// must not keep answering from a half-updated study.
+    pub fn handle_line_with_session(
+        &self,
+        line: &str,
+        session: &mut Option<EditSessionState>,
+    ) -> String {
         Metrics::bump(&self.metrics.requests);
-        let reply = match catch_unwind(AssertUnwindSafe(|| self.answer(line))) {
+        let reply = match catch_unwind(AssertUnwindSafe(|| self.answer(line, session))) {
             Ok(Ok(reply)) => reply,
             Ok(Err(e)) => {
                 Metrics::bump(&self.metrics.errors);
                 e.to_json()
             }
             Err(_) => {
+                *session = None;
                 Metrics::bump(&self.metrics.errors);
                 RequestError::new(ErrorKind::Internal, "request handler panicked").to_json()
             }
@@ -126,7 +156,11 @@ impl Service {
         reply.to_line()
     }
 
-    fn answer(&self, line: &str) -> Result<Json, RequestError> {
+    fn answer(
+        &self,
+        line: &str,
+        session: &mut Option<EditSessionState>,
+    ) -> Result<Json, RequestError> {
         match parse_request(line)? {
             Request::Ping => Ok(ok_obj("ping", Json::Obj(Vec::new()))),
             Request::Stats => {
@@ -150,6 +184,20 @@ impl Service {
                 scenarios,
                 include_leakage,
             } => self.sweep(&deck, samples, seed, sigma, scenarios, include_leakage),
+            Request::Edit {
+                deck,
+                edits,
+                scenarios,
+                include_leakage,
+                publish,
+            } => self.edit(
+                deck.as_deref(),
+                &edits,
+                scenarios,
+                include_leakage,
+                publish,
+                session,
+            ),
         }
     }
 
@@ -225,6 +273,15 @@ impl Service {
     /// Samples are drawn **serially** from one seeded generator before
     /// any solve, so a repeated request with the same seed is answered
     /// bit-identically — and entirely from cache.
+    ///
+    /// When the server's [`SolveOptions::parallelism`] is set, the
+    /// samples themselves fan out over the pool (the
+    /// [`run_soil_sweep`](layerbem_core::workload::run_soil_sweep)
+    /// pattern): each sample prepares and solves with parallelism
+    /// stripped inside its slot, which is bit-identical to the pooled
+    /// build by the kernel's determinism invariant, so the response
+    /// bytes do not depend on the pool. Metrics and response assembly
+    /// stay in a serial post-pass, in sample order.
     fn sweep(
         &self,
         deck: &str,
@@ -265,18 +322,54 @@ impl Service {
         };
 
         let soils = sample_soils(&case.soil, &spec);
+        let keys: Vec<StudyKey> = soils
+            .iter()
+            .map(|soil| {
+                StudyKey::of_parts(case.network.conductors(), &case.mesh_options, soil, &opts)
+            })
+            .collect();
+
+        // Per-sample solves run serially inside their slot; the sweep
+        // itself is the parallel axis. The cache's single-flight keeps
+        // duplicate keys to one prepare even when their slots race.
+        let inner = SolveOptions {
+            parallelism: None,
+            ..opts
+        };
+        let run_one = |i: usize| -> SweepSampleOutcome {
+            let t = Instant::now();
+            let (study, outcome) = self
+                .cache
+                .get_or_prepare(keys[i], || build_study_for_soil(&case, &soils[i], inner))?;
+            let prepare_seconds = t.elapsed();
+            let t = Instant::now();
+            let solutions = study.solve_batch(&spec.scenarios)?;
+            Ok((outcome, prepare_seconds, t.elapsed(), solutions))
+        };
+        let mut slots: Vec<Option<SweepSampleOutcome>> = (0..soils.len()).map(|_| None).collect();
+        match &self.solve.parallelism {
+            Some(par) if soils.len() >= 2 => {
+                par.pool
+                    .scoped_partition(&mut slots, par.schedule, |i, slot| {
+                        *slot = Some(run_one(i));
+                    });
+            }
+            _ => {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(run_one(i));
+                }
+            }
+        }
+
+        // Serial post-pass in sample order: metrics tell one story and
+        // the response is identical to the serial loop's, byte for byte.
         let mut results = Vec::with_capacity(soils.len());
         let mut gprs = Vec::with_capacity(soils.len());
         let mut reqs = Vec::with_capacity(soils.len());
         let mut hits = 0usize;
-        for (i, soil) in soils.iter().enumerate() {
-            let key =
-                StudyKey::of_parts(case.network.conductors(), &case.mesh_options, soil, &opts);
-            let t = Instant::now();
-            let (study, outcome) = self
-                .cache
-                .get_or_prepare(key, || build_study_for_soil(&case, soil, opts))?;
-            let prepare_seconds = t.elapsed();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (outcome, prepare_seconds, solve_seconds, solutions) =
+                slot.expect("every slot visited exactly once")?;
             match outcome {
                 CacheOutcome::Miss => {
                     Metrics::bump(&self.metrics.cache_misses);
@@ -287,15 +380,13 @@ impl Service {
                     hits += 1;
                 }
             }
-            let t = Instant::now();
-            let solutions = study.solve_batch(&spec.scenarios)?;
-            self.metrics.solve.record(t.elapsed());
+            self.metrics.solve.record(solve_seconds);
             gprs.push(solutions[0].gpr);
             reqs.push(solutions[0].equivalent_resistance);
             results.push(Json::obj(vec![
                 ("sample", Json::Num(i as f64)),
-                ("soil", soil_json(soil)),
-                ("key", Json::str(key.to_string())),
+                ("soil", soil_json(&soils[i])),
+                ("key", Json::str(keys[i].to_string())),
                 ("cache_hit", Json::Bool(outcome == CacheOutcome::Hit)),
                 (
                     "solutions",
@@ -325,6 +416,135 @@ impl Service {
                 ("req", quantiles_json(quantiles(&reqs))),
             ]),
         ))
+    }
+
+    /// The `edit` handler: opens (or continues) the connection's private
+    /// edit session, applies the requested ops incrementally, answers
+    /// the scenarios from the edited study, and — on `publish` — puts an
+    /// immutable snapshot back into the shared cache under the edited
+    /// geometry's key, re-charging the residency budget.
+    ///
+    /// The session's study is **never** the cached `Arc<Study>`: cached
+    /// entries stay immutable, which is what makes sharing them across
+    /// workers sound. Earlier ops in a request stay committed when a
+    /// later one fails — the session always reflects the last
+    /// *successful* edit, and the error says which op refused.
+    fn edit(
+        &self,
+        deck: Option<&str>,
+        edits: &[EditOp],
+        scenarios: Option<Vec<Scenario>>,
+        include_leakage: bool,
+        publish: bool,
+        session: &mut Option<EditSessionState>,
+    ) -> Result<Json, RequestError> {
+        if let Some(deck) = deck {
+            let case = parse_case(deck)?;
+            let opts = SolveOptions {
+                formulation: case.formulation,
+                solver: case.solver,
+                ..self.solve
+            };
+            let scenarios = deck_scenarios(&case)?;
+            let t = Instant::now();
+            let mut open =
+                EditSession::open(case.network.clone(), &case.soil, case.mesh_options, opts)
+                    .map_err(edit_error)?;
+            // The deck's own `edit` stanzas replay first, exactly like
+            // the CLI pipeline.
+            for op in &case.edits {
+                open.apply(op).map_err(edit_error)?;
+            }
+            self.metrics.prepare.record(t.elapsed());
+            *session = Some(EditSessionState {
+                session: open,
+                soil: case.soil.clone(),
+                mesh_options: case.mesh_options,
+                opts,
+                scenarios,
+            });
+        }
+        let state = session.as_mut().ok_or_else(|| {
+            RequestError::protocol(
+                "no edit session is open on this connection; include a 'deck' field to open one",
+            )
+        })?;
+        let mut reports = Vec::with_capacity(edits.len());
+        for op in edits {
+            reports.push(state.session.apply(op).map_err(edit_error)?);
+        }
+        let scenarios = match &scenarios {
+            Some(list) => list.as_slice(),
+            None => state.scenarios.as_slice(),
+        };
+        let t = Instant::now();
+        let solutions = state.session.study().solve_batch(scenarios)?;
+        self.metrics.solve.record(t.elapsed());
+
+        let study = state.session.study();
+        let profile = study.profile();
+        let mut pairs = vec![
+            ("dof", Json::Num(study.dof() as f64)),
+            ("session_edits", Json::Num(profile.edits as f64)),
+            (
+                "reports",
+                Json::Arr(reports.iter().map(edit_report_json).collect()),
+            ),
+            (
+                "solutions",
+                Json::Arr(
+                    solutions
+                        .iter()
+                        .map(|s| solution_json(s, include_leakage))
+                        .collect(),
+                ),
+            ),
+        ];
+        if publish {
+            let key = StudyKey::of_parts(
+                state.session.network().conductors(),
+                &state.mesh_options,
+                &state.soil,
+                &state.opts,
+            );
+            let bytes = self.cache.publish(key, Arc::new(study.frozen_clone()));
+            let (_, _, evictions) = self.cache.residency();
+            self.metrics
+                .evictions
+                .store(evictions, std::sync::atomic::Ordering::Relaxed);
+            pairs.push(("published_key", Json::str(key.to_string())));
+            pairs.push(("published_bytes", Json::Num(bytes as f64)));
+        }
+        Ok(ok_obj("edit", Json::obj(pairs)))
+    }
+}
+
+/// The connection-scoped state behind the `edit` op: the live session
+/// plus everything needed to key (and publish) its study. Held by the
+/// connection loop, not the shared [`Service`] — sessions are private by
+/// construction.
+pub struct EditSessionState {
+    session: EditSession,
+    soil: SoilModel,
+    mesh_options: MeshOptions,
+    opts: SolveOptions,
+    scenarios: Vec<Scenario>,
+}
+
+/// One sweep sample's outcome: cache route, prepare/solve wall time,
+/// and the scenario answers.
+type SweepSampleOutcome =
+    Result<(CacheOutcome, Duration, Duration, Vec<GroundingSolution>), RequestError>;
+
+/// Maps an edit failure onto the wire error kinds: model-shaped refusals
+/// (bad index, a move that disconnects the electrode, …) are `model`, a
+/// failed re-prepare is `prepare`, and `NotEditable` — impossible for
+/// sessions the server itself opened — is an `internal` defect.
+fn edit_error(e: EditError) -> RequestError {
+    match e {
+        EditError::Model(why) => RequestError::new(ErrorKind::Model, why),
+        EditError::Prepare(p) => p.into(),
+        EditError::NotEditable(why) => RequestError::new(ErrorKind::Internal, why),
     }
 }
 
@@ -588,7 +808,10 @@ fn read_line_limited(
 }
 
 /// Serves one connection: request line in, response line out, until EOF,
-/// an I/O error, an oversized line, or server shutdown.
+/// an I/O error, an oversized line, or server shutdown. The connection
+/// owns one (initially empty) edit-session slot, so consecutive `edit`
+/// requests on a connection keep editing the same private study; it
+/// drops with the connection.
 fn serve_connection(service: &Service, stream: TcpStream, shutdown: &AtomicBool) {
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -596,6 +819,7 @@ fn serve_connection(service: &Service, stream: TcpStream, shutdown: &AtomicBool)
     let _ = read_half.set_read_timeout(Some(READ_POLL));
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    let mut session: Option<EditSessionState> = None;
     let mut buf: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -612,7 +836,8 @@ fn serve_connection(service: &Service, stream: TcpStream, shutdown: &AtomicBool)
             }
             Ok(LineRead::Line) => {
                 let line = String::from_utf8_lossy(&buf);
-                let reply = service.handle_line(line.trim_end_matches('\r'));
+                let reply =
+                    service.handle_line_with_session(line.trim_end_matches('\r'), &mut session);
                 buf.clear();
                 if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
                     return;
@@ -831,6 +1056,89 @@ mod tests {
         // Zero samples is rejected by the workload validator, same kind.
         let line = r#"{"op":"sweep","deck":"rod 0 0 0.5 2 0.01\n","samples":0,"seed":1}"#;
         assert_eq!(error_kind(&s.handle_line(line)), "protocol");
+    }
+
+    #[test]
+    fn pooled_sweeps_answer_byte_identically_to_serial_ones() {
+        use layerbem_parfor::{Schedule, ThreadPool};
+        let line = r#"{"op":"sweep","deck":"gpr 5000\nrod 0 0 0.5 2 0.01\n","samples":4,"seed":7,"sigma":0.2}"#;
+        let serial = service().handle_line(line);
+        let pooled = Service::new(
+            0,
+            SolveOptions::default().with_parallelism(ThreadPool::new(4), Schedule::dynamic(1)),
+        )
+        .handle_line(line);
+        // The sweep response carries no wall-clock fields, so fanning the
+        // samples out over the pool must not change a single byte.
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn edit_sessions_continue_across_lines_and_publish_into_the_cache() {
+        let s = service();
+        let mut session = None;
+        // Open a session from a deck: no ops yet, just the baseline answer.
+        let open = r#"{"op":"edit","deck":"gpr 5000\nrod 0 0 0.5 2 0.01\n"}"#;
+        let v = Json::parse(&s.handle_line_with_session(open, &mut session)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("edit"));
+        assert_eq!(v.get("reports").and_then(Json::as_arr).unwrap().len(), 0);
+        assert_eq!(v.get("solutions").and_then(Json::as_arr).unwrap().len(), 1);
+        assert!(session.is_some(), "the connection now holds a session");
+        assert_eq!(s.cache().residency().0, 0, "sessions are private");
+
+        // Continue on the same connection WITHOUT a deck: stretch the
+        // rod's free end and publish the edited study.
+        let mv = r#"{"op":"edit","edits":[{"kind":"move-end","index":0,"end":"b","delta":[0,0,0.5]}],"publish":true}"#;
+        let v2 = Json::parse(&s.handle_line_with_session(mv, &mut session)).unwrap();
+        assert_eq!(v2.get("ok").and_then(Json::as_bool), Some(true), "{v2:?}");
+        let reports = v2.get("reports").and_then(Json::as_arr).unwrap();
+        assert_eq!(reports.len(), 1);
+        let path = reports[0].get("path").and_then(Json::as_str).unwrap();
+        assert!(
+            ["incremental", "refactor", "rebuild"].contains(&path),
+            "a real edit must take a real route, got {path}"
+        );
+        assert_eq!(v2.get("session_edits").and_then(Json::as_f64), Some(1.0));
+        let published = v2.get("published_key").and_then(Json::as_str).unwrap();
+        assert!(v2.get("published_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(s.cache().residency().0, 1);
+
+        // The published entry lives under the edited geometry's key: a
+        // plain solve of the equivalent deck is a cache HIT and answers
+        // bit-identically to the session's own solutions.
+        let direct = solve_line("gpr 5000\nrod 0 0 0.5 2.5 0.01\n");
+        let v3 = Json::parse(&s.handle_line(&direct)).unwrap();
+        assert_eq!(v3.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(v3.get("key").and_then(Json::as_str), Some(published));
+        assert_eq!(
+            v3.get("solutions").unwrap().to_line(),
+            v2.get("solutions").unwrap().to_line()
+        );
+    }
+
+    #[test]
+    fn edit_failures_are_typed_and_leave_the_session_usable() {
+        let s = service();
+        // No session on this line and no deck to open one: protocol.
+        assert_eq!(error_kind(&s.handle_line(r#"{"op":"edit"}"#)), "protocol");
+
+        let mut session = None;
+        let open = r#"{"op":"edit","deck":"gpr 5000\nrod 0 0 0.5 2 0.01\n"}"#;
+        let v = Json::parse(&s.handle_line_with_session(open, &mut session)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        // An out-of-range index is a model-shaped refusal…
+        let bad = r#"{"op":"edit","edits":[{"kind":"remove","index":99}]}"#;
+        assert_eq!(
+            error_kind(&s.handle_line_with_session(bad, &mut session)),
+            "model"
+        );
+        // …and the session survives it: the next line keeps editing.
+        assert!(session.is_some());
+        let ok =
+            r#"{"op":"edit","edits":[{"kind":"move-end","index":0,"end":"b","delta":[0,0,0.25]}]}"#;
+        let v = Json::parse(&s.handle_line_with_session(ok, &mut session)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
     }
 
     #[test]

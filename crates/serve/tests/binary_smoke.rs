@@ -63,4 +63,49 @@ fn binary_serves_on_a_kernel_assigned_port() {
         cache.get("max_resident_bytes").and_then(Json::as_f64),
         Some((64u64 << 20) as f64)
     );
+
+    // Edit round-trip on the same connection: open a session from the
+    // deck, stretch the rod's free end, publish the edited study, and
+    // confirm a plain solve of the equivalent deck hits the published
+    // entry with the same answer.
+    let opened = client
+        .request(&Json::obj(vec![
+            ("op", Json::str("edit")),
+            ("deck", Json::str(deck)),
+        ]))
+        .expect("open edit session");
+    assert_eq!(opened.get("op").and_then(Json::as_str), Some("edit"));
+    let edit = Json::parse(
+        r#"{"op":"edit","edits":[{"kind":"move-end","index":0,"end":"b","delta":[0,0,0.5]}],"publish":true}"#,
+    )
+    .expect("edit request literal");
+    let edited = client.request(&edit).expect("apply edit");
+    let published = edited
+        .get("published_key")
+        .and_then(Json::as_str)
+        .expect("published key")
+        .to_string();
+    let path = edited
+        .get("reports")
+        .and_then(Json::as_arr)
+        .expect("reports")[0]
+        .get("path")
+        .and_then(Json::as_str)
+        .expect("path");
+    assert!(
+        ["incremental", "refactor", "rebuild"].contains(&path),
+        "unexpected edit path {path}"
+    );
+    let equivalent = "soil uniform 0.016\nrod 0 0 0.5 3.5 0.01\nsolver cholesky\n";
+    let direct = client.solve(equivalent, None, false).expect("direct solve");
+    assert!(direct.cache_hit, "published entry must be reachable by key");
+    assert_eq!(direct.key, published);
+    let session_gpr = edited
+        .get("solutions")
+        .and_then(Json::as_arr)
+        .expect("solutions")[0]
+        .get("gpr")
+        .and_then(Json::as_f64)
+        .expect("gpr");
+    assert_eq!(direct.solutions[0].gpr.to_bits(), session_gpr.to_bits());
 }
